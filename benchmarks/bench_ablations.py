@@ -1,0 +1,46 @@
+"""Ablations of SciDP design choices called out in §III.
+
+- chunk-aligned dummy blocks vs chunk splitting (§III-B: "Unaligned data
+  access will have a much higher overhead, due to reading extra
+  compressed chunks");
+- whole-block single-request reads vs Hadoop's 64 KB streaming
+  (§III-A.3);
+- variable-level subsetting vs mapping all 23 variables (§IV-B).
+"""
+
+from repro.bench.harness import (
+    abl_chunk_alignment_rows,
+    abl_read_granularity_rows,
+    abl_subsetting_rows,
+)
+
+
+def test_ablation_chunk_alignment(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        abl_chunk_alignment_rows, rounds=1, iterations=1,
+        kwargs={"n_timesteps": 12, "split_factor": 4})
+    record_table("abl_chunk_alignment", columns, rows, note)
+    aligned, unaligned = rows
+    assert unaligned[1] > aligned[1]                  # slower
+    assert 3.0 < unaligned[3] <= 4.5                  # ~4x amplification
+
+
+def test_ablation_read_granularity(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        abl_read_granularity_rows, rounds=1, iterations=1,
+        kwargs={"n_timesteps": 12})
+    record_table("abl_read_granularity", columns, rows, note)
+    whole, chopped = rows
+    assert chopped[1] > whole[1]      # streaming is slower overall
+    assert chopped[2] > whole[2]      # and per-level read time grows
+
+
+def test_ablation_variable_subsetting(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        abl_subsetting_rows, rounds=1, iterations=1,
+        kwargs={"n_timesteps": 6})
+    record_table("abl_subsetting", columns, rows, note)
+    subset, full = rows
+    assert full[2] == 23 * subset[2]          # virtual files: 23x
+    assert full[3] > 10 * subset[3]           # mapped bytes shrink >10x
+    assert subset[1] <= full[1]               # mapping table builds faster

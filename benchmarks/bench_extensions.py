@@ -1,0 +1,36 @@
+"""Extension experiments beyond the paper's figures.
+
+- **Scale-up** (§V-E): the paper ran it but omitted the numbers "due to
+  the page limit"; this bench supplies them.
+- **Second framework** (§VII): the paper names Spark as the next target;
+  the Spark-like engine's SciDP source runs the Img-only workload at
+  cost comparable to the MapReduce path.
+"""
+
+from repro.bench.harness import ext_scaleup_rows, ext_spark_rows
+
+
+def test_ext_scaleup(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        ext_scaleup_rows, rounds=1, iterations=1,
+        kwargs={"slot_counts": (4, 8, 16), "n_timesteps": 48})
+    record_table("ext_scaleup", columns, rows, note)
+
+    times = [row[2] for row in rows]
+    assert times[0] > times[1] > times[2]
+    # Like Fig. 8: near-halving per doubling until devices saturate.
+    assert times[0] / times[1] > 1.5
+    assert rows[-1][3] > 2.0
+
+
+def test_ext_sparklike_engine(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        ext_spark_rows, rounds=1, iterations=1,
+        kwargs={"n_timesteps": 12})
+    record_table("ext_sparklike", columns, rows, note)
+
+    (mr_name, mr_frames, mr_time), (sp_name, sp_frames, sp_time) = rows
+    assert mr_frames == sp_frames == 96       # 12 files x 8 levels
+    # Same data path, comparable cost: within 2.5x either way.
+    assert sp_time < mr_time * 2.5
+    assert mr_time < sp_time * 2.5

@@ -1,0 +1,37 @@
+"""Fig. 5 + Table III — total execution time of all solutions vs size.
+
+Paper: Img-only workload at 96/192/384/768 timestamps; Naive is orders of
+magnitude slower (shown at 1/8 scale); SciDP beats every baseline by
+6.58x-284.63x. We run the same four sizes at the 1:8 file / 1:678
+per-level scale documented in DESIGN.md §6, so speedup ratios are
+directly comparable.
+"""
+
+from repro.bench.harness import SCALED_SIZES, fig5_table3_rows
+
+
+def test_fig5_and_table3(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        fig5_table3_rows, rounds=1, iterations=1,
+        kwargs={"sizes": SCALED_SIZES})
+    record_table("fig5_total_time_and_table3_speedups",
+                 columns, rows, note)
+
+    totals = {row[0]: row[1:] for row in rows
+              if not row[0].startswith(("---", "scidp vs"))}
+    speedups = {row[0]: row[1:] for row in rows
+                if row[0].startswith("scidp vs")}
+
+    for i in range(len(SCALED_SIZES)):
+        # Paper's ordering at every size.
+        assert totals["scidp"][i] < totals["scihadoop"][i]
+        assert totals["scihadoop"][i] < totals["porthadoop"][i]
+        assert totals["porthadoop"][i] < totals["vanilla"][i]
+        assert totals["vanilla"][i] < totals["naive"][i]
+
+        # Table III magnitudes: ~6.58x against the best baseline,
+        # hundreds against naive.
+        assert 4.0 < speedups["scidp vs scihadoop"][i] < 14.0
+        assert 150.0 < speedups["scidp vs naive"][i] < 600.0
+        assert (speedups["scidp vs vanilla"][i]
+                > speedups["scidp vs porthadoop"][i])

@@ -1,0 +1,44 @@
+"""Fig. 6 — I/O bandwidth of SciDP vs HPC I/O methods.
+
+Paper: NC Ind / NC Coll read via netCDF APIs; MPI Coll reads the file
+flat (the ideal upper bound); SciDP / SciDP Equal divide compressed and
+raw sizes by an I/O time that includes decompression. SciDP Equal
+approaches MPI Coll as readers increase.
+"""
+
+from repro.bench.harness import fig6_rows
+
+READERS = (1, 2, 4, 8, 16)
+
+
+def test_fig6_io_bandwidth(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        fig6_rows, rounds=1, iterations=1, kwargs={"readers": READERS})
+    record_table("fig6_io_bandwidth", columns, rows, note)
+
+    for n, nc_ind, nc_coll, mpi_coll, scidp, scidp_equal in rows:
+        # MPI Coll bounds every series measured in bytes moved off the
+        # PFS, at every scale.
+        assert mpi_coll >= nc_ind
+        assert mpi_coll >= nc_coll
+        assert mpi_coll >= scidp
+        # Equal-credit SciDP sits above its compressed-credit line.
+        assert scidp_equal > scidp
+        # Independent netCDF I/O never beats collective by much.
+        assert nc_ind <= nc_coll * 1.15
+        if n <= 8:
+            # The paper's regime: the raw-credited SciDP line approaches
+            # MPI Coll from below. (Past ~13 readers it legitimately
+            # crosses — decompression delivers more bytes than the flat
+            # path can move; the paper's figure stops before this.
+            # See EXPERIMENTS.md.)
+            assert mpi_coll >= scidp_equal
+
+    # SciDP Equal approaches MPI Coll as readers increase (§V-C).
+    gap_first = rows[0][3] / rows[0][5]
+    gap_last = rows[-1][3] / rows[-1][5]
+    assert gap_last < gap_first
+
+    # Every parallel-reader series scales up with reader count.
+    for column in (1, 2, 4, 5):
+        assert rows[-1][column] > rows[0][column] * 2

@@ -1,0 +1,24 @@
+"""Fig. 8 — SciDP scale-out (4/8/16 nodes, 8 task slots each).
+
+Paper: "The image plotting time reduces nearly in half when the number
+of nodes doubles which leads to a near-optimal speedup" — tasks are
+independent, no inter-task communication.
+"""
+
+from repro.bench.harness import fig8_rows
+
+
+def test_fig8_scaleout(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        fig8_rows, rounds=1, iterations=1,
+        kwargs={"node_counts": (4, 8, 16), "n_timesteps": 48})
+    record_table("fig8_scaleout", columns, rows, note)
+
+    times = [row[2] for row in rows]
+    assert times[0] > times[1] > times[2]
+    # Near-halving per doubling: allow the wave-quantization slack a
+    # 64->128-slot step sees at finite task counts.
+    assert times[0] / times[1] > 1.6
+    assert times[1] / times[2] > 1.4
+    # Overall speedup from 4 to 16 nodes approaches 4x.
+    assert rows[-1][3] > 2.5

@@ -1,0 +1,27 @@
+"""Fig. 9 — parallel data analysis using SQL queries (Anlys workload).
+
+Paper: the `highlight` (top-10) case costs almost the same as plain
+plotting — small computation, no extra reads; the `top 1%` case is
+costlier because query results proportional to the input are shuffled
+and written to HDFS.
+"""
+
+from repro.bench.harness import fig9_rows
+
+SIZES = (12, 24, 48)
+
+
+def test_fig9_sql_analysis(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        fig9_rows, rounds=1, iterations=1, kwargs={"sizes": SIZES})
+    record_table("fig9_sql_analysis", columns, rows, note)
+
+    for size, base, highlight, top1pct in rows:
+        # highlight ~= no analysis (paper: "almost the same time").
+        assert highlight < 1.25 * base
+        # top 1% costs visibly more than highlight.
+        assert top1pct > highlight
+    # And the top-1% overhead grows with input size (result volume is
+    # proportional to input, §V-F).
+    overheads = [row[3] - row[1] for row in rows]
+    assert overheads[-1] > overheads[0]

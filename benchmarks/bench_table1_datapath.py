@@ -1,0 +1,36 @@
+"""Table I — data paths of all five solutions.
+
+The static matrix is printed for the record; the live behaviour behind
+each cell (who converts, who copies, sequential vs parallel) is asserted
+against actual runs in tests/workloads/test_solutions.py.
+"""
+
+from repro import costs
+from repro.bench.harness import table1_rows
+from repro.workloads.solutions import build_world, run_solution
+
+
+def test_table1_datapath(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        table1_rows, rounds=1, iterations=1)
+    record_table("table1_datapath", columns, rows, note)
+    assert [r[0] for r in rows] == [
+        "naive", "vanilla-hadoop", "porthadoop", "scihadoop", "scidp"]
+    # SciDP is the only row with no conversion AND no copy.
+    assert rows[-1][1:] == ("no", "no", "parallel")
+
+
+def test_table1_backed_by_live_runs(benchmark, record_table):
+    """Cross-check two cells against live runs: SciDP copies nothing,
+    SciHadoop copies in parallel."""
+
+    def live():
+        world = build_world(n_timesteps=2, shape=(4, 24, 24))
+        scidp = run_solution(world, "scidp")
+        scihadoop = run_solution(world, "scihadoop")
+        costs.reset_scale()
+        return scidp, scihadoop
+
+    scidp, scihadoop = benchmark.pedantic(live, rounds=1, iterations=1)
+    assert scidp.copy_time == 0.0
+    assert scihadoop.copy_time > 0.0

@@ -1,0 +1,34 @@
+"""Benchmark support: every experiment table is printed to stdout and
+persisted under ``bench_results/`` so results survive pytest capture."""
+
+import pathlib
+
+import pytest
+
+from repro import costs
+from repro.bench.reporting import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / \
+    "bench_results"
+
+
+@pytest.fixture(autouse=True)
+def _reset_scale():
+    costs.reset_scale()
+    yield
+    costs.reset_scale()
+
+
+@pytest.fixture
+def record_table():
+    """Print a result table and write it to bench_results/<name>.txt."""
+
+    def _record(name, columns, rows, note=""):
+        text = format_table(name, columns, rows, note)
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return text
+
+    return _record

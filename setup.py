@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The environment has no `wheel` package and no network, so PEP 517 editable
+installs fail; this file keeps `setup.py develop` working. All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""SciDP reproduction package.
+
+Reimplements the full software stack of *SciDP: Support HPC and Big Data
+Applications via Integrated Scientific Data Processing* (IEEE CLUSTER 2018)
+in Python: a discrete-event simulated cluster, a Lustre-like parallel file
+system, an HDFS, a Hadoop-like MapReduce engine, a netCDF-like scientific
+data format, an R-like analysis layer, and SciDP itself — the virtual-block
+mapping runtime that lets the MapReduce engine process scientific data on
+the PFS directly.
+
+Public entry points:
+
+- :class:`repro.core.SciDP` — the SciDP runtime facade.
+- :mod:`repro.workloads.solutions` — SciDP and the four baseline data paths.
+- :mod:`repro.bench.harness` — experiment runners for every paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Environment
+
+__all__ = ["Environment", "__version__"]

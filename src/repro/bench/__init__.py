@@ -1,0 +1,29 @@
+"""Experiment harness: one runner per paper table/figure.
+
+Each ``figN_rows()`` / ``tableN_rows()`` function builds the scaled world,
+runs the experiment, and returns structured rows;
+:mod:`repro.bench.reporting` prints them next to the paper's reference
+values. The ``benchmarks/`` directory wires each runner to pytest-benchmark.
+"""
+
+from repro.bench.harness import (
+    fig2_rows,
+    fig5_table3_rows,
+    fig6_rows,
+    fig7_rows,
+    fig8_rows,
+    fig9_rows,
+    table1_rows,
+)
+from repro.bench.reporting import print_table
+
+__all__ = [
+    "fig2_rows",
+    "fig5_table3_rows",
+    "fig6_rows",
+    "fig7_rows",
+    "fig8_rows",
+    "fig9_rows",
+    "print_table",
+    "table1_rows",
+]

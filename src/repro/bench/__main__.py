@@ -1,0 +1,78 @@
+"""Command-line experiment runner.
+
+    python -m repro.bench                 # list experiments
+    python -m repro.bench fig5 fig7       # run selected experiments
+    python -m repro.bench all             # run everything (several min)
+
+Each experiment prints its paper-vs-measured table; pass ``--quick`` to
+run miniature sizes (sanity, not publication shape).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import harness
+from repro.bench.reporting import print_table
+
+EXPERIMENTS = {
+    "fig2": (harness.fig2_rows, {},
+             {"n_records": 2000, "n_lines": 2000, "dfsio_files": 2,
+              "dfsio_bytes": 256 * 1024}),
+    "table1": (harness.table1_rows, {}, {}),
+    "fig5": (harness.fig5_table3_rows, {}, {"sizes": (3, 6)}),
+    "fig6": (harness.fig6_rows, {}, {"readers": (1, 2, 4)}),
+    "fig7": (harness.fig7_rows, {}, {"n_timesteps": 4}),
+    "fig8": (harness.fig8_rows, {}, {"node_counts": (4, 8),
+                                     "n_timesteps": 8}),
+    "fig9": (harness.fig9_rows, {}, {"sizes": (3,)}),
+    "abl-align": (harness.abl_chunk_alignment_rows, {},
+                  {"n_timesteps": 3}),
+    "abl-gran": (harness.abl_read_granularity_rows, {},
+                 {"n_timesteps": 3}),
+    "abl-subset": (harness.abl_subsetting_rows, {}, {"n_timesteps": 2}),
+    "ext-scaleup": (harness.ext_scaleup_rows, {},
+                    {"slot_counts": (4, 8), "n_timesteps": 8}),
+    "ext-spark": (harness.ext_spark_rows, {}, {"n_timesteps": 3}),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run SciDP reproduction experiments.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names, or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="miniature sizes (fast sanity run)")
+    args = parser.parse_args(argv)
+
+    if not args.experiments:
+        print("Available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] \
+        else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    for name in names:
+        runner, full_kwargs, quick_kwargs = EXPERIMENTS[name]
+        kwargs = quick_kwargs if args.quick else full_kwargs
+        started = time.time()
+        columns, rows, note = runner(**kwargs)
+        print_table(name, columns, rows, note)
+        print(f"[{name}: {time.time() - started:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Table printing for experiment results (paper-vs-measured)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 note: str = "") -> str:
+    """Render an aligned ASCII table."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(row[i]) for row in cells))
+        if cells else len(columns[i])
+        for i in range(len(columns))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def print_table(title: str, columns: Sequence[str],
+                rows: Sequence[Sequence[Any]], note: str = "") -> None:
+    print()
+    print(format_table(title, columns, rows, note))

@@ -1,0 +1,33 @@
+"""Simulated cluster hardware: nodes, disks, NICs, and the network fabric.
+
+The model mirrors the paper's testbed (TACC Chameleon, §V-A): compute nodes
+with two 12-core Xeons, 128 GB RAM, one 7200 RPM SATA disk and a 10 GbE
+NIC; storage nodes with 64 GB RAM and sixteen 7200 RPM SAS disks. Presets
+for both live in :mod:`repro.cluster.spec`.
+
+Every device is a :class:`repro.sim.SharedBandwidth` pipe, so contention
+between concurrent tasks emerges from the simulation.
+"""
+
+from repro.cluster.network import Network
+from repro.cluster.node import Disk, Node
+from repro.cluster.spec import (
+    DiskSpec,
+    LinkSpec,
+    NodeSpec,
+    chameleon_compute_spec,
+    chameleon_storage_spec,
+)
+from repro.cluster.topology import Cluster
+
+__all__ = [
+    "Cluster",
+    "Disk",
+    "DiskSpec",
+    "LinkSpec",
+    "Network",
+    "Node",
+    "NodeSpec",
+    "chameleon_compute_spec",
+    "chameleon_storage_spec",
+]

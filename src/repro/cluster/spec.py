@@ -1,0 +1,118 @@
+"""Hardware specifications and Chameleon-like presets.
+
+Bandwidth figures are the calibration anchors for every experiment; they
+are chosen to match the devices named in §V-A of the paper:
+
+- 10 GbE NIC → 1.25e9 B/s line rate, ~0.9 achievable.
+- 7200 RPM SATA HDD → ~120 MB/s sequential, ~8 ms seek.
+- 7200 RPM SAS HDD (storage nodes) → ~160 MB/s sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DiskSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "MB",
+    "GB",
+    "chameleon_compute_spec",
+    "chameleon_storage_spec",
+    "scale_spec",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A single spinning disk."""
+
+    bandwidth: float = 120 * MB  # sequential B/s
+    seek_latency: float = 0.008  # s per request
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ValueError("disk bandwidth must be > 0")
+        if self.seek_latency < 0:
+            raise ValueError("seek latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A network interface (full duplex: tx and rx pipes of this size)."""
+
+    bandwidth: float = 1.125e9  # 10 GbE at 90% efficiency, B/s
+    latency: float = 0.0001     # s per message
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be > 0")
+        if self.latency < 0:
+            raise ValueError("link latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One physical machine."""
+
+    cpus: int = 24
+    memory: int = 128 * GB
+    disks: tuple[DiskSpec, ...] = (DiskSpec(),)
+    nic: LinkSpec = field(default_factory=LinkSpec)
+
+    def __post_init__(self):
+        if self.cpus < 1:
+            raise ValueError("node needs at least one CPU")
+        if self.memory <= 0:
+            raise ValueError("node needs positive memory")
+        if not self.disks:
+            raise ValueError("node needs at least one disk")
+
+
+def chameleon_compute_spec() -> NodeSpec:
+    """Chameleon compute node: 2x12-core Xeon, 128 GB, 1 SATA HDD, 10 GbE."""
+    return NodeSpec(
+        cpus=24,
+        memory=128 * GB,
+        disks=(DiskSpec(bandwidth=120 * MB, seek_latency=0.008),),
+        nic=LinkSpec(),
+    )
+
+
+def scale_spec(spec: NodeSpec, factor: float) -> NodeSpec:
+    """Divide every *bandwidth* in ``spec`` by ``factor``; latencies stay.
+
+    Used by the experiment harness: data scaled down by S on devices
+    slowed by S takes exactly the time the full-size data would — see
+    ``repro.costs.set_scale`` for the matching software-rate scaling.
+    """
+    if factor <= 0:
+        raise ValueError("scale factor must be > 0")
+    return NodeSpec(
+        cpus=spec.cpus,
+        memory=spec.memory,
+        disks=tuple(
+            DiskSpec(bandwidth=d.bandwidth / factor,
+                     seek_latency=d.seek_latency)
+            for d in spec.disks),
+        nic=LinkSpec(bandwidth=spec.nic.bandwidth / factor,
+                     latency=spec.nic.latency),
+    )
+
+
+def chameleon_storage_spec(n_disks: int = 16) -> NodeSpec:
+    """Chameleon storage node: 64 GB, sixteen 2 TB SAS HDDs, 10 GbE."""
+    return NodeSpec(
+        cpus=24,
+        memory=64 * GB,
+        disks=tuple(
+            DiskSpec(bandwidth=160 * MB, seek_latency=0.008)
+            for _ in range(n_disks)
+        ),
+        nic=LinkSpec(),
+    )

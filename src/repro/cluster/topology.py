@@ -1,0 +1,69 @@
+"""Cluster assembly: a set of nodes wired to one network fabric."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.spec import (
+    NodeSpec,
+    chameleon_compute_spec,
+    chameleon_storage_spec,
+)
+from repro.sim import Environment
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """Named nodes plus the fabric. Compute and storage pools are tracked
+    separately, mirroring the paper's two-cluster deployment (Fig. 1(c)).
+    """
+
+    def __init__(self, env: Environment,
+                 core_bandwidth: Optional[float] = None):
+        self.env = env
+        self.network = Network(env, core_bandwidth=core_bandwidth)
+        self.nodes: dict[str, Node] = {}
+        self.compute_nodes: list[Node] = []
+        self.storage_nodes: list[Node] = []
+
+    def add_node(self, name: str, spec: Optional[NodeSpec] = None,
+                 role: str = "compute") -> Node:
+        """Create and register a node. ``role`` is 'compute' or 'storage'."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        if role not in ("compute", "storage"):
+            raise ValueError(f"unknown role {role!r}")
+        node = Node(self.env, name, spec)
+        self.nodes[name] = node
+        (self.compute_nodes if role == "compute"
+         else self.storage_nodes).append(node)
+        return node
+
+    def __getitem__(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @classmethod
+    def chameleon(cls, env: Environment, n_compute: int = 8,
+                  n_storage: int = 3,
+                  disks_per_storage: int = 8) -> "Cluster":
+        """Build the paper's testbed shape.
+
+        §V-A: eight compute nodes as Hadoop slaves; three storage nodes for
+        Lustre (one MGS, one MDS, and OSS nodes holding 24 OSTs total).
+        ``disks_per_storage`` controls the OST count available per node.
+        """
+        cluster = cls(env)
+        for i in range(n_compute):
+            cluster.add_node(
+                f"compute{i}", chameleon_compute_spec(), role="compute")
+        for i in range(n_storage):
+            cluster.add_node(
+                f"storage{i}", chameleon_storage_spec(disks_per_storage),
+                role="storage")
+        return cluster

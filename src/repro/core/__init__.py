@@ -1,0 +1,38 @@
+"""SciDP — the paper's primary contribution.
+
+Three components (§III, Fig. 3):
+
+- :class:`~repro.core.explorer.FileExplorer` — Path Reader + Sci-format
+  Head Reader: scans the PFS input path and classifies each file as flat
+  or scientific.
+- :class:`~repro.core.mapper.DataMapper` — builds the Virtual Mapping
+  Table: dummy HDFS blocks mirroring flat-file segments (128 MB default)
+  or chunk-aligned variable hyperslabs, registered in the NameNode as
+  virtual files whose directory tree mirrors the scientific group tree.
+- :class:`~repro.core.reader.PFSReader` — per-task reader that fetches a
+  dummy block's PFS bytes in one request (flat) or the covering chunks of
+  a hyperslab (scientific), decompressing on the way.
+
+They plug into the MapReduce engine through
+:class:`~repro.core.input_format.SciDPInputFormat` (the paper modifies
+``FileInputFormat``/``MapTask``; we swap the input format, the engine's
+equivalent extension point), and the whole system is driven through the
+:class:`~repro.core.runtime.SciDP` facade.
+"""
+
+from repro.core.explorer import ExploredFile, FileExplorer
+from repro.core.mapper import DataMapper, MappedFile, VirtualMappingTable
+from repro.core.reader import PFSReader
+from repro.core.input_format import SciDPInputFormat
+from repro.core.runtime import SciDP
+
+__all__ = [
+    "DataMapper",
+    "ExploredFile",
+    "FileExplorer",
+    "MappedFile",
+    "PFSReader",
+    "SciDP",
+    "SciDPInputFormat",
+    "VirtualMappingTable",
+]

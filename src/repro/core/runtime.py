@@ -1,0 +1,90 @@
+"""The SciDP facade: wiring PFS, HDFS, engine, and the R layer together."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.explorer import FileExplorer
+from repro.core.mapper import DataMapper
+from repro.core.input_format import SciDPInputFormat
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.pfs.client import PFSClient
+
+__all__ = ["SciDP"]
+
+
+class SciDP:
+    """One SciDP deployment over a compute cluster.
+
+    Parameters mirror the paper's configuration surface: the PFS prefix
+    added at job submission (§IV-E.1), the flat-file dummy block size
+    (128 MB default), and the optional target block size for splitting
+    variable chunks (§III-B block-size tuning).
+    """
+
+    def __init__(self, env, nodes, pfs, hdfs, network,
+                 prefix: str = "pfs://",
+                 mirror_root: str = "/scidp",
+                 flat_block_size: int = DEFAULT_BLOCK_SIZE,
+                 block_bytes: Optional[int] = None):
+        self.env = env
+        self.nodes = list(nodes)
+        self.pfs = pfs
+        self.hdfs = hdfs
+        self.network = network
+        self.prefix = prefix
+        self.mapper = DataMapper(
+            hdfs.namenode, mirror_root=mirror_root,
+            flat_block_size=flat_block_size, block_bytes=block_bytes)
+        self._pfs_clients: dict[str, PFSClient] = {}
+        #: mapping cache: (pfs_path, variables key) -> mapped entries
+        self._mapped: dict[tuple, list] = {}
+
+    # -- clients ---------------------------------------------------------
+    def pfs_client(self, node) -> PFSClient:
+        if node.name not in self._pfs_clients:
+            self._pfs_clients[node.name] = PFSClient(self.pfs, node)
+        return self._pfs_clients[node.name]
+
+    # -- mapping -----------------------------------------------------------
+    def map_input(self, pfs_path: str,
+                  variables: Optional[list[str]] = None):
+        """Explore + map one PFS input path. DES process returning
+        ``[(virtual_path, [BlockInfo, ...]), ...]``. Cached: repeated jobs
+        over the same input reuse the Virtual Mapping Table."""
+        key = (pfs_path, tuple(sorted(variables)) if variables else None)
+        if key in self._mapped:
+            return self._mapped[key]
+        explorer = FileExplorer(self.pfs_client(self.nodes[0]))
+        explored = yield self.env.process(explorer.explore(pfs_path))
+        mapped = yield self.env.process(
+            self.mapper.map_files(explored, variables=variables))
+        entries = []
+        for record in mapped:
+            for virtual_path in record.virtual_paths:
+                blocks = self.hdfs.namenode.get_block_locations(virtual_path)
+                entries.append((virtual_path, blocks))
+        self._mapped[key] = entries
+        return entries
+
+    # -- engine glue -----------------------------------------------------
+    def input_format(self, variables: Optional[list[str]] = None,
+                     granularity: Optional[int] = None,
+                     delegate=None) -> SciDPInputFormat:
+        return SciDPInputFormat(
+            self, variables=variables, granularity=granularity,
+            delegate=delegate)
+
+    def rmr_session(self, master_node=None):
+        """An rmr2-style session whose jobs run on this deployment."""
+        from repro.rlang.rmr import RMRSession
+        return RMRSession(self.env, self.nodes, self.hdfs, self.network,
+                          master_node=master_node)
+
+    def run_job(self, job):
+        """Run a JobConf on this deployment. DES process -> JobResult."""
+        from repro.mapreduce.runtime import JobRunner
+        runner = JobRunner(self.env, self.nodes, self.hdfs,
+                           self.network, job)
+        result = yield self.env.process(runner.run())
+        return result

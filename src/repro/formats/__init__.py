@@ -1,0 +1,20 @@
+"""Scientific data formats.
+
+- :mod:`repro.formats.scinc` — "SCNC", the netCDF-4 stand-in: a
+  self-describing container with named dimensions, attributes, groups, and
+  chunked zlib-compressed variables, plus a netCDF-C-style inquiry API
+  (``nc_open``, ``nc_inq_var``, ``nc_get_vara``, ...).
+- :mod:`repro.formats.sdf5` — "SDF5", the HDF5 stand-in: the same
+  container with a different magic and deeper group nesting conventions
+  (netCDF-4 really is an HDF5 profile, so sharing the container is
+  faithful).
+- :mod:`repro.formats.text` — netCDF→CSV conversion (the "33× larger"
+  path the baselines must pay) and the CSV reader.
+- :mod:`repro.formats.detect` — the format sniffing used by SciDP's
+  Sci-format Head Reader.
+"""
+
+from repro.formats.model import Dataset, Group, Variable
+from repro.formats.detect import detect_format
+
+__all__ = ["Dataset", "Group", "Variable", "detect_format"]

@@ -1,0 +1,39 @@
+"""Format sniffing — the Sci-format Head Reader's decision procedure.
+
+§III-A.1: files that cannot be recognised by any supported scientific
+format library are marked *flat*; recognised files are handed to the
+format-specific mapper. The registry is modular, matching the paper's
+"users only need to provide a file structure explorer and a corresponding
+reader to add support of arbitrary file formats" (§III-B).
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Callable
+
+from repro.formats import scinc, sdf5
+
+__all__ = ["FORMAT_FLAT", "detect_format", "register_format"]
+
+FORMAT_FLAT = "flat"
+
+#: Probe registry: name -> predicate. Order matters; first hit wins.
+_PROBES: list[tuple[str, Callable[[BinaryIO], bool]]] = [
+    ("scinc", scinc.is_scinc),
+    ("sdf5", sdf5.h5f_is_hdf5),
+]
+
+
+def register_format(name: str, probe: Callable[[BinaryIO], bool]) -> None:
+    """Add a new scientific format probe (modularity hook, §III-B)."""
+    if any(n == name for n, _ in _PROBES):
+        raise ValueError(f"format {name!r} already registered")
+    _PROBES.append((name, probe))
+
+
+def detect_format(fileobj: BinaryIO) -> str:
+    """Return the format name, or :data:`FORMAT_FLAT` if none matches."""
+    for name, probe in _PROBES:
+        if probe(fileobj):
+            return name
+    return FORMAT_FLAT

@@ -1,0 +1,205 @@
+"""In-memory data model shared by the SCNC and SDF5 containers.
+
+A :class:`Dataset` is a root :class:`Group`; groups own named dimensions,
+attributes, variables, and subgroups — the tree structure SciDP's File
+Explorer mirrors onto HDFS directories (§III-A.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+__all__ = ["Dataset", "Group", "Variable", "default_chunk_shape"]
+
+#: Attribute values we can round-trip through the JSON header.
+_ATTR_TYPES = (str, int, float, bool)
+
+
+def _check_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            raise TypeError(f"attribute name must be str, got {key!r}")
+        if isinstance(value, (list, tuple)):
+            if not all(isinstance(v, _ATTR_TYPES) for v in value):
+                raise TypeError(f"unsupported attribute value {value!r}")
+        elif not isinstance(value, _ATTR_TYPES):
+            raise TypeError(f"unsupported attribute value {value!r}")
+    return dict(attrs)
+
+
+def default_chunk_shape(shape: tuple[int, ...],
+                        target_bytes: int = 4 * 1024 * 1024,
+                        itemsize: int = 4) -> tuple[int, ...]:
+    """Pick a chunk shape along netCDF-4's default heuristic: whole trailing
+    dimensions, split the leading one so chunks land near ``target_bytes``.
+    """
+    if not shape:
+        return ()
+    inner = math.prod(shape[1:]) * itemsize
+    if inner == 0:
+        return tuple(shape)
+    lead = max(1, min(shape[0], target_bytes // max(1, inner)))
+    return (lead,) + tuple(shape[1:])
+
+
+class Variable:
+    """A typed multi-dimensional array bound to named dimensions."""
+
+    def __init__(self, name: str, dims: tuple[str, ...],
+                 data: Optional[np.ndarray] = None,
+                 dtype: Optional[np.dtype] = None,
+                 shape: Optional[tuple[int, ...]] = None,
+                 attrs: Optional[dict[str, Any]] = None,
+                 chunk_shape: Optional[tuple[int, ...]] = None):
+        if not name or "/" in name:
+            raise ValueError(f"invalid variable name {name!r}")
+        self.name = name
+        self.dims = tuple(dims)
+        if data is not None:
+            data = np.asarray(data)
+            if shape is not None and tuple(shape) != data.shape:
+                raise ValueError("shape disagrees with data")
+            if dtype is not None and np.dtype(dtype) != data.dtype:
+                data = data.astype(dtype)
+            self.data: Optional[np.ndarray] = data
+            self.shape = data.shape
+            self.dtype = data.dtype
+        else:
+            if shape is None or dtype is None:
+                raise ValueError("lazy variable needs shape and dtype")
+            self.data = None
+            self.shape = tuple(int(s) for s in shape)
+            self.dtype = np.dtype(dtype)
+        if len(self.dims) != len(self.shape):
+            raise ValueError(
+                f"variable {name!r}: {len(self.dims)} dims for "
+                f"{len(self.shape)}-d shape")
+        self.attrs = _check_attrs(attrs or {})
+        if chunk_shape is None:
+            chunk_shape = default_chunk_shape(
+                self.shape, itemsize=self.dtype.itemsize)
+        self.chunk_shape = tuple(int(c) for c in chunk_shape)
+        if len(self.chunk_shape) != len(self.shape):
+            raise ValueError("chunk_shape rank mismatch")
+        for c, s in zip(self.chunk_shape, self.shape):
+            if c < 1 or c > max(s, 1):
+                raise ValueError(
+                    f"chunk extent {c} out of range for dim size {s}")
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Raw (uncompressed) payload size."""
+        return self.size * self.dtype.itemsize
+
+    def chunk_grid(self) -> tuple[int, ...]:
+        """Number of chunks along each dimension."""
+        return tuple(
+            -(-s // c) for s, c in zip(self.shape, self.chunk_shape))
+
+    def iter_chunk_indices(self) -> Iterator[tuple[int, ...]]:
+        """All chunk grid coordinates in C order."""
+        grid = self.chunk_grid()
+        if not grid:
+            yield ()
+            return
+        idx = [0] * len(grid)
+        while True:
+            yield tuple(idx)
+            for axis in reversed(range(len(grid))):
+                idx[axis] += 1
+                if idx[axis] < grid[axis]:
+                    break
+                idx[axis] = 0
+            else:
+                return
+
+    def chunk_slices(self, index: tuple[int, ...]) -> tuple[slice, ...]:
+        """Array slices covered by the chunk at grid coordinate ``index``."""
+        return tuple(
+            slice(i * c, min((i + 1) * c, s))
+            for i, c, s in zip(index, self.chunk_shape, self.shape))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Variable {self.name} {self.dtype} "
+                f"{'x'.join(map(str, self.shape))}>")
+
+
+class Group:
+    """A node in the dataset tree."""
+
+    def __init__(self, name: str = "", attrs: Optional[dict[str, Any]] = None):
+        if "/" in name:
+            raise ValueError(f"invalid group name {name!r}")
+        self.name = name
+        self.attrs = _check_attrs(attrs or {})
+        self.dims: dict[str, int] = {}
+        self.variables: dict[str, Variable] = {}
+        self.groups: dict[str, "Group"] = {}
+
+    def create_dim(self, name: str, size: int) -> None:
+        if size < 0:
+            raise ValueError("dimension size must be >= 0")
+        if name in self.dims and self.dims[name] != size:
+            raise ValueError(
+                f"dimension {name!r} redefined: {self.dims[name]} != {size}")
+        self.dims[name] = int(size)
+
+    def create_group(self, name: str) -> "Group":
+        if name in self.groups:
+            raise ValueError(f"group {name!r} already exists")
+        grp = Group(name)
+        self.groups[name] = grp
+        return grp
+
+    def add_variable(self, var: Variable) -> Variable:
+        if var.name in self.variables:
+            raise ValueError(f"variable {var.name!r} already exists")
+        for dim_name, extent in zip(var.dims, var.shape):
+            known = self._lookup_dim(dim_name)
+            if known is None:
+                self.create_dim(dim_name, extent)
+            elif known != extent:
+                raise ValueError(
+                    f"variable {var.name!r}: dim {dim_name!r} has size "
+                    f"{known}, data has {extent}")
+        self.variables[var.name] = var
+        return var
+
+    def create_variable(self, name: str, dims: tuple[str, ...],
+                        data: np.ndarray, **kwargs) -> Variable:
+        return self.add_variable(Variable(name, dims, data=data, **kwargs))
+
+    def _lookup_dim(self, name: str) -> Optional[int]:
+        return self.dims.get(name)
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, "Group"]]:
+        """Yield (path, group) for this group and all descendants."""
+        path = f"{prefix}/{self.name}" if self.name else prefix
+        yield path or "/", self
+        for sub in self.groups.values():
+            yield from sub.walk(path)
+
+    def all_variables(self) -> Iterator[tuple[str, Variable]]:
+        """Yield (path, variable) across the whole subtree."""
+        for gpath, grp in self.walk():
+            for var in grp.variables.values():
+                vpath = f"{gpath.rstrip('/')}/{var.name}"
+                yield vpath, var
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Group {self.name or '/'} vars={list(self.variables)} "
+                f"groups={list(self.groups)}>")
+
+
+class Dataset(Group):
+    """Root group of a file."""
+
+    def __init__(self, attrs: Optional[dict[str, Any]] = None):
+        super().__init__("", attrs)

@@ -1,0 +1,11 @@
+"""SCNC — the netCDF-4 stand-in format.
+
+``write`` / ``Reader`` are the Pythonic interface; :mod:`capi` exposes the
+netCDF-C-style functions (``nc_open``, ``nc_inq``, ``nc_get_vara``, ...)
+that the paper's Sci-format Head Reader and PFS Reader call (§III, §IV-E).
+"""
+
+from repro.formats.scinc.io import MAGIC, Reader, is_scinc, write
+from repro.formats.scinc import capi
+
+__all__ = ["MAGIC", "Reader", "capi", "is_scinc", "write"]

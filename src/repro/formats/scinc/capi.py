@@ -1,0 +1,148 @@
+"""netCDF-C style API over SCNC.
+
+The paper implements its Sci-format Head Reader and PFS Reader against the
+netCDF C interface (``nc_open``, ``nc_inq``, ``nc_inq_var``,
+``nc_get_vara``, ``nc_close`` — §III-B, §IV-E.1). This module provides the
+same call shapes over SCNC: integer dataset ids, integer variable ids, and
+(start, count) hyperslabs, so the SciDP core reads exactly like the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Optional
+
+import numpy as np
+
+from repro.formats.container import FormatError, VariableIndex
+from repro.formats.scinc.io import Reader
+
+__all__ = [
+    "nc_close",
+    "nc_get_att",
+    "nc_get_var",
+    "nc_get_vara",
+    "nc_inq",
+    "nc_inq_att",
+    "nc_inq_dim",
+    "nc_inq_var",
+    "nc_inq_varid",
+    "nc_open",
+]
+
+_open_files: dict[int, Reader] = {}
+_next_id = 0
+
+
+def nc_open(fileobj: BinaryIO) -> int:
+    """Open an SCNC container; returns an integer ncid.
+
+    Raises :class:`FormatError` if the file is not SCNC — callers use this
+    exactly as the paper uses ``nc_open`` for format detection.
+    """
+    global _next_id
+    reader = Reader(fileobj)  # may raise FormatError
+    ncid = _next_id
+    _next_id += 1
+    _open_files[ncid] = reader
+    return ncid
+
+
+def _reader(ncid: int) -> Reader:
+    try:
+        return _open_files[ncid]
+    except KeyError:
+        raise FormatError(f"bad ncid {ncid}") from None
+
+
+def nc_inq(ncid: int) -> dict:
+    """Dataset-level inquiry: variable paths and count."""
+    reader = _reader(ncid)
+    paths = reader.variable_paths()
+    return {"nvars": len(paths), "variables": paths}
+
+
+def nc_inq_varid(ncid: int, path: str) -> int:
+    """Resolve a variable path to its integer varid (its index)."""
+    paths = _reader(ncid).variable_paths()
+    norm = "/" + path.strip("/")
+    try:
+        return paths.index(norm)
+    except ValueError:
+        raise FormatError(f"no variable {path!r}") from None
+
+
+def _var(ncid: int, varid: int) -> tuple[Reader, VariableIndex]:
+    reader = _reader(ncid)
+    paths = reader.variable_paths()
+    if not 0 <= varid < len(paths):
+        raise FormatError(f"bad varid {varid}")
+    return reader, reader.variable(paths[varid])
+
+
+def nc_inq_var(ncid: int, varid: int) -> dict:
+    """Variable-level inquiry: name, dtype, dims, shape, chunking, attrs."""
+    _, var = _var(ncid, varid)
+    return {
+        "name": var.name,
+        "path": var.path,
+        "dtype": var.dtype.str,
+        "dims": var.dims,
+        "shape": var.shape,
+        "chunk_shape": var.chunk_shape,
+        "nchunks": len(var.chunks),
+        "attrs": dict(var.attrs),
+    }
+
+
+def nc_get_vara(ncid: int, varid: int, start: tuple[int, ...],
+                count: tuple[int, ...]) -> np.ndarray:
+    """Hyperslab read (`nc_get_vara` in the C API)."""
+    reader, var = _var(ncid, varid)
+    return reader.get_vara(var.path, tuple(start), tuple(count))
+
+
+def nc_get_var(ncid: int, varid: int) -> np.ndarray:
+    """Whole-variable read (`nc_get_var`)."""
+    reader, var = _var(ncid, varid)
+    return reader.get_vara(var.path)
+
+
+def nc_inq_dim(ncid: int, varid: int, dim_index: int) -> dict:
+    """Dimension inquiry by position within a variable (`nc_inq_dim`)."""
+    _, var = _var(ncid, varid)
+    if not 0 <= dim_index < len(var.dims):
+        raise FormatError(
+            f"bad dim index {dim_index} for {var.name!r}")
+    return {"name": var.dims[dim_index], "size": var.shape[dim_index]}
+
+
+def nc_inq_att(ncid: int, varid: int, name: str) -> dict:
+    """Attribute inquiry (`nc_inq_att`): type tag and length."""
+    value = nc_get_att(ncid, varid, name)
+    if isinstance(value, str):
+        return {"type": "char", "length": len(value)}
+    if isinstance(value, bool):
+        return {"type": "byte", "length": 1}
+    if isinstance(value, int):
+        return {"type": "int64", "length": 1}
+    if isinstance(value, float):
+        return {"type": "double", "length": 1}
+    return {"type": "list", "length": len(value)}
+
+
+def nc_get_att(ncid: int, varid: int, name: str):
+    """Attribute read (`nc_get_att`)."""
+    _, var = _var(ncid, varid)
+    try:
+        return var.attrs[name]
+    except KeyError:
+        raise FormatError(
+            f"variable {var.name!r} has no attribute {name!r}") from None
+
+
+def nc_close(ncid: int) -> None:
+    """Release the ncid. The underlying file object is the caller's."""
+    if ncid not in _open_files:
+        raise FormatError(f"bad ncid {ncid}")
+    del _open_files[ncid]

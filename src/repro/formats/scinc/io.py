@@ -1,0 +1,46 @@
+"""SCNC container read/write."""
+
+from __future__ import annotations
+
+from typing import BinaryIO
+
+from repro.formats.container import (
+    ContainerReader,
+    FormatError,
+    write_container,
+)
+from repro.formats.model import Dataset
+
+__all__ = ["MAGIC", "Reader", "is_scinc", "write"]
+
+MAGIC = b"SCNC\x01\x00"
+
+
+def write(fileobj: BinaryIO, dataset: Dataset,
+          compression_level: int = 4) -> int:
+    """Write ``dataset`` as an SCNC file; returns bytes written."""
+    return write_container(fileobj, dataset, MAGIC, compression_level)
+
+
+class Reader(ContainerReader):
+    """SCNC reader — rejects files whose magic is not SCNC."""
+
+    def __init__(self, fileobj: BinaryIO):
+        super().__init__(fileobj, expect_magic=MAGIC)
+
+
+def is_scinc(fileobj: BinaryIO) -> bool:
+    """Format check mirroring ``nc_open``-probing (§IV-E.1)."""
+    try:
+        pos = fileobj.tell()
+    except (OSError, AttributeError):
+        pos = None
+    try:
+        fileobj.seek(0)
+        head = fileobj.read(len(MAGIC))
+        return head == MAGIC
+    except (OSError, FormatError):
+        return False
+    finally:
+        if pos is not None:
+            fileobj.seek(pos)

@@ -1,0 +1,12 @@
+"""SDF5 — the HDF5 stand-in format.
+
+Shares the SCNC container (faithfully: real netCDF-4 *is* an HDF5 profile)
+under a different magic, and exposes the HDF5-style check the paper's
+Sci-format Head Reader calls (``H5Fis_hdf5``, §IV-E.1). Deeply nested
+groups are first-class here, exercising SciDP's "deeper directory
+structures" mapping path (§III-A.1).
+"""
+
+from repro.formats.sdf5.io import MAGIC, Reader, h5f_is_hdf5, write
+
+__all__ = ["MAGIC", "Reader", "h5f_is_hdf5", "write"]

@@ -1,0 +1,41 @@
+"""SDF5 container read/write."""
+
+from __future__ import annotations
+
+from typing import BinaryIO
+
+from repro.formats.container import ContainerReader, write_container
+from repro.formats.model import Dataset
+
+__all__ = ["MAGIC", "Reader", "h5f_is_hdf5", "write"]
+
+MAGIC = b"SDF5\x01\x00"
+
+
+def write(fileobj: BinaryIO, dataset: Dataset,
+          compression_level: int = 4) -> int:
+    """Write ``dataset`` as an SDF5 file; returns bytes written."""
+    return write_container(fileobj, dataset, MAGIC, compression_level)
+
+
+class Reader(ContainerReader):
+    """SDF5 reader — rejects files whose magic is not SDF5."""
+
+    def __init__(self, fileobj: BinaryIO):
+        super().__init__(fileobj, expect_magic=MAGIC)
+
+
+def h5f_is_hdf5(fileobj: BinaryIO) -> bool:
+    """Format check mirroring ``H5Fis_hdf5`` (§IV-E.1)."""
+    try:
+        pos = fileobj.tell()
+    except (OSError, AttributeError):
+        pos = None
+    try:
+        fileobj.seek(0)
+        return fileobj.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+    finally:
+        if pos is not None:
+            fileobj.seek(pos)

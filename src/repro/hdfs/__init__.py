@@ -1,0 +1,34 @@
+"""Hadoop Distributed File System model.
+
+- :class:`~repro.hdfs.namenode.NameNode` — namespace, block map, block
+  placement, and the **virtual (dummy) block** support SciDP's Data Mapper
+  relies on (§III-A.2: placeholder blocks with no location information,
+  carrying the mapped PFS segment/hyperslab metadata).
+- :class:`~repro.hdfs.datanode.DataNode` — per-node block store on the
+  node's local disk (real bytes).
+- :class:`~repro.hdfs.client.DFSClient` — write pipeline with replication
+  and locality-aware reads (local replica → pure disk; remote → disk +
+  network), the behaviour that wins Fig. 2 for native HDFS.
+- :class:`~repro.hdfs.connector.PFSConnector` — the "HDFS Transparency" /
+  Lustre-connector style unified-file-system baseline (Fig. 1(b), Fig. 2):
+  an HDFS-compatible facade whose reads and writes all go to the PFS.
+"""
+
+from repro.hdfs.block import BlockInfo, VirtualBlock
+from repro.hdfs.namenode import FileEntry, HDFSError, NameNode
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.client import DFSClient
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.connector import PFSConnector
+
+__all__ = [
+    "BlockInfo",
+    "DFSClient",
+    "DataNode",
+    "FileEntry",
+    "HDFS",
+    "HDFSError",
+    "NameNode",
+    "PFSConnector",
+    "VirtualBlock",
+]

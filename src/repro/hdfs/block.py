@@ -1,0 +1,50 @@
+"""HDFS block metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["BlockInfo", "VirtualBlock", "DEFAULT_BLOCK_SIZE"]
+
+#: Cloudera Hadoop default block size used in the paper (§III-A.3).
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class VirtualBlock:
+    """Metadata a dummy block carries instead of data (§III-A.2).
+
+    For flat files: ``source_path``/``offset``/``length`` name a PFS file
+    segment. For scientific files, ``hyperslab`` additionally carries the
+    variable path and (start, count) plus the chunk records covering it,
+    so the PFS Reader can issue a single whole-block request.
+    """
+
+    source_path: str
+    offset: int = 0
+    length: int = 0
+    hyperslab: Optional[dict[str, Any]] = None
+
+    def __post_init__(self):
+        if self.offset < 0 or self.length < 0:
+            raise ValueError("offset/length must be >= 0")
+
+
+@dataclass
+class BlockInfo:
+    """One block of one HDFS file.
+
+    ``locations`` lists DataNode names holding replicas; dummy blocks have
+    an empty list ("there is no location information in the dummy blocks",
+    §III-A.2) and a non-None ``virtual`` payload.
+    """
+
+    block_id: int
+    length: int
+    locations: list[str] = field(default_factory=list)
+    virtual: Optional[VirtualBlock] = None
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.virtual is not None

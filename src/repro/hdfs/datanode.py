@@ -1,0 +1,77 @@
+"""DataNode: per-node block storage on the local disk."""
+
+from __future__ import annotations
+
+from repro.cluster.node import Node
+from repro.hdfs.namenode import HDFSError
+from repro.sim import Environment
+
+__all__ = ["DataNode"]
+
+
+class DataNode:
+    """Block store bound to one cluster node.
+
+    Blocks are real byte strings. Reads and writes charge the node's
+    local disk; shipping bytes to another node is the client's concern
+    (that is where the local-read advantage comes from).
+    """
+
+    def __init__(self, env: Environment, node: Node):
+        self.env = env
+        self.node = node
+        self.name = node.name
+        self.alive = True
+        self._blocks: dict[int, bytes] = {}
+
+    def kill(self) -> None:
+        """Take the datanode down (failure injection). Blocks stay on
+        disk but are unreachable until :meth:`revive`."""
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self._blocks.values())
+
+    def store_sync(self, block_id: int, data: bytes) -> None:
+        """Zero-time store (setup path)."""
+        self._blocks[block_id] = bytes(data)
+
+    def read_sync(self, block_id: int) -> bytes:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise HDFSError(
+                f"datanode {self.name}: no block {block_id}") from None
+
+    def write(self, block_id: int, data: bytes):
+        """Timed local write. DES process."""
+        if not self.alive:
+            raise HDFSError(f"datanode {self.name} is down")
+        yield self.node.disk.write(len(data))
+        self._blocks[block_id] = bytes(data)
+
+    def read(self, block_id: int, offset: int = 0, length: int = -1):
+        """Timed local read. DES process."""
+        if not self.alive:
+            raise HDFSError(f"datanode {self.name} is down")
+        data = self.read_sync(block_id)
+        if length < 0:
+            length = len(data) - offset
+        if offset + length > len(data):
+            raise HDFSError("read past end of block")
+        yield self.node.disk.read(length)
+        return data[offset:offset + length]
+
+    def drop(self, block_id: int) -> None:
+        self._blocks.pop(block_id, None)

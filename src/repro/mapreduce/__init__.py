@@ -1,0 +1,41 @@
+"""Hadoop-like MapReduce engine running inside the discrete-event cluster.
+
+Pieces (mirroring the Hadoop classes the paper modifies in §IV-E):
+
+- :class:`~repro.mapreduce.config.JobConf` — job configuration
+  (`FileInputFormat.addInputPath` lives behind ``add_input_path``).
+- :mod:`repro.mapreduce.input_format` — input formats and splits; SciDP
+  plugs in by providing its own input format (``SciDPInputFormat`` in
+  :mod:`repro.core`).
+- :mod:`repro.mapreduce.task` — `MapTask` / `ReduceTask` processes that
+  really execute user functions while charging simulated I/O and compute.
+- :mod:`repro.mapreduce.shuffle` — hash partitioner, sort, merge.
+- :mod:`repro.mapreduce.runtime` — `JobRunner`: locality-aware slot
+  scheduler, shuffle orchestration, counters, per-task timings.
+
+User functions receive a :class:`~repro.mapreduce.task.TaskContext`:
+``ctx.emit(k, v)`` produces output, ``ctx.charge(seconds)`` accounts
+simulated compute, ``ctx.counters`` increments job counters.
+"""
+
+from repro.mapreduce.config import JobConf, MapReduceError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.input_format import (
+    BytesInputFormat,
+    InputSplit,
+    TextInputFormat,
+)
+from repro.mapreduce.runtime import JobResult, JobRunner
+from repro.mapreduce.task import TaskContext
+
+__all__ = [
+    "BytesInputFormat",
+    "Counters",
+    "InputSplit",
+    "JobConf",
+    "JobResult",
+    "JobRunner",
+    "MapReduceError",
+    "TaskContext",
+    "TextInputFormat",
+]

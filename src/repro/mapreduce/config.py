@@ -1,0 +1,78 @@
+"""Job configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["JobConf", "MapReduceError"]
+
+
+class MapReduceError(Exception):
+    """Engine-level errors (bad configuration, missing input...)."""
+
+
+@dataclass
+class JobConf:
+    """Everything a job needs.
+
+    ``mapper(ctx, key, value)`` and ``reducer(ctx, key, values)`` are real
+    Python callables executed functionally; they account simulated compute
+    through ``ctx.charge``. ``input_format`` decides how input paths become
+    splits and records — swapping it for ``SciDPInputFormat`` is exactly
+    the paper's integration point (§IV-E.1 modifies ``FileInputFormat``).
+    """
+
+    name: str
+    mapper: Callable
+    input_format: Any = None
+    reducer: Optional[Callable] = None
+    combiner: Optional[Callable] = None
+    n_reducers: int = 1
+    input_paths: list[str] = field(default_factory=list)
+    output_path: Optional[str] = None
+    map_slots_per_node: int = 8
+    reduce_slots_per_node: int = 2
+    #: per-record framework overhead charged by map tasks, seconds
+    record_overhead: float = 0.0
+    #: per-task JVM-ish startup cost, seconds
+    task_startup: float = 0.05
+    #: attempts per task before the job fails (Hadoop default: 4)
+    max_task_attempts: int = 4
+    #: delay before a failed attempt is rescheduled, seconds
+    task_retry_backoff: float = 1.0
+    #: diskless deployments (e.g. Seagate's "Diskless Hadoop on Lustre")
+    #: have no local disks: map spills are written through the storage
+    #: client instead of the node's disk
+    diskless_spill: bool = False
+    #: Hadoop-style speculative execution: when no pending work remains,
+    #: a free slot re-launches a straggling map task on another node;
+    #: the first finisher wins
+    speculative: bool = False
+    #: a running task is a straggler once its elapsed time exceeds this
+    #: multiple of the mean completed-task duration
+    speculative_slowdown: float = 1.5
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def add_input_path(self, path: str) -> "JobConf":
+        """`FileInputFormat.addInputPath` equivalent."""
+        self.input_paths.append(path)
+        return self
+
+    def validate(self) -> None:
+        if not callable(self.mapper):
+            raise MapReduceError("mapper must be callable")
+        if self.reducer is not None and not callable(self.reducer):
+            raise MapReduceError("reducer must be callable")
+        if self.n_reducers < 0:
+            raise MapReduceError("n_reducers must be >= 0")
+        if self.reducer is not None and self.n_reducers == 0:
+            raise MapReduceError("reducer given but n_reducers == 0")
+        if self.input_format is None:
+            raise MapReduceError("input_format is required")
+        if not self.input_paths:
+            raise MapReduceError("no input paths")
+        if self.map_slots_per_node < 1 or self.reduce_slots_per_node < 1:
+            raise MapReduceError("slot counts must be >= 1")
+        if self.max_task_attempts < 1:
+            raise MapReduceError("max_task_attempts must be >= 1")

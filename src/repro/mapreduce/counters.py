@@ -1,0 +1,35 @@
+"""Job counters (Hadoop-style grouped counters)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """Nested ``group -> name -> int`` counters."""
+
+    def __init__(self):
+        self._groups: dict[str, dict[str, int]] = defaultdict(
+            lambda: defaultdict(int))
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        self._groups[group][name] += amount
+
+    def value(self, group: str, name: str) -> int:
+        return self._groups.get(group, {}).get(name, 0)
+
+    def group(self, group: str) -> dict[str, int]:
+        return dict(self._groups.get(group, {}))
+
+    def merge(self, other: "Counters") -> None:
+        for group, names in other._groups.items():
+            for name, amount in names.items():
+                self._groups[group][name] += amount
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {g: dict(names) for g, names in self._groups.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counters({self.as_dict()!r})"

@@ -1,0 +1,249 @@
+"""JobRunner: locality-aware slot scheduling and job orchestration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mapreduce.config import JobConf, MapReduceError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.input_format import InputSplit
+from repro.mapreduce.task import MapOutput, MapTask, ReduceTask, TaskStats
+from repro.sim import AllOf, Resource
+
+__all__ = ["JobResult", "JobRunner"]
+
+
+@dataclass
+class JobResult:
+    """Everything a finished job reports."""
+
+    name: str
+    start: float
+    end: float
+    counters: Counters
+    task_stats: list[TaskStats] = field(default_factory=list)
+    #: reducer output records per partition (also persisted when
+    #: ``output_path`` is set)
+    outputs: dict[int, list[tuple[Any, Any]]] = field(default_factory=dict)
+    output_paths: list[str] = field(default_factory=list)
+    #: map outputs when the job is map-only (no reducer)
+    map_records: list[tuple[Any, Any]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def stats_for(self, kind: str) -> list[TaskStats]:
+        return [s for s in self.task_stats if s.kind == kind]
+
+    def phase_means(self, kind: str = "map") -> dict[str, float]:
+        """Mean per-task seconds in each phase (Fig. 7 decomposition)."""
+        stats = self.stats_for(kind)
+        if not stats:
+            return {}
+        totals: dict[str, float] = {}
+        for s in stats:
+            for phase, seconds in s.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return {p: t / len(stats) for p, t in totals.items()}
+
+
+class JobRunner:
+    """Runs one job over a set of compute nodes against a storage facade.
+
+    Scheduling: each node runs ``map_slots_per_node`` puller processes.
+    A free slot takes the first pending split with a replica on its node
+    (node-local), falling back to any split (remote read) — Hadoop's
+    delay-free locality heuristic, enough to surface the Fig. 2 locality
+    effect. Reducers start when all maps finish and are assigned
+    round-robin, bounded by per-node reduce slots.
+    """
+
+    def __init__(self, env, nodes, storage, network, job: JobConf,
+                 master_node=None):
+        if not nodes:
+            raise MapReduceError("JobRunner needs at least one node")
+        self.env = env
+        self.nodes = list(nodes)
+        self.storage = storage
+        self.network = network
+        self.job = job
+        self.master = master_node or self.nodes[0]
+        self._task_seq = 0
+
+    def _next_task_id(self, kind: str) -> str:
+        self._task_seq += 1
+        return f"{self.job.name}-{kind}-{self._task_seq:04d}"
+
+    def _pick_split(self, pending: list[InputSplit],
+                    node_name: str) -> Optional[InputSplit]:
+        for i, split in enumerate(pending):
+            if node_name in split.locations:
+                return pending.pop(i)
+        return pending.pop(0) if pending else None
+
+    def _speculation_candidate(self, node_name, tracker):
+        """A straggling running split this node could back up, or None."""
+        if not self.job.speculative or len(tracker["durations"]) < 1:
+            return None
+        mean = sum(tracker["durations"]) / len(tracker["durations"])
+        threshold = self.job.speculative_slowdown * mean
+        now = self.env.now
+        for key, info in tracker["running"].items():
+            if key in tracker["done"]:
+                continue
+            if node_name in info["nodes"]:
+                continue  # don't back a task up on its own node
+            if now - info["start"] > threshold:
+                return key, info["split"]
+        return None
+
+    def _map_worker(self, node, pending, outputs, stats, counters,
+                    attempts, tracker):
+        """One map slot's pull loop with retry + speculation. DES process.
+
+        A failed attempt requeues the split (another slot — possibly on
+        another node — will pick it up) until ``max_task_attempts`` is
+        exhausted. With speculative execution on, a slot that finds no
+        pending work re-launches a straggler instead of exiting; the
+        first attempt to finish wins and the loser's output is dropped.
+        """
+        client = self.storage.client(node)
+        while True:
+            split = self._pick_split(pending, node.name)
+            speculation = False
+            if split is None:
+                candidate = self._speculation_candidate(node.name, tracker)
+                if candidate is None:
+                    return
+                _key, split = candidate
+                speculation = True
+                counters.increment("job", "speculative_attempts", 1)
+            key = (split.path, split.index)
+            info = tracker["running"].setdefault(
+                key, {"start": self.env.now, "nodes": set(),
+                      "split": split})
+            info["nodes"].add(node.name)
+
+            task = MapTask(self.env, self.job, split, node, client,
+                           self._next_task_id("m"))
+            try:
+                output, task_stats, task_counters = yield self.env.process(
+                    task.run())
+            except Exception as exc:
+                info["nodes"].discard(node.name)
+                if speculation or key in tracker["done"]:
+                    continue  # a failed backup never fails the job
+                attempts[key] = attempts.get(key, 0) + 1
+                counters.increment("job", "failed_map_attempts", 1)
+                if attempts[key] >= self.job.max_task_attempts:
+                    raise MapReduceError(
+                        f"map task for {split.path}#{split.index} failed "
+                        f"{attempts[key]} times; last error: {exc!r}"
+                    ) from exc
+                yield self.env.timeout(self.job.task_retry_backoff)
+                pending.append(split)
+                continue
+
+            if key in tracker["done"]:
+                counters.increment("job", "speculative_losses", 1)
+                continue  # another attempt won; drop this output
+            tracker["done"].add(key)
+            tracker["durations"].append(task_stats.duration)
+            tracker["running"].pop(key, None)
+            outputs.append(output)
+            stats.append(task_stats)
+            counters.merge(task_counters)
+
+    def _reduce_worker(self, partition, node, slots: Resource,
+                       map_outputs, results, stats, counters):
+        """One reduce task wrapped in its slot, with retry. DES process."""
+        req = slots.request()
+        yield req
+        try:
+            client = self.storage.client(node)
+            attempt = 0
+            while True:
+                attempt += 1
+                task = ReduceTask(
+                    self.env, self.job, partition, node, client,
+                    map_outputs, self.network, self._next_task_id("r"))
+                try:
+                    records, output_path, task_stats, task_counters = \
+                        yield self.env.process(task.run())
+                except Exception as exc:
+                    counters.increment("job", "failed_reduce_attempts", 1)
+                    if attempt >= self.job.max_task_attempts:
+                        raise MapReduceError(
+                            f"reduce partition {partition} failed "
+                            f"{attempt} times; last error: {exc!r}"
+                        ) from exc
+                    yield self.env.timeout(self.job.task_retry_backoff)
+                    continue
+                break
+            results[partition] = (records, output_path)
+            stats.append(task_stats)
+            counters.merge(task_counters)
+        finally:
+            slots.release(req)
+
+    def run(self):
+        """Execute the job. DES process returning :class:`JobResult`."""
+        job = self.job
+        job.validate()
+        env = self.env
+        start = env.now
+        counters = Counters()
+        stats: list[TaskStats] = []
+
+        master_client = self.storage.client(self.master)
+        splits = yield env.process(
+            job.input_format.get_splits(job, self.storage, master_client))
+        counters.increment("job", "splits", len(splits))
+
+        pending = list(splits)
+        map_outputs: list[MapOutput] = []
+        attempts: dict = {}
+        tracker = {"running": {}, "done": set(), "durations": []}
+        workers = []
+        for node in self.nodes:
+            for _slot in range(job.map_slots_per_node):
+                workers.append(env.process(self._map_worker(
+                    node, pending, map_outputs, stats, counters,
+                    attempts, tracker)))
+        yield AllOf(env, workers)
+
+        result = JobResult(
+            name=job.name, start=start, end=env.now,
+            counters=counters, task_stats=stats)
+
+        if job.reducer is None:
+            # Map-only job: expose the mappers' records directly.
+            for output in map_outputs:
+                for partition in output.partitions:
+                    result.map_records.extend(partition)
+            result.end = env.now
+            return result
+
+        slots = {
+            node.name: Resource(env, job.reduce_slots_per_node,
+                                f"{node.name}.reduce")
+            for node in self.nodes
+        }
+        results: dict[int, tuple[list, Optional[str]]] = {}
+        reducers = []
+        for partition in range(job.n_reducers):
+            node = self.nodes[partition % len(self.nodes)]
+            reducers.append(env.process(self._reduce_worker(
+                partition, node, slots[node.name], map_outputs,
+                results, stats, counters)))
+        yield AllOf(env, reducers)
+
+        for partition, (records, output_path) in sorted(results.items()):
+            result.outputs[partition] = records
+            if output_path is not None:
+                result.output_paths.append(output_path)
+        result.end = env.now
+        result.task_stats = stats
+        return result

@@ -1,0 +1,111 @@
+"""Partitioning, sorting, merging, and payload size estimation."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "estimate_size",
+    "group_sorted",
+    "hash_partition",
+    "merge_sorted_runs",
+    "sort_run",
+]
+
+
+def hash_partition(key: Any, n_partitions: int) -> int:
+    """Deterministic partitioner (Python's hash is salted for str — use a
+    stable fold instead so runs are reproducible)."""
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    if isinstance(key, bytes):
+        h = 0
+        for b in key:
+            h = (h * 31 + b) & 0x7FFFFFFF
+    elif isinstance(key, str):
+        h = 0
+        for ch in key.encode():
+            h = (h * 31 + ch) & 0x7FFFFFFF
+    elif isinstance(key, (int, np.integer)):
+        h = int(key) & 0x7FFFFFFF
+    elif isinstance(key, tuple):
+        h = 0
+        for item in key:
+            h = (h * 1000003 + hash_partition(item, 0x7FFFFFFF)) \
+                & 0x7FFFFFFF
+    else:
+        h = hash_partition(repr(key), 0x7FFFFFFF)
+    return h % n_partitions
+
+
+def _key_order(key: Any):
+    """Total order over mixed key types: by type name, then value."""
+    return (type(key).__name__, key)
+
+
+def sort_run(records: Iterable[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+    """Stable sort of (key, value) records by key."""
+    return sorted(records, key=lambda kv: _key_order(kv[0]))
+
+
+def merge_sorted_runs(
+        runs: list[list[tuple[Any, Any]]]) -> list[tuple[Any, Any]]:
+    """K-way merge of key-sorted runs (reduce-side merge)."""
+    import heapq
+    heap: list[tuple[Any, int, int]] = []
+    for run_idx, run in enumerate(runs):
+        if run:
+            heap.append((_key_order(run[0][0]), run_idx, 0))
+    heapq.heapify(heap)
+    out: list[tuple[Any, Any]] = []
+    while heap:
+        _order, run_idx, pos = heapq.heappop(heap)
+        out.append(runs[run_idx][pos])
+        if pos + 1 < len(runs[run_idx]):
+            heapq.heappush(
+                heap, (_key_order(runs[run_idx][pos + 1][0]),
+                       run_idx, pos + 1))
+    return out
+
+
+def group_sorted(
+        records: list[tuple[Any, Any]]
+) -> Iterator[tuple[Any, list[Any]]]:
+    """Group a key-sorted record list into (key, [values])."""
+    i = 0
+    n = len(records)
+    while i < n:
+        key = records[i][0]
+        values = [records[i][1]]
+        i += 1
+        while i < n and records[i][0] == key:
+            values.append(records[i][1])
+            i += 1
+        yield key, values
+
+
+def estimate_size(obj: Any) -> int:
+    """Serialized-size estimate for shuffle/spill accounting (bytes)."""
+    if obj is None:
+        return 1
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, np.integer)):
+        return 8
+    if isinstance(obj, (float, np.floating)):
+        return 8
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(estimate_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in obj.items())
+    # Fallback: repr length is a tolerable proxy for odd objects.
+    return len(repr(obj))

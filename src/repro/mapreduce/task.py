@@ -1,0 +1,283 @@
+"""Map and reduce task processes.
+
+Tasks are hybrids: user functions run for real (bytes in, bytes out), and
+the task charges simulated seconds for startup, I/O (through storage
+clients and devices) and compute (through ``ctx.charge``). Per-task phase
+timers feed the Fig. 7 decomposition.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mapreduce.config import JobConf
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.input_format import InputSplit
+from repro.mapreduce.shuffle import (
+    estimate_size,
+    group_sorted,
+    hash_partition,
+    merge_sorted_runs,
+    sort_run,
+)
+from repro.sim.stats import IntervalTimer
+
+__all__ = ["MapOutput", "MapTask", "ReduceTask", "TaskContext", "TaskStats"]
+
+
+@dataclass
+class TaskStats:
+    """Timing record for one task attempt."""
+
+    task_id: str
+    kind: str                 # "map" | "reduce"
+    node: str
+    start: float
+    end: float = 0.0
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TaskContext:
+    """What user code sees inside a task."""
+
+    def __init__(self, env, node, job: JobConf, task_id: str,
+                 storage_client=None):
+        self.env = env
+        self.node = node
+        self.job = job
+        self.task_id = task_id
+        self.client = storage_client
+        self.counters = Counters()
+        self.timer = IntervalTimer(task_id)
+        self._output: list[tuple[Any, Any]] = []
+        self._charges: dict[str, float] = {}
+        self._io_actions: list[tuple[str, str, Any]] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Produce one output record."""
+        self._output.append((key, value))
+
+    def defer_io(self, op: str, path: str, payload: Any = None) -> None:
+        """Queue a timed storage operation ("write" with bytes payload, or
+        "read" with a byte count) that the task drains through its
+        storage client after the map loop — how user-level I/O (e.g.
+        TestDFSIO, rhdfs puts) gets charged from inside map functions."""
+        if op not in ("read", "write"):
+            raise ValueError(f"unknown io op {op!r}")
+        self._io_actions.append((op, path, payload))
+
+    def take_io_actions(self) -> list[tuple[str, str, Any]]:
+        actions = self._io_actions
+        self._io_actions = []
+        return actions
+
+    def charge(self, seconds: float, phase: str = "compute") -> None:
+        """Account ``seconds`` of simulated compute under ``phase``."""
+        if seconds < 0:
+            raise ValueError("charge must be >= 0")
+        self._charges[phase] = self._charges.get(phase, 0.0) + seconds
+
+    def take_output(self) -> list[tuple[Any, Any]]:
+        out = self._output
+        self._output = []
+        return out
+
+    def take_charges(self) -> dict[str, float]:
+        charges = self._charges
+        self._charges = {}
+        return charges
+
+
+@dataclass
+class MapOutput:
+    """One map task's partitioned, sorted output held on its node."""
+
+    task_id: str
+    node: Any                       # cluster Node holding the spill
+    partitions: list[list[tuple[Any, Any]]]
+    sizes: list[int]                # estimated bytes per partition
+
+
+class MapTask:
+    """Executes one split: read → map → partition/sort(/combine) → spill."""
+
+    def __init__(self, env, job: JobConf, split: InputSplit, node,
+                 storage_client, task_id: str):
+        self.env = env
+        self.job = job
+        self.split = split
+        self.node = node
+        self.client = storage_client
+        self.task_id = task_id
+
+    def run(self):
+        """DES process returning (MapOutput, TaskStats, Counters)."""
+        env = self.env
+        job = self.job
+        stats = TaskStats(self.task_id, "map", self.node.name, env.now)
+        ctx = TaskContext(env, self.node, job, self.task_id, self.client)
+
+        yield env.timeout(job.task_startup)
+
+        t0 = env.now
+        records = yield env.process(
+            job.input_format.read_records(self.split, self.client, ctx))
+        ctx.timer.add("read", env.now - t0)
+
+        for key, value in records:
+            job.mapper(ctx, key, value)
+        ctx.counters.increment("map", "records_mapped", len(records))
+
+        for op, path, payload in ctx.take_io_actions():
+            t0 = env.now
+            if op == "write":
+                yield env.process(self.client.write(path, payload))
+                ctx.counters.increment("io", "bytes_written", len(payload))
+            else:
+                data = yield env.process(self.client.read(path))
+                wanted = payload if payload is not None else len(data)
+                if len(data) < wanted:
+                    raise ValueError(
+                        f"deferred read of {path!r}: {len(data)} < {wanted}")
+                ctx.counters.increment("io", "bytes_read", len(data))
+            ctx.timer.add("user_io", env.now - t0)
+
+        charges = ctx.take_charges()
+        overhead = len(records) * job.record_overhead
+        if overhead:
+            charges["framework"] = charges.get("framework", 0.0) + overhead
+        for phase, seconds in sorted(charges.items()):
+            t0 = env.now
+            yield env.timeout(seconds)
+            ctx.timer.add(phase, env.now - t0)
+
+        n_parts = max(1, job.n_reducers)
+        partitions: list[list[tuple[Any, Any]]] = [[] for _ in range(n_parts)]
+        for key, value in ctx.take_output():
+            partitions[hash_partition(key, n_parts)].append((key, value))
+        for p in range(n_parts):
+            partitions[p] = sort_run(partitions[p])
+            if job.combiner is not None:
+                partitions[p] = self._combine(ctx, partitions[p])
+        sizes = [
+            sum(estimate_size(k) + estimate_size(v) for k, v in part)
+            for part in partitions
+        ]
+
+        spill = sum(sizes)
+        if spill and job.reducer is not None:
+            t0 = env.now
+            if job.diskless_spill:
+                # No local disks: the spill crosses to the storage
+                # system under test (e.g. the Lustre connector).
+                yield env.process(self.client.write(
+                    f"/_spill/{self.task_id}", bytes(spill)))
+            else:
+                yield self.node.disk.write(spill)
+            ctx.timer.add("spill", env.now - t0)
+
+        stats.end = env.now
+        stats.phases = ctx.timer.as_dict()
+        return (MapOutput(self.task_id, self.node, partitions, sizes),
+                stats, ctx.counters)
+
+    def _combine(self, ctx: TaskContext,
+                 run: list[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+        combined = TaskContext(
+            self.env, self.node, self.job, self.task_id, self.client)
+        for key, values in group_sorted(run):
+            self.job.combiner(combined, key, values)
+        ctx.counters.merge(combined.counters)
+        # Combiner compute is charged with the map's other charges.
+        for phase, seconds in combined.take_charges().items():
+            ctx.charge(seconds, phase)
+        return sort_run(combined.take_output())
+
+
+class ReduceTask:
+    """Fetch one partition from all maps, merge, reduce, write output."""
+
+    def __init__(self, env, job: JobConf, partition: int, node,
+                 storage_client, map_outputs: list[MapOutput],
+                 network, task_id: str):
+        self.env = env
+        self.job = job
+        self.partition = partition
+        self.node = node
+        self.client = storage_client
+        self.map_outputs = map_outputs
+        self.network = network
+        self.task_id = task_id
+
+    #: shuffle servlet round trip per fetch
+    FETCH_RPC_LATENCY = 0.0005
+
+    def _fetch(self, output: MapOutput, ctx: TaskContext):
+        """Pull one map's partition slice to this node. DES process.
+
+        Spills were written moments ago and the paper's nodes have 128 GB
+        of RAM, so fetches are served from the mapper's page cache: one
+        servlet round trip plus the network transfer (no disk seek).
+        """
+        size = output.sizes[self.partition]
+        if size == 0:
+            return output.partitions[self.partition]
+        yield self.env.timeout(self.FETCH_RPC_LATENCY)
+        yield self.network.transfer(output.node, self.node, size)
+        ctx.counters.increment("shuffle", "bytes", size)
+        return output.partitions[self.partition]
+
+    def run(self):
+        """DES process returning (records, TaskStats, Counters)."""
+        env = self.env
+        job = self.job
+        stats = TaskStats(self.task_id, "reduce", self.node.name, env.now)
+        ctx = TaskContext(env, self.node, job, self.task_id, self.client)
+
+        yield env.timeout(job.task_startup)
+
+        t0 = env.now
+        runs = []
+        fetchers = [
+            env.process(self._fetch(mo, ctx)) for mo in self.map_outputs
+        ]
+        from repro.sim import AllOf
+        if fetchers:
+            done = yield AllOf(env, fetchers)
+            runs = [done[proc] for proc in fetchers]
+        ctx.timer.add("shuffle", env.now - t0)
+
+        merged = merge_sorted_runs([run for run in runs if run])
+        for key, values in group_sorted(merged):
+            job.reducer(ctx, key, values)
+        ctx.counters.increment("reduce", "groups", len(
+            list(group_sorted(merged))))
+
+        for phase, seconds in sorted(ctx.take_charges().items()):
+            t0 = env.now
+            yield env.timeout(seconds)
+            ctx.timer.add(phase, env.now - t0)
+
+        records = ctx.take_output()
+        output_path: Optional[str] = None
+        if job.output_path is not None:
+            output_path = f"{job.output_path}/part-r-{self.partition:05d}"
+            payload = pickle.dumps(records)
+            t0 = env.now
+            # Idempotent commit: a retried attempt replaces whatever a
+            # failed predecessor left behind.
+            if (yield env.process(self.client.exists(output_path))):
+                yield env.process(self.client.delete(output_path))
+            yield env.process(self.client.write(output_path, payload))
+            ctx.timer.add("write", env.now - t0)
+            ctx.counters.increment("io", "bytes_written", len(payload))
+
+        stats.end = env.now
+        stats.phases = ctx.timer.as_dict()
+        return records, output_path, stats, ctx.counters

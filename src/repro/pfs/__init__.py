@@ -1,0 +1,34 @@
+"""Lustre-like parallel file system.
+
+Components mirror Lustre's architecture (§II, §V-A of the paper):
+
+- :class:`~repro.pfs.server.MDS` — metadata server: namespace, inodes,
+  stripe layouts.
+- :class:`~repro.pfs.server.OST` — object storage target: one disk holding
+  file objects (real bytes).
+- :class:`~repro.pfs.server.OSS` — object storage server: a storage node
+  fronting several OSTs; data crosses its NIC.
+- :class:`~repro.pfs.client.PFSClient` — compute-node client: POSIX-like
+  open/stat/read/write, striped across OSTs.
+- :mod:`repro.pfs.mpiio` — MPI-IO-like layer with independent and
+  collective (two-phase) reads, used by Fig. 6.
+
+Both layers are real: bytes are stored and returned exactly; simulated
+time is charged for every disk and network interaction.
+"""
+
+from repro.pfs.layout import Extent, StripeLayout
+from repro.pfs.server import MDS, OSS, OST, PFSError
+from repro.pfs.client import PFSClient
+from repro.pfs.filesystem import PFS
+
+__all__ = [
+    "Extent",
+    "MDS",
+    "OSS",
+    "OST",
+    "PFS",
+    "PFSClient",
+    "PFSError",
+    "StripeLayout",
+]

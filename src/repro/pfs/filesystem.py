@@ -1,0 +1,140 @@
+"""PFS assembly: MDS + OSS nodes + global OST table + admin operations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.pfs.layout import StripeLayout
+from repro.pfs.server import MDS, OSS, OST, Inode, PFSError
+from repro.sim import Environment
+
+__all__ = ["PFS", "SyncFileView"]
+
+
+class PFS:
+    """One mounted parallel file system.
+
+    ``oss_nodes`` each contribute their disks as OSTs (the paper: two OSS
+    nodes managing 24 OSTs). New files are striped round-robin starting at
+    a rotating OST, like Lustre's default allocator.
+    """
+
+    def __init__(self, env: Environment, network: Network,
+                 mds_node: Node, oss_nodes: list[Node],
+                 osts_per_oss: Optional[int] = None,
+                 default_layout: Optional[StripeLayout] = None):
+        if not oss_nodes:
+            raise PFSError("PFS needs at least one OSS node")
+        self.env = env
+        self.network = network
+        self.mds = MDS(env, mds_node)
+        self.osses: list[OSS] = []
+        self.osts: list[OST] = []
+        self._ost_node: list[Node] = []
+        for node in oss_nodes:
+            oss = OSS(env, node, ost_start_index=len(self.osts),
+                      n_osts=osts_per_oss)
+            self.osses.append(oss)
+            for ost in oss.osts:
+                self.osts.append(ost)
+                self._ost_node.append(node)
+        self.default_layout = default_layout or StripeLayout(
+            stripe_size=1024 * 1024,
+            stripe_count=min(4, len(self.osts)))
+        self._next_start_ost = 0
+
+    @property
+    def n_osts(self) -> int:
+        return len(self.osts)
+
+    def ost_node(self, global_index: int) -> Node:
+        return self._ost_node[global_index]
+
+    def _allocate_osts(self, stripe_count: int) -> list[int]:
+        if stripe_count > self.n_osts:
+            raise PFSError(
+                f"stripe_count {stripe_count} > {self.n_osts} OSTs")
+        start = self._next_start_ost
+        self._next_start_ost = (self._next_start_ost + 1) % self.n_osts
+        return [(start + i) % self.n_osts for i in range(stripe_count)]
+
+    # -- admin/sync operations (no simulated time; used for test setup and
+    # -- for "data already produced by the HPC simulation" preconditions)
+    def create(self, path: str, layout: Optional[StripeLayout] = None) -> Inode:
+        layout = layout or self.default_layout
+        return self.mds.create(
+            path, layout, self._allocate_osts(layout.stripe_count))
+
+    def store_file(self, path: str, data: bytes,
+                   layout: Optional[StripeLayout] = None) -> Inode:
+        """Write a whole file instantly (simulation setup path)."""
+        inode = self.create(path, layout)
+        for ext in inode.layout.map_range(0, len(data)):
+            ost = self.osts[inode.osts[ext.ost_index]]
+            ost.write_sync(
+                inode.inode_id, ext.object_offset,
+                data[ext.file_offset:ext.file_offset + ext.length])
+        inode.size = len(data)
+        return inode
+
+    def read_range_sync(self, inode: Inode, offset: int,
+                        length: int) -> bytes:
+        """Assemble a byte range with no simulated time."""
+        if offset + length > inode.size:
+            raise PFSError(
+                f"read past EOF: {offset}+{length} > {inode.size}")
+        parts = []
+        for ext in inode.layout.map_range(offset, length):
+            ost = self.osts[inode.osts[ext.ost_index]]
+            parts.append(
+                ost.read_sync(inode.inode_id, ext.object_offset, ext.length))
+        return b"".join(parts)
+
+    def read_file_sync(self, path: str) -> bytes:
+        inode = self.mds.lookup(path)
+        return self.read_range_sync(inode, 0, inode.size)
+
+    def unlink(self, path: str) -> None:
+        inode = self.mds.unlink(path)
+        for ost_index in inode.osts:
+            self.osts[ost_index].drop_object(inode.inode_id)
+
+    def open_sync(self, path: str) -> "SyncFileView":
+        """A zero-time file-like view (header parsing in the Data Mapper
+        charges its I/O time explicitly through the client)."""
+        return SyncFileView(self, self.mds.lookup(path))
+
+
+class SyncFileView:
+    """Seek/read file-like object over a PFS file, without simulated time."""
+
+    def __init__(self, pfs: PFS, inode: Inode):
+        self._pfs = pfs
+        self.inode = inode
+        self._pos = 0
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        if whence == 0:
+            self._pos = offset
+        elif whence == 1:
+            self._pos += offset
+        elif whence == 2:
+            self._pos = self.inode.size + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def read(self, length: int = -1) -> bytes:
+        if length < 0:
+            length = self.inode.size - self._pos
+        length = max(0, min(length, self.inode.size - self._pos))
+        if length == 0:
+            return b""
+        data = self._pfs.read_range_sync(self.inode, self._pos, length)
+        self._pos += length
+        return data

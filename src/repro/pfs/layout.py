@@ -1,0 +1,71 @@
+"""Stripe layout arithmetic.
+
+A file striped with ``stripe_size`` S over ``stripe_count`` N OSTs places
+byte ``b`` on OST ``(b // S) % N`` (relative to the file's starting OST),
+at object offset ``(b // (S*N)) * S + b % S`` — standard Lustre RAID-0
+round-robin placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Extent", "StripeLayout"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of bytes of one file on one OST's object."""
+
+    ost_index: int      # index into the file's OST list
+    object_offset: int  # offset within the per-OST object
+    file_offset: int    # offset within the logical file
+    length: int
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError("extent length must be > 0")
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Striping parameters for one file."""
+
+    stripe_size: int = 1024 * 1024
+    stripe_count: int = 1
+
+    def __post_init__(self):
+        if self.stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+        if self.stripe_count < 1:
+            raise ValueError("stripe_count must be >= 1")
+
+    def map_range(self, offset: int, length: int) -> list[Extent]:
+        """Split a logical byte range into per-OST extents, in file order."""
+        if offset < 0 or length < 0:
+            raise ValueError("offset/length must be >= 0")
+        extents: list[Extent] = []
+        pos = offset
+        end = offset + length
+        while pos < end:
+            stripe_index = pos // self.stripe_size
+            within = pos % self.stripe_size
+            run = min(self.stripe_size - within, end - pos)
+            ost = stripe_index % self.stripe_count
+            obj_off = (stripe_index // self.stripe_count) * self.stripe_size \
+                + within
+            extents.append(Extent(
+                ost_index=ost, object_offset=obj_off,
+                file_offset=pos, length=run))
+            pos += run
+        return extents
+
+    def object_length(self, file_size: int, ost_index: int) -> int:
+        """Bytes of a ``file_size`` file that land on OST ``ost_index``."""
+        if file_size == 0:
+            return 0
+        total = 0
+        for ext in self.map_range(0, file_size):
+            if ext.ost_index == ost_index:
+                total += ext.length
+        return total

@@ -1,0 +1,268 @@
+"""MPI-IO-like access layer over the PFS.
+
+Provides the two read modes Fig. 6 compares:
+
+- **independent** (`read_at`): each rank issues its own requests; small,
+  scattered requests each pay a seek and contend on the OSTs.
+- **collective** (`read_at_all`): two-phase I/O à la ROMIO — the merged
+  request set is partitioned into contiguous *file domains*, one per
+  aggregator rank; each aggregator fetches its domain in large coalesced
+  runs, then redistributes pieces to the requesting ranks over the
+  network.
+
+Function names mirror the C API the paper calls (`MPI_File_open`,
+`MPI_File_read_at`, `MPI_File_close`, §IV-E.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.pfs.client import PFSClient
+from repro.pfs.server import Inode, PFSError
+from repro.sim import AllOf
+
+__all__ = ["MPIFile", "merge_ranges", "partition_domains"]
+
+Range = tuple[int, int]  # (offset, length)
+
+
+def merge_ranges(ranges: Sequence[Range]) -> list[Range]:
+    """Merge overlapping/adjacent (offset, length) ranges."""
+    items = sorted((off, length) for off, length in ranges if length > 0)
+    merged: list[list[int]] = []
+    for off, length in items:
+        if merged and off <= merged[-1][0] + merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], off + length - merged[-1][0])
+        else:
+            merged.append([off, length])
+    return [(off, length) for off, length in merged]
+
+
+def partition_domains(merged: Sequence[Range],
+                      n_domains: int) -> list[list[Range]]:
+    """Split merged ranges into ``n_domains`` byte-balanced contiguous
+    file domains (ROMIO-style aggregator assignment)."""
+    total = sum(length for _off, length in merged)
+    if total == 0:
+        return [[] for _ in range(n_domains)]
+    share = -(-total // n_domains)  # ceil
+    domains: list[list[Range]] = [[] for _ in range(n_domains)]
+    d = 0
+    used = 0
+    for off, length in merged:
+        pos = off
+        remaining = length
+        while remaining > 0:
+            room = share - used
+            if room == 0:
+                d += 1
+                used = 0
+                room = share
+            take = min(remaining, room)
+            domains[d].append((pos, take))
+            pos += take
+            remaining -= take
+            used += take
+    return domains
+
+
+class MPIFile:
+    """An MPI "file handle" shared by a set of ranks (one client each)."""
+
+    def __init__(self, clients: list[PFSClient], path: str):
+        if not clients:
+            raise PFSError("MPIFile needs at least one rank")
+        self.clients = clients
+        self.env = clients[0].env
+        self.pfs = clients[0].pfs
+        self.path = path
+        self._inode: Optional[Inode] = None
+
+    @classmethod
+    def open(cls, clients: list[PFSClient], path: str) -> "MPIFile":
+        """`MPI_File_open` — validates the path eagerly (sync metadata)."""
+        handle = cls(clients, path)
+        handle._inode = handle.pfs.mds.lookup(path)
+        return handle
+
+    @classmethod
+    def create(cls, clients: list[PFSClient], path: str,
+               layout=None) -> "MPIFile":
+        """`MPI_File_open` with MODE_CREATE: new empty file."""
+        handle = cls(clients, path)
+        handle._inode = handle.pfs.create(path, layout)
+        return handle
+
+    @property
+    def nranks(self) -> int:
+        return len(self.clients)
+
+    @property
+    def inode(self) -> Inode:
+        if self._inode is None:
+            self._inode = self.pfs.mds.lookup(self.path)
+        return self._inode
+
+    @property
+    def size(self) -> int:
+        return self.inode.size
+
+    def close(self) -> None:
+        """`MPI_File_close` — drops the cached inode."""
+        self._inode = None
+
+    # -- independent ------------------------------------------------------
+    def read_at(self, rank: int, offset: int, length: int):
+        """`MPI_File_read_at`: independent read by one rank. DES process."""
+        data = yield self.env.process(
+            self.clients[rank].read(self.path, offset, length))
+        return data
+
+    # -- writes -----------------------------------------------------------
+    def write_at(self, rank: int, offset: int, data: bytes):
+        """`MPI_File_write_at`: independent write by one rank.
+        DES process. Extends the file as needed."""
+        yield self.env.process(
+            self.clients[rank].write(self.path, data, offset=offset))
+        self._inode = self.pfs.mds.lookup(self.path)
+
+    def write_at_all(self, requests: Sequence[Optional[tuple[int, bytes]]]):
+        """`MPI_File_write_at_all`: two-phase collective write.
+
+        ``requests[r]`` is rank r's (offset, data) or None. Writers'
+        payloads are gathered onto byte-balanced aggregators, which then
+        issue large coalesced writes — the write-side mirror of
+        :meth:`read_at_all`. DES process.
+        """
+        if len(requests) != self.nranks:
+            raise PFSError("one request entry per rank required")
+        live = [(rank, off, data) for rank, req in enumerate(requests)
+                if req is not None and len(req[1]) > 0
+                for off, data in [req]]
+        if not live:
+            return
+        # Overlapping writes are a data race under MPI semantics.
+        spans = sorted((off, off + len(data)) for _r, off, data in live)
+        for (lo_a, hi_a), (lo_b, _hi_b) in zip(spans, spans[1:]):
+            if lo_b < hi_a:
+                raise PFSError("overlapping collective writes")
+
+        merged = merge_ranges([(off, len(data)) for _r, off, data in live])
+        domains = partition_domains(merged, self.nranks)
+
+        # Phase 1: ship each writer's overlap with each domain to the
+        # domain's aggregator.
+        payloads: dict[int, list[tuple[int, bytes]]] = {}
+        shuffles = []
+        for agg_rank, domain in enumerate(domains):
+            for d_off, d_len in domain:
+                d_end = d_off + d_len
+                for w_rank, w_off, w_data in live:
+                    lo = max(d_off, w_off)
+                    hi = min(d_end, w_off + len(w_data))
+                    if lo >= hi:
+                        continue
+                    piece = w_data[lo - w_off:hi - w_off]
+                    payloads.setdefault(agg_rank, []).append((lo, piece))
+                    if w_rank != agg_rank:
+                        shuffles.append(self.pfs.network.transfer(
+                            self.clients[w_rank].node,
+                            self.clients[agg_rank].node, len(piece)))
+        if shuffles:
+            yield AllOf(self.env, shuffles)
+
+        # Phase 2: aggregators issue large contiguous writes in parallel.
+        writers = []
+        for agg_rank, pieces in payloads.items():
+            pieces.sort()
+            cursor = 0
+            runs: list[tuple[int, bytes]] = []
+            for off, piece in pieces:
+                if runs and runs[-1][0] + len(runs[-1][1]) == off:
+                    runs[-1] = (runs[-1][0], runs[-1][1] + piece)
+                else:
+                    runs.append((off, piece))
+                cursor = off + len(piece)
+            del cursor
+            for off, blob in runs:
+                writers.append(self.env.process(
+                    self.clients[agg_rank].write(
+                        self.path, blob, offset=off)))
+        if writers:
+            yield AllOf(self.env, writers)
+        self._inode = self.pfs.mds.lookup(self.path)
+
+    # -- collective -------------------------------------------------------
+    def _aggregate(self, rank: int, domain: list[Range], out: dict):
+        inode = self.inode
+        extents = []
+        for off, length in domain:
+            extents.extend(inode.layout.map_range(off, length))
+        data = yield self.env.process(
+            self.clients[rank].read_extents(inode, extents))
+        # Slice the aggregator's contiguous haul back into its ranges.
+        pieces = {}
+        cursor = 0
+        for off, length in domain:
+            pieces[off] = data[cursor:cursor + length]
+            cursor += length
+        out[rank] = pieces
+
+    def read_at_all(self, requests: Sequence[Optional[Range]]):
+        """`MPI_File_read_at_all`: two-phase collective read. DES process.
+
+        ``requests[r]`` is rank r's (offset, length), or None to
+        participate without reading. Returns a list of bytes per rank.
+        """
+        if len(requests) != self.nranks:
+            raise PFSError("one request entry per rank required")
+        inode = self.inode
+        for req in requests:
+            if req is not None and req[0] + req[1] > inode.size:
+                raise PFSError("collective read past EOF")
+        merged = merge_ranges([r for r in requests if r is not None])
+        domains = partition_domains(merged, self.nranks)
+
+        # Phase 1: aggregators fetch their file domains in parallel.
+        hauls: dict[int, dict[int, bytes]] = {}
+        aggs = [
+            self.env.process(self._aggregate(rank, domain, hauls))
+            for rank, domain in enumerate(domains) if domain
+        ]
+        if aggs:
+            yield AllOf(self.env, aggs)
+
+        # Phase 2: redistribute overlaps from aggregators to requesters.
+        flat: list[tuple[int, int, int]] = []  # (offset, length, agg_rank)
+        for rank, domain in enumerate(domains):
+            for off, length in domain:
+                flat.append((off, length, rank))
+        flat.sort()
+
+        shuffles = []
+        results: list[bytes] = [b""] * self.nranks
+        assembled: list[list[tuple[int, bytes]]] = [
+            [] for _ in range(self.nranks)]
+        for rank, req in enumerate(requests):
+            if req is None:
+                continue
+            off, length = req
+            end = off + length
+            for a_off, a_len, a_rank in flat:
+                lo = max(off, a_off)
+                hi = min(end, a_off + a_len)
+                if lo >= hi:
+                    continue
+                piece = hauls[a_rank][a_off][lo - a_off:hi - a_off]
+                assembled[rank].append((lo, piece))
+                if a_rank != rank:
+                    shuffles.append(self.pfs.network.transfer(
+                        self.clients[a_rank].node,
+                        self.clients[rank].node, hi - lo))
+        if shuffles:
+            yield AllOf(self.env, shuffles)
+        for rank, pieces in enumerate(assembled):
+            if requests[rank] is not None:
+                results[rank] = b"".join(p for _off, p in sorted(pieces))
+        return results

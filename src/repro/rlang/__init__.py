@@ -1,0 +1,28 @@
+"""R-like analysis layer.
+
+The paper drives SciDP through R: map/reduce functions written in R
+(`rmr2`), HDFS access (`rhdfs`), SQL over data frames (`sqldf`), and image
+plotting (`plot3D::image2D` on a `Cairo` PNG device) — §IV-C/D/E. This
+package provides the same workflow in Python:
+
+- :class:`~repro.rlang.frame.DataFrame` — column-oriented data.frame.
+- :func:`~repro.rlang.sqldf.sqldf` — SQL queries over data frames.
+- :func:`~repro.rlang.plot.image2d` — colormapped 2-D rasterisation.
+- :mod:`~repro.rlang.png` — pure-Python PNG encoder (the Cairo stand-in).
+- :mod:`~repro.rlang.rmr` — `rmr2`-style MapReduce binding.
+- :mod:`~repro.rlang.rhdfs` — `rhdfs`-style storage access.
+"""
+
+from repro.rlang.frame import DataFrame, data_frame
+from repro.rlang.sqldf import SQLError, sqldf
+from repro.rlang.plot import image2d
+from repro.rlang.png import encode_png
+
+__all__ = [
+    "DataFrame",
+    "SQLError",
+    "data_frame",
+    "encode_png",
+    "image2d",
+    "sqldf",
+]

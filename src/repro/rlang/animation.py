@@ -1,0 +1,58 @@
+"""Animation assembly: a frame series along one dimension → animated GIF.
+
+§II-A: "The visual outputs are usually animations which consist of a
+series of images generated along a specific dimension." Fields are
+normalised over the whole series (so frames are comparable), mapped to a
+256-entry colormap palette, and LZW-encoded — real bytes, playable in
+any browser.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.rlang.colormap import apply_colormap
+from repro.rlang.gif import encode_gif
+from repro.rlang.plot import resize_nearest
+
+__all__ = ["animate_fields", "colormap_palette"]
+
+
+def colormap_palette(name: str = "jet") -> np.ndarray:
+    """The colormap sampled at 256 levels as a GIF palette."""
+    ramp = np.linspace(0.0, 1.0, 256)
+    return apply_colormap(ramp, name)
+
+
+def animate_fields(fields: Sequence[np.ndarray],
+                   resolution: tuple[int, int] = (96, 96),
+                   colormap: str = "jet",
+                   delay_cs: int = 20,
+                   vmin: Optional[float] = None,
+                   vmax: Optional[float] = None) -> bytes:
+    """Encode a series of 2-D fields as an animated GIF.
+
+    Normalisation spans the whole series so colour is comparable across
+    frames (what a time animation of one variable needs).
+    """
+    if not fields:
+        raise ValueError("need at least one field")
+    stack = [np.asarray(f, dtype=np.float64) for f in fields]
+    for field in stack:
+        if field.ndim != 2:
+            raise ValueError("fields must be 2-D")
+    lo = min(np.nanmin(f) for f in stack) if vmin is None else vmin
+    hi = max(np.nanmax(f) for f in stack) if vmax is None else vmax
+    span = hi - lo
+    height, width = resolution
+    frames = []
+    for field in stack:
+        normalised = (field - lo) / span if span > 0 \
+            else np.zeros_like(field)
+        resampled = resize_nearest(normalised, height, width)
+        index = np.clip(np.nan_to_num(resampled, nan=0.0), 0.0, 1.0)
+        frames.append(np.round(index * 255).astype(np.uint8))
+    return encode_gif(frames, colormap_palette(colormap),
+                      delay_cs=delay_cs)

@@ -1,0 +1,59 @@
+"""Colormaps for 2-D field plotting.
+
+`plot3D::image2D` defaults to a jet-like ramp; we provide ``jet`` plus a
+perceptually friendlier ``viridis``-like alternative, both as piecewise
+linear interpolations evaluated vectorised in NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["apply_colormap", "colormap_names"]
+
+# Anchor colours (position, R, G, B) in [0, 1].
+_MAPS: dict[str, list[tuple[float, float, float, float]]] = {
+    "jet": [
+        (0.000, 0.0, 0.0, 0.5),
+        (0.125, 0.0, 0.0, 1.0),
+        (0.375, 0.0, 1.0, 1.0),
+        (0.625, 1.0, 1.0, 0.0),
+        (0.875, 1.0, 0.0, 0.0),
+        (1.000, 0.5, 0.0, 0.0),
+    ],
+    "viridis": [
+        (0.00, 0.267, 0.005, 0.329),
+        (0.25, 0.229, 0.322, 0.546),
+        (0.50, 0.128, 0.567, 0.551),
+        (0.75, 0.369, 0.789, 0.383),
+        (1.00, 0.993, 0.906, 0.144),
+    ],
+    "greys": [
+        (0.0, 0.0, 0.0, 0.0),
+        (1.0, 1.0, 1.0, 1.0),
+    ],
+}
+
+
+def colormap_names() -> list[str]:
+    return sorted(_MAPS)
+
+
+def apply_colormap(values: np.ndarray, name: str = "jet") -> np.ndarray:
+    """Map values in [0, 1] to uint8 RGB. NaNs map to black."""
+    try:
+        anchors = _MAPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown colormap {name!r}; have {colormap_names()}") from None
+    v = np.asarray(values, dtype=np.float64)
+    nan_mask = np.isnan(v)
+    v = np.clip(np.nan_to_num(v, nan=0.0), 0.0, 1.0)
+    positions = np.array([a[0] for a in anchors])
+    out = np.empty(v.shape + (3,), dtype=np.uint8)
+    for channel in range(3):
+        ramp = np.array([a[channel + 1] for a in anchors])
+        out[..., channel] = np.round(
+            np.interp(v, positions, ramp) * 255).astype(np.uint8)
+    out[nan_mask] = 0
+    return out

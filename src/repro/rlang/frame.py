@@ -1,0 +1,169 @@
+"""Column-oriented data.frame.
+
+Columns are NumPy arrays of equal length; string columns use object
+arrays. Supports the operations R users lean on: column access, boolean
+subsetting, ordering, head, cbind/rbind — and is the table type the
+:mod:`repro.rlang.sqldf` engine queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["DataFrame", "data_frame"]
+
+
+def _as_column(values: Any) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"column must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in ("U", "S"):
+        arr = arr.astype(object)
+    return arr
+
+
+class DataFrame:
+    """An ordered mapping of named, equal-length columns."""
+
+    def __init__(self, columns: Optional[Mapping[str, Any]] = None):
+        self._columns: dict[str, np.ndarray] = {}
+        self._nrow = 0
+        if columns:
+            for name, values in columns.items():
+                self[name] = values
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def nrow(self) -> int:
+        return self._nrow
+
+    @property
+    def ncol(self) -> int:
+        return len(self._columns)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._nrow
+
+    # -- columns -----------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"no column {name!r}; have {self.names}") from None
+
+    def __setitem__(self, name: str, values: Any) -> None:
+        col = _as_column(values)
+        if self._columns and len(col) != self._nrow:
+            if len(col) == 1:  # R-style scalar recycling
+                col = np.repeat(col, self._nrow)
+            else:
+                raise ValueError(
+                    f"column {name!r} has {len(col)} rows, frame has "
+                    f"{self._nrow}")
+        if not self._columns:
+            self._nrow = len(col)
+        self._columns[name] = col
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def drop(self, name: str) -> "DataFrame":
+        out = DataFrame()
+        for col, values in self._columns.items():
+            if col != name:
+                out[col] = values
+        return out
+
+    def select(self, names: Iterable[str]) -> "DataFrame":
+        out = DataFrame()
+        for name in names:
+            out[name] = self[name]
+        return out
+
+    # -- rows ----------------------------------------------------------------
+    def subset(self, mask: Any) -> "DataFrame":
+        """Rows where ``mask`` (boolean array or index array) selects."""
+        mask = np.asarray(mask)
+        out = DataFrame()
+        for name, values in self._columns.items():
+            out[name] = values[mask]
+        return out
+
+    def head(self, n: int = 6) -> "DataFrame":
+        return self.subset(np.arange(min(n, self._nrow)))
+
+    def order_by(self, name: str, decreasing: bool = False) -> "DataFrame":
+        order = np.argsort(self[name], kind="stable")
+        if decreasing:
+            order = order[::-1]
+        return self.subset(order)
+
+    def row(self, i: int) -> dict[str, Any]:
+        return {name: values[i] for name, values in self._columns.items()}
+
+    def iter_rows(self):
+        for i in range(self._nrow):
+            yield self.row(i)
+
+    # -- combination ----------------------------------------------------------
+    def cbind(self, other: "DataFrame") -> "DataFrame":
+        out = DataFrame()
+        for name, values in self._columns.items():
+            out[name] = values
+        for name, values in other._columns.items():
+            if name in out:
+                raise ValueError(f"duplicate column {name!r}")
+            out[name] = values
+        return out
+
+    def rbind(self, other: "DataFrame") -> "DataFrame":
+        if self.ncol == 0:
+            return other.copy()
+        if other.ncol == 0:
+            return self.copy()
+        if self.names != other.names:
+            raise ValueError(
+                f"rbind column mismatch: {self.names} vs {other.names}")
+        out = DataFrame()
+        for name in self.names:
+            out[name] = np.concatenate([self[name], other[name]])
+        return out
+
+    def copy(self) -> "DataFrame":
+        out = DataFrame()
+        for name, values in self._columns.items():
+            out[name] = values.copy()
+        return out
+
+    # -- conversion -------------------------------------------------------------
+    def to_dict(self) -> dict[str, list]:
+        return {name: values.tolist()
+                for name, values in self._columns.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataFrame):
+            return NotImplemented
+        if self.names != other.names or self.nrow != other.nrow:
+            return False
+        return all(
+            np.array_equal(self[n], other[n], equal_nan=False)
+            if self[n].dtype.kind not in "fc"
+            else np.allclose(self[n], other[n], equal_nan=True)
+            for n in self.names)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cols = ", ".join(f"{n}<{v.dtype}>" for n, v in self._columns.items())
+        return f"<DataFrame {self._nrow} rows: {cols}>"
+
+
+def data_frame(**columns: Any) -> DataFrame:
+    """R-style constructor: ``data_frame(x=[1,2], y=[3,4])``."""
+    return DataFrame(columns)

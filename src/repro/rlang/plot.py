@@ -1,0 +1,78 @@
+"""2-D field plotting: the `plot3D::image2D` stand-in.
+
+``image2d`` rasterises a 2-D array to a colormapped RGB image at a chosen
+resolution (the paper renders 1,200×1,200 frames, §V-A), with optional
+highlight markers for the "top 10 data points" analysis case (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.rlang.colormap import apply_colormap
+from repro.rlang.png import encode_png
+
+__all__ = ["image2d", "plot_cost_model", "resize_nearest"]
+
+
+def resize_nearest(field: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Nearest-neighbour resample of a 2-D array to (height, width)."""
+    if field.ndim != 2:
+        raise ValueError(f"field must be 2-D, got shape {field.shape}")
+    rows = (np.arange(height) * field.shape[0] // height)
+    cols = (np.arange(width) * field.shape[1] // width)
+    return field[rows[:, None], cols[None, :]]
+
+
+def image2d(field: np.ndarray,
+            resolution: tuple[int, int] = (1200, 1200),
+            colormap: str = "jet",
+            vmin: Optional[float] = None,
+            vmax: Optional[float] = None,
+            highlight: Optional[Sequence[tuple[int, int]]] = None,
+            as_png: bool = True) -> bytes | np.ndarray:
+    """Render ``field`` as a colormapped image.
+
+    ``highlight`` marks (row, col) positions *in field coordinates* with a
+    white cross. Returns PNG bytes (default) or the RGB array.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise ValueError(f"field must be 2-D, got shape {field.shape}")
+    height, width = resolution
+    lo = np.nanmin(field) if vmin is None else vmin
+    hi = np.nanmax(field) if vmax is None else vmax
+    span = hi - lo
+    normalised = (field - lo) / span if span > 0 else np.zeros_like(field)
+    resampled = resize_nearest(normalised, height, width)
+    rgb = apply_colormap(resampled, colormap)
+
+    if highlight:
+        scale_r = height / field.shape[0]
+        scale_c = width / field.shape[1]
+        arm = max(2, min(height, width) // 100)
+        for r, c in highlight:
+            cr = int((r + 0.5) * scale_r)
+            cc = int((c + 0.5) * scale_c)
+            r0, r1 = max(0, cr - arm), min(height, cr + arm + 1)
+            c0, c1 = max(0, cc - arm), min(width, cc + arm + 1)
+            rgb[r0:r1, cc % width] = 255
+            rgb[cr % height, c0:c1] = 255
+    if as_png:
+        return encode_png(rgb)
+    return rgb
+
+
+def plot_cost_model(field_elements: int, resolution: tuple[int, int],
+                    per_pixel: float = 2.0e-8,
+                    per_element: float = 5.0e-9,
+                    fixed: float = 0.02) -> float:
+    """Simulated seconds to plot one frame.
+
+    Calibrated so a 1,250×1,250 level at 1,200×1,200 lands near the
+    ~0.06 s/level Plot cost visible in the paper's Fig. 7 decomposition.
+    """
+    pixels = resolution[0] * resolution[1]
+    return fixed + pixels * per_pixel + field_elements * per_element

@@ -1,0 +1,82 @@
+"""Pure-Python PNG encoder and a minimal decoder for verification.
+
+Stands in for the `Cairo`/`CairoPNG` graphics device (§IV-E.3). Writes
+real, spec-conformant PNG files (8-bit RGB/RGBA, non-interlaced) from
+uint8 arrays of shape (H, W, 3|4); the decoder is used by the tests to
+prove plots round-trip pixel-exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = ["decode_png", "encode_png"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(kind: bytes, payload: bytes) -> bytes:
+    return (struct.pack(">I", len(payload)) + kind + payload
+            + struct.pack(">I", zlib.crc32(kind + payload) & 0xFFFFFFFF))
+
+
+def encode_png(image: np.ndarray, compression_level: int = 6) -> bytes:
+    """Encode an (H, W, 3|4) uint8 array as a PNG byte string."""
+    arr = np.asarray(image)
+    if arr.dtype != np.uint8:
+        raise ValueError(f"image must be uint8, got {arr.dtype}")
+    if arr.ndim != 3 or arr.shape[2] not in (3, 4):
+        raise ValueError(f"image must be (H, W, 3|4), got {arr.shape}")
+    height, width, channels = arr.shape
+    if height == 0 or width == 0:
+        raise ValueError("image must be non-empty")
+    color_type = 2 if channels == 3 else 6
+    ihdr = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    # Filter type 0 (None) per scanline; zlib does the heavy lifting.
+    raw = np.empty((height, 1 + width * channels), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = arr.reshape(height, width * channels)
+    idat = zlib.compress(raw.tobytes(), compression_level)
+    return (_SIGNATURE
+            + _chunk(b"IHDR", ihdr)
+            + _chunk(b"IDAT", idat)
+            + _chunk(b"IEND", b""))
+
+
+def decode_png(data: bytes) -> np.ndarray:
+    """Decode PNGs produced by :func:`encode_png` (filter-0, 8-bit)."""
+    if data[:8] != _SIGNATURE:
+        raise ValueError("not a PNG")
+    pos = 8
+    width = height = channels = None
+    idat = b""
+    while pos < len(data):
+        (length,) = struct.unpack(">I", data[pos:pos + 4])
+        kind = data[pos + 4:pos + 8]
+        payload = data[pos + 8:pos + 8 + length]
+        crc_expect = struct.unpack(
+            ">I", data[pos + 8 + length:pos + 12 + length])[0]
+        if zlib.crc32(kind + payload) & 0xFFFFFFFF != crc_expect:
+            raise ValueError(f"bad CRC in {kind!r} chunk")
+        if kind == b"IHDR":
+            width, height, depth, color_type, comp, filt, interlace = \
+                struct.unpack(">IIBBBBB", payload)
+            if depth != 8 or interlace != 0 or color_type not in (2, 6):
+                raise ValueError("unsupported PNG variant")
+            channels = 3 if color_type == 2 else 4
+        elif kind == b"IDAT":
+            idat += payload
+        elif kind == b"IEND":
+            break
+        pos += 12 + length
+    if width is None or channels is None:
+        raise ValueError("missing IHDR")
+    raw = np.frombuffer(zlib.decompress(idat), dtype=np.uint8)
+    stride = 1 + width * channels
+    raw = raw.reshape(height, stride)
+    if not np.all(raw[:, 0] == 0):
+        raise ValueError("only filter type 0 is supported")
+    return raw[:, 1:].reshape(height, width, channels).copy()

@@ -1,0 +1,40 @@
+"""`rhdfs`-style storage access.
+
+"The images and the analysis results will be combined and stored into
+HDFS using the rhdfs package in Reduce task" (§IV-E.3). Thin R-flavoured
+wrappers (``hdfs_put``, ``hdfs_get``, ``hdfs_ls``) over a storage client,
+usable from inside map/reduce functions (timed) or outside (sync).
+"""
+
+from __future__ import annotations
+
+__all__ = ["RHDFS"]
+
+
+class RHDFS:
+    """R-facing storage handle bound to one node's client."""
+
+    def __init__(self, storage, node):
+        self.storage = storage
+        self.node = node
+        self.client = storage.client(node)
+        self.env = self.client.env
+
+    def hdfs_put(self, path: str, data: bytes):
+        """Write ``data`` to ``path`` (timed). DES process."""
+        yield self.env.process(self.client.write(path, data))
+
+    def hdfs_get(self, path: str):
+        """Read ``path`` (timed). DES process returning bytes."""
+        data = yield self.env.process(self.client.read(path))
+        return data
+
+    def hdfs_ls(self, path: str):
+        """List a directory (timed). DES process returning paths."""
+        listing = yield self.env.process(self.client.listdir(path))
+        return listing
+
+    def hdfs_exists(self, path: str):
+        """Existence check (timed). DES process returning bool."""
+        present = yield self.env.process(self.client.exists(path))
+        return present

@@ -1,0 +1,100 @@
+"""`rmr2`-style MapReduce binding.
+
+"rmr2 provides the fundamental API support to communicate with underlying
+Hadoop" (§IV-E.3). The R-facing surface is:
+
+    mapreduce(input=..., map=..., reduce=..., ...)
+
+where map/reduce receive ``keyval`` pairs. This module exposes the same
+names over :class:`repro.mapreduce.JobRunner`. It is intentionally thin —
+the point of the paper's design is that the R layer rides the unmodified
+engine while SciDP swaps the input format underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.mapreduce import JobConf, JobRunner
+
+__all__ = ["RMRSession", "keyval"]
+
+
+@dataclass(frozen=True)
+class keyval:  # noqa: N801 - matches the rmr2 function name
+    """An rmr2 key-value pair."""
+
+    key: Any
+    val: Any
+
+
+class RMRSession:
+    """Binds R-style mapreduce calls to a simulated cluster + storage."""
+
+    def __init__(self, env, nodes, storage, network, master_node=None):
+        self.env = env
+        self.nodes = nodes
+        self.storage = storage
+        self.network = network
+        self.master_node = master_node
+
+    def mapreduce(self,
+                  input: str | list[str],                # noqa: A002
+                  map: Callable,                          # noqa: A002
+                  input_format,
+                  reduce: Optional[Callable] = None,      # noqa: A002
+                  combine: Optional[Callable] = None,
+                  output: Optional[str] = None,
+                  n_reducers: int = 1,
+                  name: str = "rmr-job",
+                  **params):
+        """Run an rmr2-style job. DES process returning the JobResult.
+
+        ``map(key, value)`` returns a ``keyval``, a list of them, or None;
+        ``reduce(key, values)`` likewise. Compute accounting hooks may be
+        attached by passing ``map_cost(key, value) -> (phase, seconds)``
+        iterables via params["costs"].
+        """
+        costs = params.pop("costs", None)
+
+        def mapper(ctx, key, value):
+            if costs is not None:
+                for phase, seconds in costs(key, value):
+                    ctx.charge(seconds, phase)
+            self._emit_all(ctx, map(key, value))
+
+        def reducer(ctx, key, values):
+            self._emit_all(ctx, reduce(key, values))
+
+        conf = JobConf(
+            name=name,
+            mapper=mapper,
+            reducer=reducer if reduce is not None else None,
+            combiner=None if combine is None else (
+                lambda ctx, key, values:
+                self._emit_all(ctx, combine(key, values))),
+            input_format=input_format,
+            n_reducers=n_reducers if reduce is not None else 0,
+            input_paths=[input] if isinstance(input, str) else list(input),
+            output_path=output,
+            params=params,
+        )
+        runner = JobRunner(self.env, self.nodes, self.storage,
+                           self.network, conf,
+                           master_node=self.master_node)
+        result = yield self.env.process(runner.run())
+        return result
+
+    @staticmethod
+    def _emit_all(ctx, out) -> None:
+        if out is None:
+            return
+        if isinstance(out, keyval):
+            ctx.emit(out.key, out.val)
+            return
+        for item in out:
+            if not isinstance(item, keyval):
+                raise TypeError(
+                    f"map/reduce must return keyval(s), got {item!r}")
+            ctx.emit(item.key, item.val)

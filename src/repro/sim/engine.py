@@ -1,0 +1,389 @@
+"""Core event loop, events, and process coroutines.
+
+Semantics follow the classic process-interaction style:
+
+- :class:`Event` has three states: pending, triggered (scheduled on the
+  queue), and processed (callbacks ran). Events carry a value or an
+  exception.
+- :class:`Process` wraps a generator. Each ``yield expr`` must produce an
+  :class:`Event`; the process resumes with the event's value (or the event's
+  exception is thrown into the generator).
+- :class:`Environment.run` pops events in ``(time, priority, seq)`` order,
+  so simultaneous events fire in the order they were scheduled —
+  deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for "urgent" bookkeeping events (resource releases) so that a
+#: release at time t is observed by a request at the same t.
+URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine operations (double trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the interrupter-supplied reason.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "no value yet" from a legitimate None value.
+_PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Callbacks are invoked exactly once, when the environment processes the
+    event. Use :meth:`succeed` / :meth:`fail` to trigger manually.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        #: Set when the exception was handed to someone (prevents the engine
+        #: from re-raising unhandled failures that a process caught).
+        self.defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception (may not be processed)."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError(f"{self!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.env._schedule(self, priority)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    @property
+    def triggered(self) -> bool:  # scheduled at construction
+        return True
+
+
+class _Initialize(Event):
+    """Kicks a freshly created process on the next queue pop."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._value = None
+        self.callbacks = [process._resume]
+        env._schedule(self, URGENT)
+
+    @property
+    def triggered(self) -> bool:
+        return True
+
+
+class Process(Event):
+    """A running process. It is itself an event that fires on termination.
+
+    Yield a ``Process`` to wait for it; its return value (via ``return`` in
+    the generator) becomes the event value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None  # event we're waiting on
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        ev = Event(self.env)
+        ev._exception = Interrupt(cause)
+        ev._value = None
+        ev.defused = True
+        ev.callbacks = []
+        self.env._schedule(ev, URGENT)
+        # Detach from whatever we were waiting on, then resume with the
+        # interrupt once the injected event is processed.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        ev.callbacks.append(self._resume)
+
+    # -- engine plumbing -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active = self
+        while True:
+            try:
+                if event._exception is not None:
+                    event.defused = True
+                    next_target = self._generator.throw(event._exception)
+                else:
+                    next_target = self._generator.send(event._value)
+            except StopIteration as stop:
+                self._value = stop.value
+                self.env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._exception = exc
+                self._value = None
+                self.env._schedule(self, NORMAL)
+                break
+
+            if not isinstance(next_target, Event):
+                exc = SimulationError(
+                    f"process yielded non-event {next_target!r}")
+                event = Event(self.env)
+                event._exception = exc
+                continue  # throw it right back in
+
+            if next_target.processed:
+                # Already done: resume immediately with its outcome.
+                event = next_target
+                continue
+
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            break
+        self.env._active = None
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events.
+
+    The result dict contains only *processed* (delivered) constituent
+    events — a pending Timeout scheduled for later never leaks its value in.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+        self._pending = 0
+        already_failed: Optional[BaseException] = None
+        any_processed = False
+        for ev in self.events:
+            if ev.processed:
+                any_processed = True
+                if ev._exception is not None:
+                    ev.defused = True
+                    already_failed = ev._exception
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._check)
+        if already_failed is not None:
+            self.fail(already_failed)
+        else:
+            self._maybe_finish(any_processed)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value for ev in self.events
+            if ev.processed and ev._exception is None
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        self._maybe_finish(any_processed=True)
+
+    def _maybe_finish(self, any_processed: bool) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired (fails fast on error)."""
+
+    def _maybe_finish(self, any_processed: bool) -> None:
+        if not self.triggered and self._pending <= 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one constituent event fires."""
+
+    def _maybe_finish(self, any_processed: bool) -> None:
+        if self.triggered:
+            return
+        if any_processed or not self.events:
+            self.succeed(self._collect())
+
+
+class Environment:
+    """Simulation environment: virtual clock plus the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a process; returns its Process event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks or ():
+            cb(event)
+        if event._exception is not None and not event.defused:
+            raise event._exception
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a number (absolute simulated time) or an event —
+        in the latter case the event's value is returned.
+        """
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"until={deadline} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if self.peek() > deadline:
+                self._now = deadline
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired")
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,122 @@
+"""Measurement helpers for simulated experiments.
+
+:class:`Monitor` records ``(time, value)`` samples and computes summary
+statistics including the time-weighted average (the right mean for
+utilisation-style series). :class:`IntervalTimer` accumulates named
+durations — the experiment harness uses it for the Read/Convert/Plot
+decomposition of Fig. 7.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.engine import Environment
+
+__all__ = ["IntervalTimer", "Monitor"]
+
+
+class Monitor:
+    """Time-stamped sample recorder."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Record ``value`` at the current simulated time."""
+        self.times.append(self.env.now)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Plain (unweighted) mean of recorded values."""
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Step-function time-weighted mean of the series.
+
+        Each recorded value is held until the next sample; the final value
+        is held until ``until`` (default: current simulated time).
+        """
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        end = self.env.now if until is None else until
+        total = 0.0
+        span = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
+            dt = max(0.0, t_next - t)
+            total += v * dt
+            span += dt
+        if span == 0:
+            return self.values[-1]
+        return total / span
+
+
+class IntervalTimer:
+    """Accumulates named durations across a simulated run.
+
+    Usage inside a process::
+
+        t0 = env.now
+        yield disk.transfer(nbytes)
+        timer.add("read", env.now - t0)
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, phase: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration for {phase!r}")
+        self.totals[phase] = self.totals.get(phase, 0.0) + duration
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    def total(self, phase: str) -> float:
+        return self.totals.get(phase, 0.0)
+
+    def count(self, phase: str) -> int:
+        return self.counts.get(phase, 0)
+
+    def mean(self, phase: str) -> float:
+        n = self.counts.get(phase, 0)
+        if n == 0:
+            raise ValueError(f"no samples for phase {phase!r}")
+        return self.totals[phase] / n
+
+    def merge(self, other: "IntervalTimer") -> None:
+        """Fold another timer's accumulations into this one."""
+        for phase, total in other.totals.items():
+            self.totals[phase] = self.totals.get(phase, 0.0) + total
+            self.counts[phase] = (
+                self.counts.get(phase, 0) + other.counts[phase])
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.totals)

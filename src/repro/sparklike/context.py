@@ -1,0 +1,311 @@
+"""Context, sources, DAG scheduler, and executors."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.reader import PFSReader
+from repro.mapreduce.shuffle import estimate_size
+from repro.sim import AllOf
+from repro.sparklike.rdd import RDD, ShuffleDependency, SparkLikeError
+
+__all__ = ["Context", "TaskContext"]
+
+
+class TaskContext:
+    """What RDD compute chains see inside one executor task."""
+
+    def __init__(self, ctx: "Context", node, stage_id: int, index: int):
+        self.ctx = ctx
+        self.node = node
+        self.stage_id = stage_id
+        self.index = index
+        self._charges: dict[str, float] = {}
+
+    def charge(self, seconds: float, phase: str = "compute") -> None:
+        if seconds < 0:
+            raise SparkLikeError("charge must be >= 0")
+        self._charges[phase] = self._charges.get(phase, 0.0) + seconds
+
+    def take_charges(self) -> dict[str, float]:
+        charges, self._charges = self._charges, {}
+        return charges
+
+    def fetch_shuffle(self, dep: ShuffleDependency, index: int):
+        """Pull bucket ``index`` from every map output. DES process."""
+        outputs = self.ctx._shuffle_outputs[id(dep)]
+        runs = []
+        transfers = []
+        for node, buckets in outputs:
+            bucket = buckets[index]
+            runs.append(bucket)
+            size = estimate_size(bucket)
+            if size and node is not self.node:
+                transfers.append(self.ctx.network.transfer(
+                    node, self.node, size))
+        if transfers:
+            yield AllOf(self.ctx.env, transfers)
+        return runs
+
+
+class _ParallelRDD(RDD):
+    """Driver-provided data split into partitions."""
+
+    def __init__(self, ctx, data: list, n_partitions: int):
+        super().__init__(ctx, n_partitions)
+        share = -(-len(data) // n_partitions) if data else 1
+        self.slices = [
+            data[i * share:(i + 1) * share] for i in range(n_partitions)
+        ]
+
+    def compute(self, index: int, task):
+        # Driver data is shipped to the executor.
+        size = estimate_size(self.slices[index])
+        if size:
+            yield self.ctx.network.transfer(
+                self.ctx.driver_node, task.node, size)
+        return list(self.slices[index])
+
+
+class _TextFileRDD(RDD):
+    """One partition per storage block; records are whole text lines.
+
+    Uses the same boundary rule as the MapReduce TextInputFormat: a
+    partition owns every line that *starts* inside its block, peeking at
+    the previous block's last byte and reading into following blocks to
+    complete its final line.
+    """
+
+    def __init__(self, ctx, path: str):
+        nn = ctx.storage.namenode
+        partitions = []  # (file_blocks, position within file)
+        for file_path in (nn.listdir(path) or [path]):
+            file_blocks = nn.get_block_locations(file_path)
+            for i in range(len(file_blocks)):
+                partitions.append((file_blocks, i))
+        if not partitions:
+            raise SparkLikeError(f"no input at {path!r}")
+        super().__init__(ctx, len(partitions))
+        self.partitions = partitions
+
+    def partition_locations(self, index: int) -> list[str]:
+        _blocks, i = self.partitions[index]
+        return list(_blocks[i].locations)
+
+    def compute(self, index: int, task):
+        blocks, i = self.partitions[index]
+        client = self.ctx.storage.client(task.node)
+        data = yield self.ctx.env.process(client.read_block(blocks[i]))
+
+        head = 0
+        if i > 0:
+            prev = blocks[i - 1]
+            last = yield self.ctx.env.process(
+                client.read_block(prev, prev.length - 1, 1))
+            if last != b"\n":
+                newline = data.find(b"\n")
+                if newline < 0:
+                    return []  # mid-line of one huge record
+                head = newline + 1
+
+        tail = data
+        if i + 1 < len(blocks) and not data.endswith(b"\n"):
+            extra = b""
+            for nxt in blocks[i + 1:]:
+                piece = yield self.ctx.env.process(
+                    client.read_block(nxt, 0, min(1024, nxt.length)))
+                newline = piece.find(b"\n")
+                if newline >= 0:
+                    extra += piece[:newline]
+                    break
+                extra += piece
+            tail = data + extra
+        return tail[head:].splitlines()
+
+
+class _SciDPRDD(RDD):
+    """One partition per SciDP dummy block: the PFS-direct source.
+
+    Records are ``((source_path, variable, start), ndarray)`` — the same
+    shape SciDPInputFormat feeds the MapReduce engine.
+    """
+
+    def __init__(self, ctx, pfs_path: str,
+                 variables: Optional[list[str]] = None):
+        if ctx.scidp is None:
+            raise SparkLikeError("context has no SciDP runtime attached")
+        proc = ctx.env.process(
+            ctx.scidp.map_input(pfs_path, variables=variables))
+        ctx.env.run()
+        entries = proc.value
+        self.blocks = [
+            (virtual_path, block)
+            for virtual_path, blocks in entries for block in blocks
+        ]
+        if not self.blocks:
+            raise SparkLikeError(f"no scientific input at {pfs_path!r}")
+        super().__init__(ctx, len(self.blocks))
+
+    def compute(self, index: int, task):
+        _virtual_path, block = self.blocks[index]
+        reader = PFSReader(self.ctx.scidp.pfs_client(task.node))
+        data = yield self.ctx.env.process(
+            reader.read_block(block.virtual))
+        vb = block.virtual
+        if vb.hyperslab is None:
+            key = (vb.source_path, vb.offset)
+        else:
+            key = (vb.source_path, vb.hyperslab["variable"],
+                   tuple(vb.hyperslab["start"]))
+        return [(key, data)]
+
+
+class Context:
+    """The Spark-like driver: sources, scheduling, executors."""
+
+    def __init__(self, env, nodes, storage, network, scidp=None,
+                 executor_cores: int = 4,
+                 record_cost: float = 1e-7,
+                 task_startup: float = 0.01):
+        if not nodes:
+            raise SparkLikeError("need at least one executor node")
+        self.env = env
+        self.nodes = list(nodes)
+        self.storage = storage
+        self.network = network
+        self.scidp = scidp
+        self.executor_cores = executor_cores
+        self.record_cost = record_cost
+        self.task_startup = task_startup
+        self.driver_node = self.nodes[0]
+        self.default_parallelism = len(self.nodes) * 2
+        self._rdd_seq = 0
+        self._stage_seq = 0
+        #: id(ShuffleDependency) -> [(node, buckets)] map-side outputs
+        self._shuffle_outputs: dict[int, list] = {}
+        #: (rdd id, partition index) -> (node, records) for cached RDDs
+        self._rdd_cache: dict[tuple[int, int], tuple] = {}
+        #: simple job metrics for tests/benches
+        self.metrics: dict[str, Any] = {"stages": 0, "tasks": 0}
+
+    def _next_rdd_id(self) -> int:
+        self._rdd_seq += 1
+        return self._rdd_seq
+
+    # -- sources ------------------------------------------------------------
+    def parallelize(self, data: list,
+                    n_partitions: Optional[int] = None) -> RDD:
+        return _ParallelRDD(self, list(data),
+                            n_partitions or self.default_parallelism)
+
+    def text_file(self, path: str) -> RDD:
+        return _TextFileRDD(self, path)
+
+    def scidp_variable(self, pfs_path: str,
+                       variables: Optional[list[str]] = None) -> RDD:
+        """RDD over SciDP dummy blocks: scientific data on the PFS,
+        processed directly — the §VII extension."""
+        return _SciDPRDD(self, pfs_path, variables)
+
+    # -- scheduling -----------------------------------------------------------
+    def _stages_for(self, rdd: RDD) -> list[ShuffleDependency]:
+        """Shuffle dependencies below ``rdd``, deepest first."""
+        deps: list[ShuffleDependency] = []
+
+        def walk(r: Optional[RDD]):
+            if r is None:
+                return
+            if r.shuffle_dep is not None:
+                walk(r.shuffle_dep.parent)
+                deps.append(r.shuffle_dep)
+            else:
+                walk(r.parent)
+
+        walk(rdd)
+        return deps
+
+    def _run_stage(self, rdd: RDD, shuffle_into=None):
+        """Run one stage over all of ``rdd``'s partitions. DES process.
+
+        With ``shuffle_into`` (a ShuffleDependency), each task hash-
+        partitions its records and registers map-side outputs; otherwise
+        partition results are returned (result stage).
+        """
+        self._stage_seq += 1
+        stage_id = self._stage_seq
+        self.metrics["stages"] += 1
+        pending = list(range(rdd.n_partitions))
+        results: dict[int, list] = {}
+
+        def pick(node_name: str) -> Optional[int]:
+            for pos, index in enumerate(pending):
+                if node_name in rdd.partition_locations(index):
+                    return pending.pop(pos)
+            return pending.pop(0) if pending else None
+
+        def executor(node):
+            while True:
+                index = pick(node.name)
+                if index is None:
+                    return
+                self.metrics["tasks"] += 1
+                task = TaskContext(self, node, stage_id, index)
+                yield self.env.timeout(self.task_startup)
+                records = yield self.env.process(
+                    rdd.iterator(index, task))
+                for _phase, seconds in sorted(
+                        task.take_charges().items()):
+                    yield self.env.timeout(seconds)
+                if shuffle_into is not None:
+                    buckets = shuffle_into_rdd.map_side_partition(records)
+                    # Shuffle write: buffered to local disk like Spark.
+                    size = estimate_size(records)
+                    if size:
+                        yield node.disk.write(size)
+                    self._shuffle_outputs[id(shuffle_into)].append(
+                        (node, buckets))
+                else:
+                    results[index] = (node, records)
+
+        shuffle_into_rdd = None
+        if shuffle_into is not None:
+            self._shuffle_outputs[id(shuffle_into)] = []
+            # The child _ShuffledRDD holds the partitioning logic.
+            shuffle_into_rdd = shuffle_into.child
+
+        workers = []
+        for node in self.nodes:
+            for _core in range(self.executor_cores):
+                workers.append(self.env.process(executor(node)))
+        yield AllOf(self.env, workers)
+        return results
+
+    def _run_job(self, final: RDD) -> list:
+        """Execute the lineage and collect at the driver (blocking)."""
+        deps = self._stages_for(final)
+
+        def driver():
+            for dep in deps:
+                if id(dep) in self._shuffle_outputs:
+                    continue  # shuffle outputs cached from a prior action
+                yield self.env.process(
+                    self._run_stage(dep.parent, shuffle_into=dep))
+            results = yield self.env.process(self._run_stage(final))
+            # Results travel back to the driver.
+            transfers = []
+            for _index, (node, records) in results.items():
+                size = estimate_size(records)
+                if size:
+                    transfers.append(self.network.transfer(
+                        node, self.driver_node, size))
+            if transfers:
+                yield AllOf(self.env, transfers)
+            return results
+
+        proc = self.env.process(driver())
+        self.env.run()
+        results = proc.value
+        out: list = []
+        for index in sorted(results):
+            out.extend(results[index][1])
+        return out

@@ -1,0 +1,228 @@
+"""RDD lineage: lazy transformations, shuffle boundaries, actions."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.mapreduce.shuffle import (
+    estimate_size,
+    group_sorted,
+    hash_partition,
+    sort_run,
+)
+
+__all__ = ["RDD", "ShuffleDependency", "SparkLikeError"]
+
+
+class SparkLikeError(Exception):
+    """Engine-level errors."""
+
+
+class ShuffleDependency:
+    """A wide dependency: the child stage needs a hash repartition of the
+    parent's output."""
+
+    def __init__(self, parent: "RDD", n_partitions: int):
+        self.parent = parent
+        self.n_partitions = n_partitions
+        #: the _ShuffledRDD that owns the partitioning logic (set by it)
+        self.child: Optional["RDD"] = None
+
+
+class RDD:
+    """A lazy, partitioned dataset.
+
+    Subclasses implement :meth:`compute` — a DES process yielding the
+    records of one partition — and :meth:`partition_locations` for
+    locality. Transformations build lineage; actions hand the final RDD
+    to the context's DAG scheduler.
+    """
+
+    def __init__(self, ctx, n_partitions: int,
+                 shuffle_dep: Optional[ShuffleDependency] = None,
+                 parent: Optional["RDD"] = None):
+        self.ctx = ctx
+        self.n_partitions = n_partitions
+        self.shuffle_dep = shuffle_dep
+        self.parent = parent
+        self._id = ctx._next_rdd_id()
+        self._cached = False
+
+    # -- to be provided by subclasses -------------------------------------
+    def compute(self, index: int, task):
+        """DES process returning the partition's record list."""
+        raise NotImplementedError  # pragma: no cover
+
+    # -- caching -----------------------------------------------------------
+    def cache(self) -> "RDD":
+        """Persist computed partitions in executor memory, like Spark's
+        ``cache()``: later actions reuse them instead of recomputing,
+        paying only a transfer when the partition lives on another
+        node."""
+        self._cached = True
+        return self
+
+    def iterator(self, index: int, task):
+        """Cache-aware access to one partition. DES process.
+
+        Every consumer (child RDDs, the stage runner) goes through here,
+        so caching an intermediate RDD short-circuits the whole lineage
+        below it.
+        """
+        if self._cached:
+            hit = self.ctx._rdd_cache.get((self._id, index))
+            if hit is not None:
+                node, records = hit
+                self.ctx.metrics["cache_hits"] = \
+                    self.ctx.metrics.get("cache_hits", 0) + 1
+                if node is not task.node:
+                    size = estimate_size(records)
+                    if size:
+                        yield self.ctx.network.transfer(
+                            node, task.node, size)
+                return records
+        records = yield self.ctx.env.process(self.compute(index, task))
+        if self._cached:
+            self.ctx._rdd_cache[(self._id, index)] = (task.node, records)
+        return records
+
+    def partition_locations(self, index: int) -> list[str]:
+        """Preferred executor nodes for this partition."""
+        if self.parent is not None:
+            return self.parent.partition_locations(index)
+        return []
+
+    # -- narrow transformations --------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return _MapPartitionsRDD(
+            self, lambda task, records: [fn(r) for r in records])
+
+    def flat_map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return _MapPartitionsRDD(
+            self, lambda task, records: [o for r in records for o in fn(r)])
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        return _MapPartitionsRDD(
+            self, lambda task, records: [r for r in records
+                                         if predicate(r)])
+
+    def map_partitions(self,
+                       fn: Callable[[Any, list], list]) -> "RDD":
+        """``fn(task, records) -> records``. ``task`` exposes
+        ``charge(seconds, phase)`` for simulated compute accounting."""
+        return _MapPartitionsRDD(self, fn)
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "RDD":
+        return self.map(lambda r: (fn(r), r))
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    # -- wide transformations -------------------------------------------------
+    def reduce_by_key(self, fn: Callable[[Any, Any], Any],
+                      n_partitions: Optional[int] = None) -> "RDD":
+        """Combine values per key with ``fn`` (map-side combining, then a
+        shuffle, then a final merge — like Spark's reduceByKey)."""
+        return _ShuffledRDD(self, n_partitions, combiner=fn)
+
+    def group_by_key(self, n_partitions: Optional[int] = None) -> "RDD":
+        return _ShuffledRDD(self, n_partitions, combiner=None)
+
+    # -- actions -----------------------------------------------------------------
+    def collect(self) -> list:
+        """Run the job and gather every record at the driver."""
+        return self.ctx._run_job(self)
+
+    def count(self) -> int:
+        counted = _MapPartitionsRDD(
+            self, lambda task, records: [len(records)])
+        return sum(counted.collect())
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        partials = _MapPartitionsRDD(
+            self, lambda task, records: (
+                [_fold(records, fn)] if records else []))
+        values = partials.collect()
+        if not values:
+            raise SparkLikeError("reduce of an empty RDD")
+        return _fold(values, fn)
+
+    def take(self, n: int) -> list:
+        if n < 0:
+            raise SparkLikeError("take(n) needs n >= 0")
+        return self.collect()[:n]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<{type(self).__name__} id={self._id} "
+                f"partitions={self.n_partitions}>")
+
+
+def _fold(values, fn):
+    it = iter(values)
+    acc = next(it)
+    for value in it:
+        acc = fn(acc, value)
+    return acc
+
+
+class _MapPartitionsRDD(RDD):
+    """Narrow transformation, pipelined inside the parent's task."""
+
+    def __init__(self, parent: RDD, fn: Callable):
+        super().__init__(parent.ctx, parent.n_partitions, parent=parent)
+        self.fn = fn
+
+    def compute(self, index: int, task):
+        records = yield self.ctx.env.process(
+            self.parent.iterator(index, task))
+        out = self.fn(task, records)
+        task.charge(len(records) * self.ctx.record_cost, "compute")
+        return out
+
+
+class _ShuffledRDD(RDD):
+    """Wide transformation: introduces a stage boundary."""
+
+    def __init__(self, parent: RDD, n_partitions: Optional[int],
+                 combiner: Optional[Callable]):
+        n = n_partitions or parent.ctx.default_parallelism
+        super().__init__(parent.ctx, n,
+                         shuffle_dep=ShuffleDependency(parent, n))
+        self.shuffle_dep.child = self
+        self.combiner = combiner
+
+    def partition_locations(self, index: int) -> list[str]:
+        return []  # reducer-side partitions have no locality
+
+    def map_side_partition(self, records: list) -> list[list]:
+        """Hash-partition (and optionally combine) one map partition."""
+        buckets: list[list] = [[] for _ in range(self.n_partitions)]
+        for key, value in records:
+            buckets[hash_partition(key, self.n_partitions)].append(
+                (key, value))
+        if self.combiner is not None:
+            for i, bucket in enumerate(buckets):
+                combined = []
+                for key, values in group_sorted(sort_run(bucket)):
+                    combined.append((key, _fold(values, self.combiner)))
+                buckets[i] = combined
+        return buckets
+
+    def merge(self, runs: list[list]) -> list:
+        merged = sort_run([kv for run in runs for kv in run])
+        out = []
+        for key, values in group_sorted(merged):
+            if self.combiner is not None:
+                out.append((key, _fold(values, self.combiner)))
+            else:
+                out.append((key, values))
+        return out
+
+    def compute(self, index: int, task):
+        """Fetch this partition's shuffle bucket from every map output."""
+        runs = yield self.ctx.env.process(
+            task.fetch_shuffle(self.shuffle_dep, index))
+        out = self.merge(runs)
+        task.charge(sum(len(r) for r in runs) * self.ctx.record_cost,
+                    "merge")
+        return out

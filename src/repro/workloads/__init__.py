@@ -1,0 +1,18 @@
+"""Evaluation workloads and solution drivers.
+
+- :mod:`repro.workloads.nuwrf` — synthetic NU-WRF dataset generator
+  matching the paper's data model (§IV-A, §V-A).
+- :mod:`repro.workloads.terasort` / :mod:`~repro.workloads.grep` /
+  :mod:`~repro.workloads.dfsio` — the Fig. 2 Hadoop benchmarks.
+- :mod:`repro.workloads.pipeline` — the Img-only / Anlys phases
+  (plotting, animation, SQL analysis) shared by all solutions.
+- :mod:`repro.workloads.solutions` — the five data paths of Table I:
+  Naive, Vanilla Hadoop, PortHadoop, SciHadoop, SciDP.
+"""
+
+from repro.workloads.nuwrf import NUWRFConfig, generate_nuwrf
+
+__all__ = [
+    "NUWRFConfig",
+    "generate_nuwrf",
+]

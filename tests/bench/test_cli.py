@@ -1,0 +1,44 @@
+"""Tests for the `python -m repro.bench` CLI."""
+
+import pytest
+
+from repro import costs
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+@pytest.fixture(autouse=True)
+def _reset():
+    yield
+    costs.reset_scale()
+
+
+def test_no_args_lists_experiments(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+    assert "all" in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_quick_run_prints_table(capsys):
+    assert main(["table1", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "== table1 ==" in out
+    assert "scidp" in out
+    assert "wall]" in out
+
+
+def test_quick_fig9(capsys):
+    assert main(["fig9", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "no analysis" in out
+
+
+def test_every_experiment_has_quick_kwargs():
+    for name, (_runner, _full, quick) in EXPERIMENTS.items():
+        assert isinstance(quick, dict), name

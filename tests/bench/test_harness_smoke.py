@@ -1,0 +1,80 @@
+"""Smoke tests of the experiment harness at miniature sizes.
+
+The benchmark suite runs the real sizes and asserts the paper's shape;
+these tests only prove the runners work end-to-end and return
+well-formed rows, so `pytest tests/` stays fast.
+"""
+
+import pytest
+
+from repro import costs
+from repro.bench import harness
+
+
+@pytest.fixture(autouse=True)
+def _reset():
+    costs.reset_scale()
+    yield
+    costs.reset_scale()
+
+
+def test_table1_shape():
+    columns, rows, note = harness.table1_rows()
+    assert len(columns) == 4
+    assert len(rows) == 5
+    assert note
+
+
+def test_fig2_miniature():
+    columns, rows, note = harness.fig2_rows(
+        n_records=2000, n_lines=2000, dfsio_files=2,
+        dfsio_bytes=128 * 1024)
+    names = [r[0] for r in rows]
+    assert names == ["terasort", "grep", "dfsio-write", "dfsio-read",
+                     "geo-mean"]
+    for row in rows[:-1]:
+        assert row[1] > 0 and row[2] > 0
+
+
+def test_fig5_miniature():
+    columns, rows, note = harness.fig5_table3_rows(
+        sizes=(2,), solutions=("scidp", "scihadoop"))
+    totals = {r[0]: r[1] for r in rows if not r[0].startswith(
+        ("---", "scidp vs"))}
+    assert totals["scidp"] < totals["scihadoop"]
+
+
+def test_fig6_miniature():
+    columns, rows, note = harness.fig6_rows(readers=(1, 2))
+    assert len(rows) == 2
+    for row in rows:
+        assert all(v > 0 for v in row[1:])
+
+
+def test_fig7_miniature():
+    columns, rows, note = harness.fig7_rows(n_timesteps=2)
+    assert [r[0] for r in rows] == [
+        "naive", "vanilla", "porthadoop", "scidp"]
+
+
+def test_fig8_miniature():
+    columns, rows, note = harness.fig8_rows(
+        node_counts=(2, 4), n_timesteps=4)
+    assert rows[1][2] < rows[0][2]  # more nodes, less time
+
+
+def test_fig9_miniature():
+    columns, rows, note = harness.fig9_rows(
+        sizes=(2,), analyses=("none", "top1pct"))
+    (size, base, top), = rows
+    assert top > base
+
+
+def test_ablation_runners_miniature():
+    cols, rows, _ = harness.abl_chunk_alignment_rows(
+        n_timesteps=2, split_factor=2)
+    assert rows[1][3] == pytest.approx(2.0)
+    cols, rows, _ = harness.abl_read_granularity_rows(n_timesteps=2)
+    assert rows[1][1] > rows[0][1]
+    cols, rows, _ = harness.abl_subsetting_rows(n_timesteps=1)
+    assert rows[1][2] == 23 * rows[0][2]

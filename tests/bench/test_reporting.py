@@ -1,0 +1,36 @@
+"""Tests for the table formatter."""
+
+from repro.bench.reporting import format_table
+
+
+def test_format_table_alignment_and_content():
+    text = format_table(
+        "demo", ["name", "value"],
+        [("alpha", 1.0), ("b", 1234.5), ("c", 0.1234)],
+        note="hello")
+    lines = text.splitlines()
+    assert lines[0] == "== demo =="
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert "alpha" in lines[3]
+    assert "1,234" in text       # thousands separator for large floats
+    assert "0.123" in text       # 3 decimals for small floats
+    assert lines[-1] == "note: hello"
+    # Columns align: every data row has the separator at the same place.
+    sep_positions = {line.index("|") for line in lines[1:-1] if "|" in line}
+    assert len(sep_positions) == 1
+
+
+def test_format_table_empty_rows():
+    text = format_table("empty", ["a", "b"], [])
+    assert "== empty ==" in text
+    assert "a" in text and "b" in text
+
+
+def test_format_table_mixed_types():
+    text = format_table("t", ["x"], [(0,)])
+    assert "0" in text
+    text2 = format_table("t", ["x"], [(0.0,)])
+    assert "0" in text2
+    text3 = format_table("t", ["x"], [(12.3456,)])
+    assert "12.3" in text3

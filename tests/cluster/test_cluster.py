@@ -1,0 +1,232 @@
+"""Unit tests for the cluster hardware model."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    DiskSpec,
+    LinkSpec,
+    Node,
+    NodeSpec,
+    chameleon_compute_spec,
+    chameleon_storage_spec,
+)
+from repro.sim import Environment
+
+
+def run_proc(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+# ------------------------------------------------------------------- specs
+def test_compute_spec_matches_paper():
+    spec = chameleon_compute_spec()
+    assert spec.cpus == 24                       # two 12-core Xeons
+    assert spec.memory == 128 * 1024 ** 3        # 128 GB
+    assert len(spec.disks) == 1                  # one SATA HDD
+
+
+def test_storage_spec_disk_count_configurable():
+    assert len(chameleon_storage_spec(16).disks) == 16
+    assert len(chameleon_storage_spec(4).disks) == 4
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        DiskSpec(bandwidth=0)
+    with pytest.raises(ValueError):
+        LinkSpec(bandwidth=-1)
+    with pytest.raises(ValueError):
+        NodeSpec(cpus=0)
+    with pytest.raises(ValueError):
+        NodeSpec(disks=())
+
+
+# -------------------------------------------------------------------- disk
+def test_disk_read_time_includes_seek():
+    env = Environment()
+    node = Node(env, "n0", NodeSpec(
+        disks=(DiskSpec(bandwidth=100.0, seek_latency=0.5),)))
+    t = []
+
+    def proc():
+        yield node.disk.read(100)
+        t.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert t == [pytest.approx(1.5)]  # 0.5 seek + 100B/100Bps
+
+
+def test_disk_reads_and_writes_share_bandwidth():
+    env = Environment()
+    node = Node(env, "n0", NodeSpec(
+        disks=(DiskSpec(bandwidth=100.0, seek_latency=0.0),)))
+    times = {}
+
+    def reader():
+        yield node.disk.read(100)
+        times["r"] = env.now
+
+    def writer():
+        yield node.disk.write(100)
+        times["w"] = env.now
+
+    env.process(reader())
+    env.process(writer())
+    env.run()
+    assert times["r"] == pytest.approx(2.0)
+    assert times["w"] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------- network
+def make_pair(env, bw=100.0):
+    spec = NodeSpec(nic=LinkSpec(bandwidth=bw, latency=0.0))
+    return Node(env, "a", spec), Node(env, "b", spec)
+
+
+def test_network_transfer_time():
+    from repro.cluster import Network
+    env = Environment()
+    a, b = make_pair(env)
+    net = Network(env)
+    t = []
+
+    def proc():
+        yield net.transfer(a, b, 500)
+        t.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert t == [pytest.approx(5.0)]
+
+
+def test_local_transfer_is_free():
+    from repro.cluster import Network
+    env = Environment()
+    a, _ = make_pair(env)
+    net = Network(env)
+    t = []
+
+    def proc():
+        yield net.transfer(a, a, 10**12)
+        t.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert t == [0.0]
+    assert net.bytes_moved == 0
+
+
+def test_incast_contention_on_receiver():
+    """Two senders to one receiver: rx pipe halves each flow."""
+    from repro.cluster import Network
+    env = Environment()
+    spec = NodeSpec(nic=LinkSpec(bandwidth=100.0, latency=0.0))
+    a = Node(env, "a", spec)
+    b = Node(env, "b", spec)
+    c = Node(env, "c", spec)
+    net = Network(env)
+    t = []
+
+    def send(src):
+        yield net.transfer(src, c, 500)
+        t.append(env.now)
+
+    env.process(send(a))
+    env.process(send(b))
+    env.run()
+    assert all(x == pytest.approx(10.0) for x in t)
+
+
+def test_core_switch_caps_aggregate():
+    from repro.cluster import Network
+    env = Environment()
+    spec = NodeSpec(nic=LinkSpec(bandwidth=100.0, latency=0.0))
+    nodes = [Node(env, f"n{i}", spec) for i in range(4)]
+    net = Network(env, core_bandwidth=100.0)
+    t = []
+
+    def send(src, dst):
+        yield net.transfer(src, dst, 500)
+        t.append(env.now)
+
+    # Two disjoint pairs: NICs alone would allow both at 100 B/s (5s each),
+    # but the 100 B/s core limits the aggregate -> 10s.
+    env.process(send(nodes[0], nodes[1]))
+    env.process(send(nodes[2], nodes[3]))
+    env.run()
+    assert all(x == pytest.approx(10.0) for x in t)
+
+
+def test_network_accounting():
+    from repro.cluster import Network
+    env = Environment()
+    a, b = make_pair(env)
+    net = Network(env)
+
+    def proc():
+        yield net.transfer(a, b, 123)
+
+    env.process(proc())
+    env.run()
+    assert net.bytes_moved == 123
+
+
+# ----------------------------------------------------------------- cluster
+def test_cluster_chameleon_shape():
+    env = Environment()
+    c = Cluster.chameleon(env, n_compute=8, n_storage=3)
+    assert len(c.compute_nodes) == 8
+    assert len(c.storage_nodes) == 3
+    assert len(c) == 11
+    assert c["compute0"].spec.cpus == 24
+
+
+def test_cluster_rejects_duplicate_names():
+    env = Environment()
+    c = Cluster(env)
+    c.add_node("x")
+    with pytest.raises(ValueError):
+        c.add_node("x")
+
+
+def test_cluster_rejects_unknown_role():
+    env = Environment()
+    c = Cluster(env)
+    with pytest.raises(ValueError):
+        c.add_node("x", role="gpu")
+
+
+def test_node_compute_advances_time():
+    env = Environment()
+    node = Node(env, "n")
+    t = []
+
+    def proc():
+        yield node.compute(2.5)
+        t.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert t == [2.5]
+
+
+def test_node_cpu_slots_limit_parallelism():
+    env = Environment()
+    node = Node(env, "n", NodeSpec(cpus=2))
+    finished = []
+
+    def task(i):
+        req = node.cpu.request()
+        yield req
+        yield node.compute(1.0)
+        node.cpu.release(req)
+        finished.append((i, env.now))
+
+    for i in range(4):
+        env.process(task(i))
+    env.run()
+    assert [t for _, t in finished] == [1.0, 1.0, 2.0, 2.0]

@@ -1,0 +1,65 @@
+"""Shared SciDP core fixtures: a small two-cluster world with data."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, DiskSpec, LinkSpec, NodeSpec
+from repro.core import SciDP
+from repro.formats import Dataset, scinc
+from repro.hdfs import HDFS
+from repro.pfs import PFS, StripeLayout
+from repro.sim import Environment
+
+
+def small_spec(disk_bw=10**7, nic_bw=10**8, n_disks=1, cpus=8):
+    return NodeSpec(
+        cpus=cpus,
+        memory=10**9,
+        disks=tuple(DiskSpec(bandwidth=disk_bw, seek_latency=0.001)
+                    for _ in range(n_disks)),
+        nic=LinkSpec(bandwidth=nic_bw, latency=0.0001),
+    )
+
+
+def make_dataset(n_vars=2, shape=(4, 8, 8), chunk=(1, 8, 8), seed=0):
+    rng = np.random.default_rng(seed)
+    ds = Dataset(attrs={"model": "NU-WRF"})
+    for i in range(n_vars):
+        ds.create_variable(
+            f"var_{chr(65 + i)}", ("z", "y", "x"),
+            rng.random(shape).astype(np.float32),
+            chunk_shape=chunk, attrs={"units": "mm/h"})
+    return ds
+
+
+def scinc_bytes(ds, level=4):
+    buf = io.BytesIO()
+    scinc.write(buf, ds, compression_level=level)
+    return buf.getvalue()
+
+
+@pytest.fixture
+def world():
+    """4 Hadoop nodes + 1 MDS + 1 OSS(4 OSTs), SciDP wired up."""
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(4)]
+    mds = cluster.add_node("mds", small_spec(), role="storage")
+    oss = cluster.add_node("oss", small_spec(n_disks=4), role="storage")
+    pfs = PFS(env, cluster.network, mds, [oss],
+              default_layout=StripeLayout(stripe_size=4096, stripe_count=4))
+    hdfs = HDFS(env, cluster.network, block_size=4096, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    scidp = SciDP(env, nodes, pfs, hdfs, cluster.network,
+                  flat_block_size=4096)
+    return env, cluster, nodes, pfs, hdfs, scidp
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value

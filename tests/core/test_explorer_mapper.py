@@ -1,0 +1,196 @@
+"""Tests for the File Explorer and Data Mapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataMapper, FileExplorer
+from repro.core.mapper import _leading_split
+
+from tests.core.conftest import make_dataset, run, scinc_bytes
+
+
+def seed_pfs(pfs):
+    """One scientific file + one flat file, like the paper's example
+    (plot_18_00_00.nc and plot_19_00_00.csv, §III-A.1)."""
+    ds = make_dataset()
+    pfs.store_file("/data/plot_18_00_00.nc", scinc_bytes(ds))
+    pfs.store_file("/data/plot_19_00_00.csv", b"t,z,y,x,value\n" * 500)
+    return ds
+
+
+# ------------------------------------------------------------ explorer
+def test_explorer_classifies_formats(world):
+    env, _cluster, nodes, pfs, _hdfs, scidp = world
+    seed_pfs(pfs)
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    explored = run(env, explorer.explore("/data"))
+    by_path = {e.path: e for e in explored}
+    assert by_path["/data/plot_18_00_00.nc"].format == "scinc"
+    assert by_path["/data/plot_18_00_00.nc"].header is not None
+    assert by_path["/data/plot_19_00_00.csv"].format == "flat"
+    assert by_path["/data/plot_19_00_00.csv"].header is None
+
+
+def test_explorer_single_file_path(world):
+    env, _cluster, nodes, pfs, _hdfs, scidp = world
+    seed_pfs(pfs)
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    explored = run(env, explorer.explore("/data/plot_18_00_00.nc"))
+    assert len(explored) == 1
+    assert explored[0].format == "scinc"
+
+
+def test_explorer_missing_path_returns_empty(world):
+    env, _cluster, nodes, _pfs, _hdfs, scidp = world
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    assert run(env, explorer.explore("/nope")) == []
+
+
+def test_explorer_charges_io_time(world):
+    env, _cluster, nodes, pfs, _hdfs, scidp = world
+    seed_pfs(pfs)
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    t0 = env.now
+    run(env, explorer.explore("/data"))
+    assert env.now > t0
+
+
+def test_explorer_detects_sdf5(world):
+    from repro.formats import sdf5
+    import io
+    env, _cluster, nodes, pfs, _hdfs, scidp = world
+    ds = make_dataset(n_vars=1)
+    buf = io.BytesIO()
+    sdf5.write(buf, ds)
+    pfs.store_file("/h5/sim.h5", buf.getvalue())
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    explored = run(env, explorer.explore("/h5"))
+    assert explored[0].format == "sdf5"
+
+
+# -------------------------------------------------------------- mapper
+def explore(world):
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    ds = seed_pfs(pfs)
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    return env, hdfs, ds, run(env, explorer.explore("/data"))
+
+
+def test_mapper_creates_variable_virtual_files(world):
+    env, hdfs, ds, explored = explore(world)
+    mapper = DataMapper(hdfs.namenode)
+    run(env, mapper.map_files(explored))
+    # Directory tree mirrors the file name; one virtual file per variable.
+    assert hdfs.namenode.exists("/scidp/data/plot_18_00_00.nc/var_A")
+    assert hdfs.namenode.exists("/scidp/data/plot_18_00_00.nc/var_B")
+    assert hdfs.namenode.exists("/scidp/data/plot_19_00_00.csv")
+
+
+def test_mapper_chunk_aligned_blocks(world):
+    env, hdfs, ds, explored = explore(world)
+    mapper = DataMapper(hdfs.namenode)
+    run(env, mapper.map_files(explored))
+    blocks = hdfs.namenode.get_block_locations(
+        "/scidp/data/plot_18_00_00.nc/var_A")
+    # shape (4,8,8) with chunk (1,8,8) -> 4 chunks -> 4 dummy blocks.
+    assert len(blocks) == 4
+    for b in blocks:
+        assert b.is_virtual
+        assert b.locations == []
+        assert b.virtual.hyperslab["aligned"] is True
+        assert b.virtual.hyperslab["count"] == [1, 8, 8]
+
+
+def test_mapper_block_length_is_stored_chunk_size(world):
+    env, hdfs, ds, explored = explore(world)
+    mapper = DataMapper(hdfs.namenode)
+    run(env, mapper.map_files(explored))
+    sci = next(e for e in explored if e.is_scientific)
+    var = sci.header.variable("/var_A")
+    blocks = hdfs.namenode.get_block_locations(
+        "/scidp/data/plot_18_00_00.nc/var_A")
+    assert [b.length for b in blocks] == [c.nbytes for c in var.chunks]
+
+
+def test_mapper_flat_blocks_fixed_size(world):
+    env, hdfs, _ds, explored = explore(world)
+    mapper = DataMapper(hdfs.namenode, flat_block_size=3000)
+    run(env, mapper.map_files(explored))
+    blocks = hdfs.namenode.get_block_locations(
+        "/scidp/data/plot_19_00_00.csv")
+    flat_size = 14 * 500
+    assert [b.length for b in blocks] == [3000, 3000, flat_size - 6000]
+    offsets = [b.virtual.offset for b in blocks]
+    assert offsets == [0, 3000, 6000]
+
+
+def test_mapper_variable_subsetting(world):
+    env, hdfs, _ds, explored = explore(world)
+    mapper = DataMapper(hdfs.namenode)
+    run(env, mapper.map_files(explored, variables=["var_A"]))
+    assert hdfs.namenode.exists("/scidp/data/plot_18_00_00.nc/var_A")
+    assert not hdfs.namenode.exists("/scidp/data/plot_18_00_00.nc/var_B")
+
+
+def test_mapper_block_bytes_splits_chunks(world):
+    env, hdfs, _ds, explored = explore(world)
+    # chunk raw = 1*8*8*4 = 256 bytes; target 128 -> 2 blocks per chunk.
+    mapper = DataMapper(hdfs.namenode, block_bytes=128)
+    run(env, mapper.map_files(explored, variables=["var_A"]))
+    blocks = hdfs.namenode.get_block_locations(
+        "/scidp/data/plot_18_00_00.nc/var_A")
+    assert len(blocks) == 8
+    for b in blocks:
+        assert b.virtual.hyperslab["aligned"] is False
+        # Sub-blocks cover half a chunk along the leading in-chunk axis.
+        assert b.virtual.hyperslab["count"][1] == 4
+
+
+def test_mapper_group_tree_mirrored(world):
+    import io
+    from repro.formats import Dataset, scinc as scinc_mod
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    ds = Dataset()
+    grp = ds.create_group("model")
+    grp.create_variable("qr", ("x",), np.arange(8, dtype=np.float32))
+    buf = io.BytesIO()
+    scinc_mod.write(buf, ds)
+    pfs.store_file("/deep/sim.nc", buf.getvalue())
+    from repro.core import FileExplorer as FE
+    explored = run(env, FE(scidp.pfs_client(nodes[0])).explore("/deep"))
+    mapper = DataMapper(hdfs.namenode)
+    run(env, mapper.map_files(explored))
+    assert hdfs.namenode.exists("/scidp/deep/sim.nc/model/qr")
+
+
+def test_mapping_table_registry(world):
+    env, hdfs, _ds, explored = explore(world)
+    mapper = DataMapper(hdfs.namenode)
+    run(env, mapper.map_files(explored))
+    assert len(mapper.table) == 3
+    source, var = mapper.table.lookup("/scidp/data/plot_18_00_00.nc/var_A")
+    assert source.path == "/data/plot_18_00_00.nc"
+    assert var == "/var_A"
+    source2, var2 = mapper.table.lookup("/scidp/data/plot_19_00_00.csv")
+    assert var2 is None
+
+
+def test_leading_split_helper():
+    assert _leading_split((0, 0), (4, 8), 2) == [
+        ((0, 0), (2, 8)), ((2, 0), (2, 8))]
+    assert _leading_split((1, 0), (3, 8), 2) == [
+        ((1, 0), (2, 8)), ((3, 0), (1, 8))]
+    # More pieces than rows: capped at rows.
+    assert len(_leading_split((0,), (2,), 5)) == 2
+    assert _leading_split((), (), 3) == [((), ())]
+
+
+def test_mapper_validation():
+    import pytest as _pytest
+    from repro.hdfs import NameNode
+    from repro.sim import Environment
+    nn = NameNode(Environment())
+    with _pytest.raises(ValueError):
+        DataMapper(nn, flat_block_size=0)
+    with _pytest.raises(ValueError):
+        DataMapper(nn, block_bytes=0)

@@ -1,0 +1,260 @@
+"""Tests for the PFS Reader, SciDPInputFormat, and the SciDP facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataMapper, FileExplorer, PFSReader
+from repro.mapreduce import JobConf
+
+from tests.core.conftest import make_dataset, run, scinc_bytes
+
+
+def seed(world, ds=None, level=4):
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    ds = ds or make_dataset()
+    pfs.store_file("/data/plot_18_00_00.nc", scinc_bytes(ds, level))
+    return env, nodes, pfs, hdfs, scidp, ds
+
+
+def mapped_blocks(world, variables=None, block_bytes=None):
+    env, nodes, pfs, hdfs, scidp, ds = seed(world)
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    explored = run(env, explorer.explore("/data"))
+    mapper = DataMapper(hdfs.namenode, block_bytes=block_bytes)
+    run(env, mapper.map_files(explored, variables=variables))
+    blocks = hdfs.namenode.get_block_locations(
+        "/scidp/data/plot_18_00_00.nc/var_A")
+    return env, nodes, scidp, ds, blocks
+
+
+# ------------------------------------------------------------ PFS reader
+def test_reader_returns_exact_hyperslab(world):
+    env, nodes, scidp, ds, blocks = mapped_blocks(world)
+    reader = PFSReader(scidp.pfs_client(nodes[1]))
+    got = run(env, reader.read_block(blocks[2].virtual))
+    expect = ds.variables["var_A"].data[2:3]
+    np.testing.assert_array_equal(got, expect)
+
+
+def test_reader_accounts_compressed_and_raw_bytes(world):
+    env, nodes, scidp, ds, blocks = mapped_blocks(world)
+    reader = PFSReader(scidp.pfs_client(nodes[1]))
+    run(env, reader.read_block(blocks[0].virtual))
+    assert reader.bytes_fetched == blocks[0].length       # stored bytes
+    assert reader.bytes_delivered == 8 * 8 * 4            # raw slab
+
+
+def test_reader_flat_block(world):
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    payload = bytes(range(256)) * 20
+    pfs.store_file("/data/notes.csv", payload)
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    explored = run(env, explorer.explore("/data"))
+    mapper = DataMapper(hdfs.namenode, flat_block_size=2048)
+    run(env, mapper.map_files(explored))
+    blocks = hdfs.namenode.get_block_locations("/scidp/data/notes.csv")
+    reader = PFSReader(scidp.pfs_client(nodes[1]))
+    got = run(env, reader.read_block(blocks[1].virtual))
+    assert got == payload[2048:4096]
+
+
+def test_reader_uncompressed_container(world):
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    ds = make_dataset(n_vars=1)
+    pfs.store_file("/raw/plot.nc", scinc_bytes(ds, level=0))
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    explored = run(env, explorer.explore("/raw"))
+    mapper = DataMapper(hdfs.namenode)
+    run(env, mapper.map_files(explored))
+    blocks = hdfs.namenode.get_block_locations("/scidp/raw/plot.nc/var_A")
+    reader = PFSReader(scidp.pfs_client(nodes[1]))
+    got = run(env, reader.read_block(blocks[0].virtual))
+    np.testing.assert_array_equal(got, ds.variables["var_A"].data[0:1])
+
+
+def test_reader_split_chunk_returns_subslab_but_fetches_whole_chunk(world):
+    env, nodes, scidp, ds, blocks = mapped_blocks(world, block_bytes=128)
+    assert len(blocks) == 8  # 4 chunks x 2 sub-blocks
+    reader = PFSReader(scidp.pfs_client(nodes[1]))
+    got = run(env, reader.read_block(blocks[1].virtual))
+    expect = ds.variables["var_A"].data[0:1, 4:8, :]
+    np.testing.assert_array_equal(got, expect)
+    # Unaligned: the whole compressed chunk crossed the wire.
+    chunk_bytes = blocks[0].virtual.hyperslab["chunks"][0]["nbytes"]
+    assert reader.bytes_fetched == chunk_bytes
+    assert reader.bytes_delivered == expect.nbytes
+
+
+def test_whole_block_read_beats_64kb_streaming(world):
+    """§III-A.3 ablation: single-request reads beat chopped reads."""
+    env, nodes, scidp, _ds, blocks = mapped_blocks(world)
+    vb = blocks[0].virtual
+
+    t0 = env.now
+    run(env, PFSReader(scidp.pfs_client(nodes[1])).read_block(vb))
+    whole = env.now - t0
+
+    t1 = env.now
+    chopped_reader = PFSReader(scidp.pfs_client(nodes[2]), granularity=16)
+    run(env, chopped_reader.read_block(vb))
+    chopped = env.now - t1
+    assert whole < chopped
+
+
+def test_reader_validation(world):
+    env, _cluster, nodes, _pfs, _hdfs, scidp = world
+    with pytest.raises(ValueError):
+        PFSReader(scidp.pfs_client(nodes[0]), granularity=0)
+
+
+# --------------------------------------------------------- input format
+def npsum_mapper(ctx, key, value):
+    ctx.emit("total", float(np.asarray(value, dtype=np.float64).sum()))
+    ctx.charge(1e-6)
+
+
+def total_reducer(ctx, key, values):
+    ctx.emit(key, sum(values))
+
+
+def test_scidp_job_end_to_end(world):
+    env, nodes, pfs, hdfs, scidp, ds = seed(world)
+    job = JobConf(
+        name="sum",
+        mapper=npsum_mapper,
+        reducer=total_reducer,
+        input_format=scidp.input_format(variables=["var_A"]),
+        n_reducers=1,
+        input_paths=["pfs:///data"],
+        task_startup=0.01,
+    )
+    result = run(env, scidp.run_job(job))
+    got = dict(result.outputs[0])["total"]
+    expect = float(ds.variables["var_A"].data.astype(np.float64).sum())
+    assert got == pytest.approx(expect, rel=1e-6)
+    # One split per chunk of the selected variable only.
+    assert result.counters.value("job", "splits") == 4
+    assert result.counters.value("scidp", "blocks_read") == 4
+
+
+def test_scidp_subsetting_reduces_bytes(world):
+    env, nodes, pfs, hdfs, scidp, ds = seed(world)
+
+    def run_with(variables, name):
+        job = JobConf(
+            name=name, mapper=npsum_mapper, reducer=total_reducer,
+            input_format=scidp.input_format(variables=variables),
+            n_reducers=1, input_paths=["pfs:///data"], task_startup=0.0)
+        return run(env, scidp.run_job(job))
+
+    all_vars = run_with(None, "all")
+    one_var = run_with(["var_A"], "one")
+    assert (one_var.counters.value("scidp", "bytes_fetched")
+            < all_vars.counters.value("scidp", "bytes_fetched"))
+
+
+def test_scidp_falls_back_to_hdfs_for_plain_paths(world):
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    hdfs.store_file_sync("/plain/input.txt", b"a b\nb\n")
+
+    def wc_mapper(ctx, _off, line):
+        for w in line.split():
+            ctx.emit(w, 1)
+
+    job = JobConf(
+        name="wc", mapper=wc_mapper, reducer=total_reducer,
+        input_format=scidp.input_format(),
+        n_reducers=1, input_paths=["/plain"], task_startup=0.0)
+    result = run(env, scidp.run_job(job))
+    got = dict(result.outputs[0])
+    assert got == {b"a": 1, b"b": 2}
+
+
+def test_scidp_mixed_inputs(world):
+    env, nodes, pfs, hdfs, scidp, ds = seed(world)
+    hdfs.store_file_sync("/plain/input.txt", b"x\n")
+
+    seen = {"array": 0, "text": 0}
+
+    def probe_mapper(ctx, key, value):
+        if isinstance(value, np.ndarray):
+            seen["array"] += 1
+        else:
+            seen["text"] += 1
+        ctx.emit("n", 1)
+
+    job = JobConf(
+        name="mixed", mapper=probe_mapper, reducer=total_reducer,
+        input_format=scidp.input_format(variables=["var_A"]),
+        n_reducers=1, input_paths=["pfs:///data", "/plain"],
+        task_startup=0.0)
+    result = run(env, scidp.run_job(job))
+    assert seen["array"] == 4 and seen["text"] == 1
+    assert dict(result.outputs[0])["n"] == 5
+
+
+def test_mapping_cache_reused_across_jobs(world):
+    env, nodes, pfs, hdfs, scidp, ds = seed(world)
+
+    def job(name):
+        return JobConf(
+            name=name, mapper=npsum_mapper, reducer=total_reducer,
+            input_format=scidp.input_format(variables=["var_A"]),
+            n_reducers=1, input_paths=["pfs:///data"], task_startup=0.0)
+
+    run(env, scidp.run_job(job("first")))
+    # Second job over the same input: mapping cached, no duplicate
+    # namespace creation (create_virtual_file would raise on a dup).
+    result = run(env, scidp.run_job(job("second")))
+    assert result.counters.value("scidp", "blocks_read") == 4
+
+
+def test_scidp_rmr_session_over_pfs_data(world):
+    from repro.rlang.rmr import keyval
+    env, nodes, pfs, hdfs, scidp, ds = seed(world)
+    session = scidp.rmr_session()
+
+    def level_max(key, value):
+        return keyval("max", float(np.asarray(value).max()))
+
+    def overall(key, values):
+        return keyval(key, max(values))
+
+    result = run(env, session.mapreduce(
+        input="pfs:///data", map=level_max, reduce=overall,
+        input_format=scidp.input_format(variables=["var_A"]),
+        name="rmr-max"))
+    got = dict(result.outputs[0])["max"]
+    assert got == pytest.approx(float(ds.variables["var_A"].data.max()))
+
+
+def test_scidp_processes_sdf5_hierarchical_files(world):
+    """End-to-end over the HDF5 stand-in: nested groups map to nested
+    virtual directories and the PFS Reader serves their hyperslabs."""
+    import io
+    from repro.formats import Dataset, sdf5
+
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    ds = Dataset()
+    model = ds.create_group("model")
+    micro = model.create_group("microphysics")
+    data = np.arange(64, dtype=np.float32).reshape(4, 16)
+    micro.create_variable("qc", ("z", "y"), data, chunk_shape=(1, 16))
+    buf = io.BytesIO()
+    sdf5.write(buf, ds)
+    pfs.store_file("/h5run/sim.h5", buf.getvalue())
+
+    job = JobConf(
+        name="h5sum",
+        mapper=npsum_mapper,
+        reducer=total_reducer,
+        input_format=scidp.input_format(),
+        n_reducers=1,
+        input_paths=["pfs:///h5run"],
+        task_startup=0.0,
+    )
+    result = run(env, scidp.run_job(job))
+    assert hdfs.namenode.exists("/scidp/h5run/sim.h5/model/microphysics/qc")
+    got = dict(result.outputs[0])["total"]
+    assert got == pytest.approx(float(data.astype(np.float64).sum()))
+    assert result.counters.value("scidp", "blocks_read") == 4

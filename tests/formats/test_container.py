@@ -1,0 +1,221 @@
+"""Round-trip and hyperslab tests for the SCNC/SDF5 container."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import Dataset
+from repro.formats import scinc, sdf5
+from repro.formats.container import FormatError, read_header
+
+
+def make_file(data, chunk_shape=None, level=4, fmt=scinc):
+    ds = Dataset(attrs={"title": "test"})
+    ds.create_variable("var", tuple(f"d{i}" for i in range(data.ndim)),
+                       data, chunk_shape=chunk_shape,
+                       attrs={"units": "kg"})
+    buf = io.BytesIO()
+    fmt.write(buf, ds, compression_level=level)
+    return buf
+
+
+def test_roundtrip_full_variable():
+    data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+    buf = make_file(data)
+    r = scinc.Reader(buf)
+    assert r.variable_paths() == ["/var"]
+    np.testing.assert_array_equal(r.get_vara("/var"), data)
+
+
+def test_roundtrip_uncompressed():
+    data = np.arange(10, dtype=np.int64)
+    buf = make_file(data, level=0)
+    r = scinc.Reader(buf)
+    np.testing.assert_array_equal(r.get_vara("/var"), data)
+    var = r.variable("/var")
+    assert var.stored_nbytes == data.nbytes  # raw chunks
+
+
+def test_compression_reduces_stored_size():
+    data = np.zeros((64, 64), dtype=np.float32)  # very compressible
+    buf = make_file(data, level=4)
+    r = scinc.Reader(buf)
+    var = r.variable("/var")
+    assert var.stored_nbytes < var.nbytes / 10
+
+
+def test_hyperslab_read_middle():
+    data = np.arange(1000, dtype=np.float32).reshape(10, 10, 10)
+    buf = make_file(data, chunk_shape=(3, 4, 5))
+    r = scinc.Reader(buf)
+    got = r.get_vara("/var", (2, 3, 4), (5, 4, 3))
+    np.testing.assert_array_equal(got, data[2:7, 3:7, 4:7])
+
+
+def test_hyperslab_only_reads_needed_chunks():
+    data = np.arange(100, dtype=np.float32).reshape(10, 10)
+    buf = make_file(data, chunk_shape=(2, 10))
+    r = scinc.Reader(buf)
+    var = r.variable("/var")
+    # Rows 0-1 live in chunk (0,0) only.
+    assert len(r.chunks_for_slab(var, (0, 0), (2, 10))) == 1
+    # Rows 1-2 straddle chunks (0,0) and (1,0).
+    assert len(r.chunks_for_slab(var, (1, 0), (2, 10))) == 2
+
+
+def test_slab_out_of_range_rejected():
+    data = np.zeros((4, 4), dtype=np.float32)
+    buf = make_file(data)
+    r = scinc.Reader(buf)
+    var = r.variable("/var")
+    with pytest.raises(ValueError):
+        r.chunks_for_slab(var, (0, 0), (5, 4))
+    with pytest.raises(ValueError):
+        r.chunks_for_slab(var, (-1, 0), (2, 2))
+
+
+def test_zero_count_slab_returns_empty():
+    data = np.zeros((4, 4), dtype=np.float32)
+    buf = make_file(data)
+    r = scinc.Reader(buf)
+    out = r.get_vara("/var", (0, 0), (0, 4))
+    assert out.shape == (0, 4)
+
+
+def test_groups_roundtrip():
+    ds = Dataset()
+    g = ds.create_group("model")
+    inner = g.create_group("level2")
+    inner.create_variable("qc", ("x",), np.arange(5, dtype=np.float32))
+    buf = io.BytesIO()
+    scinc.write(buf, ds)
+    r = scinc.Reader(buf)
+    assert r.variable_paths() == ["/model/level2/qc"]
+    np.testing.assert_array_equal(
+        r.get_vara("/model/level2/qc"), np.arange(5, dtype=np.float32))
+
+
+def test_attrs_roundtrip():
+    data = np.zeros(3, dtype=np.float32)
+    buf = make_file(data)
+    r = scinc.Reader(buf)
+    assert r.variable("/var").attrs == {"units": "kg"}
+
+
+def test_magic_mismatch_raises():
+    data = np.zeros(3, dtype=np.float32)
+    buf = make_file(data, fmt=scinc)
+    with pytest.raises(FormatError):
+        sdf5.Reader(buf)
+
+
+def test_truncated_file_raises():
+    buf = io.BytesIO(b"SCNC")
+    with pytest.raises(FormatError):
+        read_header(buf)
+
+
+def test_corrupt_header_raises():
+    buf = io.BytesIO(scinc.MAGIC + (99999).to_bytes(8, "little") + b"{}")
+    with pytest.raises(FormatError):
+        read_header(buf)
+
+
+def test_is_scinc_and_h5f_is_hdf5():
+    data = np.zeros(3, dtype=np.float32)
+    nc = make_file(data, fmt=scinc)
+    h5 = make_file(data, fmt=sdf5)
+    flat = io.BytesIO(b"plain,text,file\n1,2,3\n")
+    assert scinc.is_scinc(nc) and not scinc.is_scinc(h5)
+    assert sdf5.h5f_is_hdf5(h5) and not sdf5.h5f_is_hdf5(nc)
+    assert not scinc.is_scinc(flat) and not sdf5.h5f_is_hdf5(flat)
+
+
+def test_multiple_variables_independent_chunk_regions():
+    ds = Dataset()
+    a = np.arange(12, dtype=np.float32).reshape(3, 4)
+    b = np.arange(100, 110, dtype=np.float64)
+    ds.create_variable("a", ("y", "x"), a, chunk_shape=(2, 4))
+    ds.create_variable("b", ("t",), b)
+    buf = io.BytesIO()
+    scinc.write(buf, ds)
+    r = scinc.Reader(buf)
+    np.testing.assert_array_equal(r.get_vara("/a"), a)
+    np.testing.assert_array_equal(r.get_vara("/b"), b)
+
+
+def test_unwritten_lazy_variable_rejected():
+    from repro.formats.model import Variable
+    ds = Dataset()
+    ds.add_variable(Variable("v", ("x",), shape=(4,), dtype=np.float32))
+    with pytest.raises(FormatError):
+        scinc.write(io.BytesIO(), ds)
+
+
+# ------------------------------------------------------------- property
+@st.composite
+def array_and_chunks(draw):
+    rank = draw(st.integers(min_value=1, max_value=3))
+    shape = tuple(draw(st.integers(min_value=1, max_value=8))
+                  for _ in range(rank))
+    chunk = tuple(draw(st.integers(min_value=1, max_value=s))
+                  for s in shape)
+    n = int(np.prod(shape))
+    values = draw(st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=n, max_size=n))
+    data = np.array(values, dtype=np.float32).reshape(shape)
+    return data, chunk
+
+
+@given(array_and_chunks())
+@settings(max_examples=40, deadline=None)
+def test_property_roundtrip_any_chunking(case):
+    data, chunk = case
+    buf = make_file(data, chunk_shape=chunk)
+    r = scinc.Reader(buf)
+    np.testing.assert_array_equal(r.get_vara("/var"), data)
+
+
+@given(array_and_chunks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_hyperslab_equals_numpy_slice(case, payload):
+    data, chunk = case
+    start = tuple(
+        payload.draw(st.integers(min_value=0, max_value=s - 1))
+        for s in data.shape)
+    count = tuple(
+        payload.draw(st.integers(min_value=1, max_value=s - st_))
+        for s, st_ in zip(data.shape, start))
+    buf = make_file(data, chunk_shape=chunk)
+    r = scinc.Reader(buf)
+    got = r.get_vara("/var", start, count)
+    expect = data[tuple(slice(s, s + c) for s, c in zip(start, count))]
+    np.testing.assert_array_equal(got, expect)
+
+
+def test_writer_is_deterministic():
+    """Identical datasets serialize to identical bytes — virtual block
+    offsets computed by one process are valid for every other."""
+    import numpy as np
+    rng = np.random.default_rng(0)
+    data = rng.random((4, 8)).astype(np.float32)
+    a = make_file(data, chunk_shape=(2, 8))
+    b = make_file(data, chunk_shape=(2, 8))
+    assert a.getvalue() == b.getvalue()
+
+
+def test_header_json_is_sorted_and_compact():
+    import struct
+    data = np.zeros((2, 2), dtype=np.float32)
+    raw = make_file(data).getvalue()
+    (header_len,) = struct.unpack("<Q", raw[6:14])
+    header = raw[14:14 + header_len]
+    # Compact separators: no ": " or ", " inside the JSON header.
+    assert b": " not in header and b", " not in header
+    import json
+    parsed = json.loads(header)
+    assert list(parsed) == sorted(parsed)  # sort_keys=True

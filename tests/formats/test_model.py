@@ -1,0 +1,102 @@
+"""Tests for the dataset/group/variable model."""
+
+import numpy as np
+import pytest
+
+from repro.formats import Dataset, Group, Variable
+from repro.formats.model import default_chunk_shape
+
+
+def test_variable_from_data_infers_shape_and_dtype():
+    v = Variable("qr", ("z", "y"), data=np.zeros((3, 4), dtype=np.float32))
+    assert v.shape == (3, 4)
+    assert v.dtype == np.float32
+    assert v.nbytes == 48
+
+
+def test_variable_lazy_requires_shape_and_dtype():
+    with pytest.raises(ValueError):
+        Variable("v", ("x",))
+
+
+def test_variable_dims_rank_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Variable("v", ("x",), data=np.zeros((2, 2)))
+
+
+def test_variable_name_validation():
+    with pytest.raises(ValueError):
+        Variable("a/b", ("x",), data=np.zeros(3))
+    with pytest.raises(ValueError):
+        Variable("", ("x",), data=np.zeros(3))
+
+
+def test_variable_bad_chunk_shape_rejected():
+    with pytest.raises(ValueError):
+        Variable("v", ("x",), data=np.zeros(4), chunk_shape=(9,))
+    with pytest.raises(ValueError):
+        Variable("v", ("x",), data=np.zeros(4), chunk_shape=(0,))
+
+
+def test_chunk_grid_and_slices():
+    v = Variable("v", ("z", "y"), data=np.zeros((5, 4), dtype=np.float32),
+                 chunk_shape=(2, 4))
+    assert v.chunk_grid() == (3, 1)
+    assert list(v.iter_chunk_indices()) == [(0, 0), (1, 0), (2, 0)]
+    assert v.chunk_slices((2, 0)) == (slice(4, 5), slice(0, 4))
+
+
+def test_default_chunk_shape_splits_leading_dim():
+    shape = (50, 1250, 1250)
+    cs = default_chunk_shape(shape, target_bytes=4 * 1024 * 1024, itemsize=4)
+    assert cs[1:] == (1250, 1250)
+    assert 1 <= cs[0] <= 50
+
+
+def test_default_chunk_shape_scalar():
+    assert default_chunk_shape(()) == ()
+
+
+def test_group_dims_conflict_rejected():
+    g = Group("g")
+    g.create_dim("x", 5)
+    with pytest.raises(ValueError):
+        g.create_dim("x", 6)
+
+
+def test_group_variable_dim_consistency():
+    g = Group("g")
+    g.create_dim("x", 5)
+    with pytest.raises(ValueError):
+        g.create_variable("v", ("x",), np.zeros(4, dtype=np.float32))
+
+
+def test_group_registers_dims_from_variable():
+    g = Group("g")
+    g.create_variable("v", ("t", "x"), np.zeros((2, 3), dtype=np.float32))
+    assert g.dims == {"t": 2, "x": 3}
+
+
+def test_group_duplicate_variable_rejected():
+    g = Group("g")
+    g.create_variable("v", ("x",), np.zeros(3))
+    with pytest.raises(ValueError):
+        g.create_variable("v", ("x",), np.zeros(3))
+
+
+def test_dataset_walk_and_all_variables():
+    ds = Dataset()
+    ds.create_variable("top", ("x",), np.zeros(2, dtype=np.float32))
+    sub = ds.create_group("model")
+    sub.create_variable("qr", ("x",), np.zeros(2, dtype=np.float32))
+    deep = sub.create_group("inner")
+    deep.create_variable("qc", ("x",), np.zeros(2, dtype=np.float32))
+    paths = dict(ds.all_variables())
+    assert set(paths) == {"/top", "/model/qr", "/model/inner/qc"}
+
+
+def test_attrs_validation():
+    with pytest.raises(TypeError):
+        Group("g", attrs={"bad": object()})
+    g = Group("g", attrs={"units": "mm/h", "scale": 1.5, "levels": [1, 2]})
+    assert g.attrs["units"] == "mm/h"

@@ -1,0 +1,35 @@
+"""Shared HDFS test fixtures."""
+
+import pytest
+
+from repro.cluster import Cluster, DiskSpec, LinkSpec, NodeSpec
+from repro.hdfs import HDFS
+from repro.sim import Environment
+
+
+def small_spec(disk_bw=1000.0, nic_bw=10_000.0, cpus=4):
+    return NodeSpec(
+        cpus=cpus,
+        memory=10**9,
+        disks=(DiskSpec(bandwidth=disk_bw, seek_latency=0.0),),
+        nic=LinkSpec(bandwidth=nic_bw, latency=0.0),
+    )
+
+
+@pytest.fixture
+def world():
+    """4 compute nodes, all datanodes; block size 100 bytes, repl 1."""
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(4)]
+    hdfs = HDFS(env, cluster.network, block_size=100, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    return env, cluster, hdfs, nodes
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value

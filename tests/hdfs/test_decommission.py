@@ -1,0 +1,87 @@
+"""Tests for graceful datanode decommissioning."""
+
+import numpy as np
+import pytest
+
+from repro.hdfs import HDFSError
+
+from tests.hdfs.conftest import run, world  # noqa: F401 (fixture)
+
+
+def payload(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def test_decommission_moves_blocks_and_preserves_data(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    data = payload(800)  # 8 blocks, 2 per node
+    hdfs.store_file_sync("/f", data)
+    victim = nodes[1].name
+    before = hdfs.datanode(victim).n_blocks
+    assert before > 0
+
+    moved = run(env, hdfs.decommission(victim))
+    assert moved == before
+    assert hdfs.datanode(victim).n_blocks == 0
+    assert victim not in hdfs.namenode.datanodes
+    # Every block has a live location, and the data is intact.
+    for block in hdfs.namenode.get_block_locations("/f"):
+        assert victim not in block.locations
+    assert hdfs.read_file_sync("/f") == data
+    got = run(env, hdfs.client(nodes[0]).read("/f"))
+    assert got == data
+
+
+def test_decommission_takes_time(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/f", payload(400))
+    t0 = env.now
+    run(env, hdfs.decommission(nodes[0].name))
+    assert env.now > t0
+
+
+def test_decommission_balances_targets(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/f", payload(1600))  # 16 blocks, 4 per node
+    run(env, hdfs.decommission(nodes[2].name))
+    counts = [hdfs.datanode(n.name).n_blocks
+              for n in nodes if n.name != nodes[2].name]
+    # 16 blocks over 3 survivors: 5-6 each, not all piled on one.
+    assert max(counts) - min(counts) <= 1
+
+
+def test_decommissioned_node_excluded_from_new_writes(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/seed", payload(100))
+    run(env, hdfs.decommission(nodes[3].name))
+    run(env, hdfs.client(nodes[0]).write("/new", payload(400, seed=2)))
+    for block in hdfs.namenode.get_block_locations("/new"):
+        assert nodes[3].name not in block.locations
+
+
+def test_decommission_unknown_node_raises(world):  # noqa: F811
+    env, _cluster, hdfs, _nodes = world
+
+    def proc():
+        yield from hdfs.decommission("ghost")
+
+    with pytest.raises(HDFSError):
+        run(env, proc())
+
+
+def test_decommission_last_node_fails(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/f", payload(100))
+    # Drain all but the block holder, then try to drain it too.
+    block = hdfs.namenode.get_block_locations("/f")[0]
+    holder = block.locations[0]
+    for node in nodes:
+        if node.name != holder:
+            run(env, hdfs.decommission(node.name))
+
+    def proc():
+        yield from hdfs.decommission(holder)
+
+    with pytest.raises(HDFSError, match="no live target"):
+        run(env, proc())

@@ -1,0 +1,186 @@
+"""Tests for NameNode, DataNode, DFSClient, and virtual blocks."""
+
+import numpy as np
+import pytest
+
+from repro.hdfs import HDFSError, VirtualBlock
+
+from tests.hdfs.conftest import run
+
+
+def payload(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+# ---------------------------------------------------------------- namenode
+def test_namespace_create_lookup_delete(world):
+    _env, _cluster, hdfs, _nodes = world
+    nn = hdfs.namenode
+    entry = nn.create_file("/data/file")
+    assert nn.lookup("/data/file") is entry
+    assert nn.exists("data/file")
+    nn.delete("/data/file")
+    assert not nn.exists("/data/file")
+    with pytest.raises(HDFSError):
+        nn.lookup("/data/file")
+
+
+def test_duplicate_create_rejected(world):
+    _env, _cluster, hdfs, _nodes = world
+    hdfs.namenode.create_file("/f")
+    with pytest.raises(HDFSError):
+        hdfs.namenode.create_file("/f")
+
+
+def test_listdir(world):
+    _env, _cluster, hdfs, _nodes = world
+    hdfs.store_file_sync("/dir/a", b"1")
+    hdfs.store_file_sync("/dir/b", b"2")
+    hdfs.store_file_sync("/dir/deep/c", b"3")
+    assert hdfs.namenode.listdir("/dir") == ["/dir/a", "/dir/b"]
+
+
+def test_block_placement_prefers_writer(world):
+    _env, _cluster, hdfs, _nodes = world
+    targets = hdfs.namenode.choose_targets("n2", 2)
+    assert targets[0] == "n2"
+    assert len(set(targets)) == 2
+
+
+def test_block_placement_caps_at_cluster_size(world):
+    _env, _cluster, hdfs, _nodes = world
+    targets = hdfs.namenode.choose_targets(None, 10)
+    assert sorted(targets) == ["n0", "n1", "n2", "n3"]
+
+
+def test_add_block_validates_length(world):
+    _env, _cluster, hdfs, _nodes = world
+    hdfs.namenode.create_file("/f")  # block_size=100
+    with pytest.raises(HDFSError):
+        hdfs.namenode.add_block("/f", 101)
+
+
+def test_incomplete_file_has_no_locations(world):
+    _env, _cluster, hdfs, _nodes = world
+    hdfs.namenode.create_file("/f")
+    with pytest.raises(HDFSError):
+        hdfs.namenode.get_block_locations("/f")
+
+
+# ----------------------------------------------------------- write / read
+def test_write_read_roundtrip(world):
+    env, _cluster, hdfs, nodes = world
+    data = payload(437)
+    client = hdfs.client(nodes[0])
+
+    def proc():
+        yield env.process(client.write("/f", data))
+        got = yield env.process(hdfs.client(nodes[1]).read("/f"))
+        return got
+
+    assert run(env, proc()) == data
+
+
+def test_write_splits_into_blocks(world):
+    env, _cluster, hdfs, nodes = world
+    client = hdfs.client(nodes[0])
+    run(env, client.write("/f", payload(250)))
+    blocks = hdfs.namenode.get_block_locations("/f")
+    assert [b.length for b in blocks] == [100, 100, 50]
+
+
+def test_write_first_replica_local(world):
+    env, _cluster, hdfs, nodes = world
+    client = hdfs.client(nodes[2])
+    run(env, client.write("/f", payload(100)))
+    blocks = hdfs.namenode.get_block_locations("/f")
+    assert blocks[0].locations[0] == "n2"
+    assert hdfs.datanode("n2").has_block(blocks[0].block_id)
+
+
+def test_replication_pipeline_stores_all_copies(world):
+    env, _cluster, hdfs, nodes = world
+    client = hdfs.client(nodes[0])
+    run(env, client.write("/f", payload(100), replication=3))
+    block = hdfs.namenode.get_block_locations("/f")[0]
+    assert len(block.locations) == 3
+    for name in block.locations:
+        assert hdfs.datanode(name).has_block(block.block_id)
+
+
+def test_local_read_is_faster_than_remote(world):
+    env, _cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/f", payload(100))
+    block = hdfs.namenode.get_block_locations("/f")[0]
+    holder = block.locations[0]
+    local_node = next(n for n in nodes if n.name == holder)
+    remote_node = next(n for n in nodes if n.name != holder)
+
+    env_local = env  # reuse world's env for the local read
+    t0 = env_local.now
+    run(env_local, hdfs.client(local_node).read_block(block))
+    local_time = env_local.now - t0
+
+    t1 = env_local.now
+    run(env_local, hdfs.client(remote_node).read_block(block))
+    remote_time = env_local.now - t1
+    assert local_time < remote_time
+
+
+def test_read_block_subrange(world):
+    env, _cluster, hdfs, nodes = world
+    data = payload(100)
+    hdfs.store_file_sync("/f", data)
+    block = hdfs.namenode.get_block_locations("/f")[0]
+    got = run(env, hdfs.client(nodes[0]).read_block(block, 10, 20))
+    assert got == data[10:30]
+
+
+def test_store_file_sync_balances_blocks(world):
+    _env, _cluster, hdfs, _nodes = world
+    hdfs.store_file_sync("/f", payload(800))  # 8 blocks over 4 nodes
+    counts = {dn.name: dn.n_blocks for dn in hdfs.datanodes}
+    assert all(c == 2 for c in counts.values())
+
+
+def test_read_file_sync_matches(world):
+    _env, _cluster, hdfs, _nodes = world
+    data = payload(555, seed=9)
+    hdfs.store_file_sync("/f", data)
+    assert hdfs.read_file_sync("/f") == data
+
+
+# ------------------------------------------------------------ virtual files
+def test_virtual_file_creation(world):
+    _env, _cluster, hdfs, _nodes = world
+    vbs = [
+        VirtualBlock(source_path="/pfs/plot.nc", offset=0, length=500),
+        VirtualBlock(source_path="/pfs/plot.nc", offset=500, length=300),
+    ]
+    entry = hdfs.namenode.create_virtual_file("/mirror/plot.nc/var", vbs)
+    assert entry.is_virtual
+    assert entry.size == 800
+    blocks = hdfs.namenode.get_block_locations("/mirror/plot.nc/var")
+    assert all(b.is_virtual and b.locations == [] for b in blocks)
+
+
+def test_virtual_block_read_via_dfsclient_rejected(world):
+    env, _cluster, hdfs, nodes = world
+    hdfs.namenode.create_virtual_file(
+        "/v", [VirtualBlock(source_path="/pfs/x", length=10)])
+    block = hdfs.namenode.get_block_locations("/v")[0]
+
+    def proc():
+        yield from hdfs.client(nodes[0]).read_block(block)
+
+    with pytest.raises(HDFSError):
+        run(env, proc())
+
+
+def test_virtual_file_sync_read_rejected(world):
+    _env, _cluster, hdfs, _nodes = world
+    hdfs.namenode.create_virtual_file(
+        "/v", [VirtualBlock(source_path="/pfs/x", length=10)])
+    with pytest.raises(HDFSError):
+        hdfs.read_file_sync("/v")

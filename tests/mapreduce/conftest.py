@@ -1,0 +1,35 @@
+"""Shared MapReduce test fixtures."""
+
+import pytest
+
+from repro.cluster import Cluster, DiskSpec, LinkSpec, NodeSpec
+from repro.hdfs import HDFS
+from repro.sim import Environment
+
+
+def small_spec(disk_bw=10**6, nic_bw=10**7, cpus=8):
+    return NodeSpec(
+        cpus=cpus,
+        memory=10**9,
+        disks=(DiskSpec(bandwidth=disk_bw, seek_latency=0.001),),
+        nic=LinkSpec(bandwidth=nic_bw, latency=0.0001),
+    )
+
+
+@pytest.fixture
+def world():
+    """4 compute/data nodes; block size 200 B; replication 1."""
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(4)]
+    hdfs = HDFS(env, cluster.network, block_size=200, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    return env, cluster, hdfs, nodes
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value

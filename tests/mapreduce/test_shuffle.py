@@ -1,0 +1,84 @@
+"""Tests for partitioner, sort, merge, grouping and size estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.shuffle import (
+    estimate_size,
+    group_sorted,
+    hash_partition,
+    merge_sorted_runs,
+    sort_run,
+)
+
+
+def test_hash_partition_deterministic_and_in_range():
+    for key in [b"word", "word", 42, ("a", 1), 3.5]:
+        p = hash_partition(key, 7)
+        assert 0 <= p < 7
+        assert hash_partition(key, 7) == p
+
+
+def test_hash_partition_spreads_keys():
+    buckets = {hash_partition(f"key-{i}", 8) for i in range(100)}
+    assert len(buckets) == 8
+
+
+def test_hash_partition_validates():
+    with pytest.raises(ValueError):
+        hash_partition("k", 0)
+
+
+def test_sort_run_stable_by_key():
+    records = [("b", 1), ("a", 2), ("b", 0), ("a", 1)]
+    assert sort_run(records) == [("a", 2), ("a", 1), ("b", 1), ("b", 0)]
+
+
+def test_merge_sorted_runs_matches_global_sort():
+    runs = [
+        sort_run([("c", 1), ("a", 1)]),
+        sort_run([("b", 2), ("a", 2)]),
+        [],
+        sort_run([("d", 3)]),
+    ]
+    merged = merge_sorted_runs(runs)
+    assert merged == sort_run([kv for run in runs for kv in run])
+
+
+def test_group_sorted():
+    records = [("a", 1), ("a", 2), ("b", 3)]
+    assert list(group_sorted(records)) == [("a", [1, 2]), ("b", [3])]
+    assert list(group_sorted([])) == []
+
+
+def test_estimate_size_basics():
+    assert estimate_size(b"12345") == 5
+    assert estimate_size("abc") == 3
+    assert estimate_size(7) == 8
+    assert estimate_size(1.5) == 8
+    assert estimate_size(None) == 1
+    assert estimate_size(np.zeros((2, 3), dtype=np.float32)) == 24
+    assert estimate_size([b"ab", b"cd"]) == 8 + 4
+    assert estimate_size({"k": 1}) == 8 + 1 + 8
+
+
+@given(st.lists(st.tuples(
+    st.one_of(st.integers(), st.text(max_size=8)),
+    st.integers())))
+@settings(max_examples=60, deadline=None)
+def test_property_merge_of_split_runs_is_total_sort(records):
+    half = len(records) // 2
+    runs = [sort_run(records[:half]), sort_run(records[half:])]
+    assert merge_sorted_runs(runs) == sort_run(records)
+
+
+@given(st.lists(st.tuples(st.text(max_size=6), st.integers()), min_size=1))
+@settings(max_examples=60, deadline=None)
+def test_property_grouping_preserves_all_values(records):
+    grouped = list(group_sorted(sort_run(records)))
+    regenerated = [(k, v) for k, values in grouped for v in values]
+    assert sorted(regenerated) == sorted(records)
+    keys = [k for k, _ in grouped]
+    assert keys == sorted(set(keys))

@@ -1,0 +1,110 @@
+"""Tests for speculative execution (straggler mitigation)."""
+
+import pytest
+
+from repro.cluster import Cluster, DiskSpec, LinkSpec, NodeSpec
+from repro.hdfs import HDFS
+from repro.mapreduce import JobConf, JobRunner, TextInputFormat
+from repro.sim import Environment
+
+from tests.mapreduce.conftest import run
+
+
+def straggler_world(slow_factor=20.0):
+    """4 equal nodes; tasks landing on node "slow" charge slow_factor x
+    the compute (a degraded CPU — the classic speculation target, since
+    a disk-bound straggler's replica-local data would just drag its
+    backups down too)."""
+    env = Environment()
+    cluster = Cluster(env)
+
+    def spec():
+        return NodeSpec(
+            cpus=8, memory=10**9,
+            disks=(DiskSpec(bandwidth=10**6, seek_latency=0.001),),
+            nic=LinkSpec(bandwidth=10**7, latency=0.0001))
+
+    nodes = [cluster.add_node("slow", spec(), role="compute")]
+    nodes += [cluster.add_node(f"fast{i}", spec(), role="compute")
+              for i in range(3)]
+    hdfs = HDFS(env, cluster.network, block_size=4000, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    # Stash the degradation factor for the mapper to read.
+    env._slow_factor = slow_factor
+    return env, cluster, hdfs, nodes
+
+
+TEXT = b"alpha beta gamma\n" * 2000  # ~34 KB -> 9 blocks
+
+BASE_COMPUTE = 0.02
+
+
+def wc_map(ctx, _o, line):
+    for w in line.split():
+        ctx.emit(w, 1)
+    factor = getattr(ctx.env, "_slow_factor", 1.0) \
+        if ctx.node.name == "slow" else 1.0
+    ctx.charge(BASE_COMPUTE * factor / 2000)
+
+
+def wc_reduce(ctx, key, values):
+    ctx.emit(key, sum(values))
+
+
+def run_wc(env, cluster, hdfs, nodes, speculative, slots=1):
+    job = JobConf(
+        name=f"wc-{speculative}",
+        mapper=wc_map,
+        reducer=wc_reduce,
+        combiner=wc_reduce,
+        input_format=TextInputFormat(),
+        n_reducers=1,
+        input_paths=["/in"],
+        map_slots_per_node=slots,
+        task_startup=0.0,
+        speculative=speculative,
+        output_path=f"/out-{speculative}",
+    )
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    t0 = env.now
+    result = run(env, runner.run())
+    return result, env.now - t0
+
+
+def test_speculation_beats_straggler():
+    env, cluster, hdfs, nodes = straggler_world()
+    hdfs.store_file_sync("/in/a.txt", TEXT)
+    baseline, t_base = run_wc(env, cluster, hdfs, nodes, False)
+    spec, t_spec = run_wc(env, cluster, hdfs, nodes, True)
+    assert t_spec < t_base
+    assert spec.counters.value("job", "speculative_attempts") >= 1
+
+
+def test_speculation_results_exact_despite_duplicates():
+    env, cluster, hdfs, nodes = straggler_world()
+    hdfs.store_file_sync("/in/a.txt", TEXT)
+    result, _t = run_wc(env, cluster, hdfs, nodes, True)
+    got = {k: v for recs in result.outputs.values() for k, v in recs}
+    assert got == {b"alpha": 2000, b"beta": 2000, b"gamma": 2000}
+    # Exactly one output per split survived.
+    assert len(result.stats_for("map")) == \
+        result.counters.value("job", "splits")
+
+
+def test_no_speculation_without_flag():
+    env, cluster, hdfs, nodes = straggler_world()
+    hdfs.store_file_sync("/in/a.txt", TEXT)
+    result, _t = run_wc(env, cluster, hdfs, nodes, False)
+    assert result.counters.value("job", "speculative_attempts") == 0
+
+
+def test_speculation_on_uniform_cluster_rarely_fires():
+    env, cluster, hdfs, nodes = straggler_world(slow_factor=1.0)
+    hdfs.store_file_sync("/in/a.txt", TEXT)
+    result, _t = run_wc(env, cluster, hdfs, nodes, True)
+    got = {k: v for recs in result.outputs.values() for k, v in recs}
+    assert got == {b"alpha": 2000, b"beta": 2000, b"gamma": 2000}
+    # Uniform tasks: nothing exceeds 1.5x the mean by much, so backups
+    # are rare (tolerate boundary effects of the last wave).
+    assert result.counters.value("job", "speculative_attempts") <= 2

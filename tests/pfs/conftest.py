@@ -1,0 +1,38 @@
+"""Shared PFS test fixtures."""
+
+import pytest
+
+from repro.cluster import Cluster, DiskSpec, LinkSpec, NodeSpec
+from repro.pfs import PFS, PFSClient, StripeLayout
+from repro.sim import Environment
+
+
+def small_spec(disk_bw=1000.0, n_disks=1, nic_bw=10_000.0):
+    return NodeSpec(
+        cpus=4,
+        memory=10**9,
+        disks=tuple(DiskSpec(bandwidth=disk_bw, seek_latency=0.0)
+                    for _ in range(n_disks)),
+        nic=LinkSpec(bandwidth=nic_bw, latency=0.0),
+    )
+
+
+@pytest.fixture
+def world():
+    """A tiny deterministic world: 2 compute nodes, 1 MDS, 2 OSS x 2 OSTs."""
+    env = Environment()
+    cluster = Cluster(env)
+    c0 = cluster.add_node("c0", small_spec(), role="compute")
+    c1 = cluster.add_node("c1", small_spec(), role="compute")
+    mds = cluster.add_node("mds", small_spec(), role="storage")
+    oss0 = cluster.add_node("oss0", small_spec(n_disks=2), role="storage")
+    oss1 = cluster.add_node("oss1", small_spec(n_disks=2), role="storage")
+    pfs = PFS(env, cluster.network, mds, [oss0, oss1],
+              default_layout=StripeLayout(stripe_size=100, stripe_count=4))
+    return env, cluster, pfs, [PFSClient(pfs, c0), PFSClient(pfs, c1)]
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value

@@ -1,0 +1,80 @@
+"""Stripe layout arithmetic tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs import StripeLayout
+
+
+def test_single_stripe_maps_identity():
+    layout = StripeLayout(stripe_size=10, stripe_count=1)
+    exts = layout.map_range(3, 25)
+    assert [(e.ost_index, e.object_offset, e.length) for e in exts] == [
+        (0, 3, 7), (0, 10, 10), (0, 20, 8)]
+
+
+def test_round_robin_across_osts():
+    layout = StripeLayout(stripe_size=10, stripe_count=3)
+    exts = layout.map_range(0, 40)
+    assert [(e.ost_index, e.object_offset) for e in exts] == [
+        (0, 0), (1, 0), (2, 0), (0, 10)]
+
+
+def test_unaligned_range():
+    layout = StripeLayout(stripe_size=10, stripe_count=2)
+    exts = layout.map_range(15, 10)
+    assert [(e.ost_index, e.object_offset, e.file_offset, e.length)
+            for e in exts] == [(1, 5, 15, 5), (0, 10, 20, 5)]
+
+
+def test_object_length_accounting():
+    layout = StripeLayout(stripe_size=10, stripe_count=3)
+    # 35 bytes: ost0 gets 10+5, ost1 gets 10, ost2 gets 10.
+    assert layout.object_length(35, 0) == 15
+    assert layout.object_length(35, 1) == 10
+    assert layout.object_length(35, 2) == 10
+    assert layout.object_length(0, 0) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StripeLayout(stripe_size=0)
+    with pytest.raises(ValueError):
+        StripeLayout(stripe_count=0)
+    layout = StripeLayout()
+    with pytest.raises(ValueError):
+        layout.map_range(-1, 5)
+
+
+@given(
+    stripe_size=st.integers(min_value=1, max_value=64),
+    stripe_count=st.integers(min_value=1, max_value=8),
+    offset=st.integers(min_value=0, max_value=500),
+    length=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_extents_tile_the_range(stripe_size, stripe_count,
+                                         offset, length):
+    layout = StripeLayout(stripe_size=stripe_size, stripe_count=stripe_count)
+    exts = layout.map_range(offset, length)
+    # Extents cover [offset, offset+length) exactly, in order, no overlap.
+    assert sum(e.length for e in exts) == length
+    pos = offset
+    for e in exts:
+        assert e.file_offset == pos
+        assert 0 <= e.ost_index < stripe_count
+        pos += e.length
+    assert pos == offset + length
+
+
+@given(
+    stripe_size=st.integers(min_value=1, max_value=32),
+    stripe_count=st.integers(min_value=1, max_value=6),
+    size=st.integers(min_value=0, max_value=400),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_object_lengths_sum_to_size(stripe_size, stripe_count, size):
+    layout = StripeLayout(stripe_size=stripe_size, stripe_count=stripe_count)
+    assert sum(layout.object_length(size, i)
+               for i in range(stripe_count)) == size

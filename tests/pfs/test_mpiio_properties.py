@@ -1,0 +1,109 @@
+"""Property tests for MPI-IO range arithmetic and collective semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs import StripeLayout
+from repro.pfs.mpiio import MPIFile, merge_ranges, partition_domains
+
+from tests.pfs.conftest import run
+from tests.pfs.test_mpiio import make_world, payload
+
+
+ranges_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=500),
+              st.integers(min_value=0, max_value=100)),
+    max_size=12)
+
+
+@given(ranges_strategy)
+@settings(max_examples=80, deadline=None)
+def test_property_merge_ranges_is_canonical(ranges):
+    merged = merge_ranges(ranges)
+    # Sorted, disjoint, non-adjacent, all positive.
+    for (off_a, len_a), (off_b, _len_b) in zip(merged, merged[1:]):
+        assert off_a + len_a < off_b
+    assert all(length > 0 for _off, length in merged)
+    # Coverage identical to the input byte set.
+    covered_in = set()
+    for off, length in ranges:
+        covered_in.update(range(off, off + length))
+    covered_out = set()
+    for off, length in merged:
+        covered_out.update(range(off, off + length))
+    assert covered_in == covered_out
+
+
+@given(ranges_strategy, st.integers(min_value=1, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_property_partition_domains_tile_the_merge(ranges, n_domains):
+    merged = merge_ranges(ranges)
+    domains = partition_domains(merged, n_domains)
+    assert len(domains) == n_domains
+    # Domains cover the merged set exactly, in order, without overlap.
+    flat = [r for domain in domains for r in domain]
+    covered = set()
+    for off, length in flat:
+        span = set(range(off, off + length))
+        assert not (covered & span)
+        covered.update(span)
+    expect = set()
+    for off, length in merged:
+        expect.update(range(off, off + length))
+    assert covered == expect
+    # Byte balance: no domain exceeds ceil(total/n).
+    total = sum(length for _o, length in merged)
+    share = -(-total // n_domains) if total else 0
+    for domain in domains:
+        assert sum(length for _o, length in domain) <= share
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_property_collective_read_equals_independent(data_strategy):
+    """read_at_all returns exactly what per-rank read_at would."""
+    size = data_strategy.draw(st.integers(min_value=64, max_value=1500))
+    env, pfs, clients = make_world()
+    data = payload(size, seed=size)
+    pfs.store_file("/f", data,
+                   StripeLayout(stripe_size=97, stripe_count=4))
+    f = MPIFile.open(clients, "/f")
+    requests = []
+    for _rank in range(4):
+        if data_strategy.draw(st.booleans()):
+            off = data_strategy.draw(
+                st.integers(min_value=0, max_value=size - 1))
+            length = data_strategy.draw(
+                st.integers(min_value=0, max_value=size - off))
+            requests.append((off, length))
+        else:
+            requests.append(None)
+    results = run(env, f.read_at_all(requests))
+    for rank, req in enumerate(requests):
+        if req is None:
+            assert results[rank] == b""
+        else:
+            off, length = req
+            assert results[rank] == data[off:off + length]
+
+
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=400),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_property_collective_write_roundtrip(n_writers, chunk, seed):
+    env, pfs, clients = make_world()
+    rng = np.random.default_rng(seed)
+    pieces = [rng.integers(0, 256, size=chunk, dtype=np.uint8).tobytes()
+              for _ in range(n_writers)]
+    f = MPIFile.create(clients, "/w",
+                       StripeLayout(stripe_size=53, stripe_count=4))
+    requests = []
+    pos = 0
+    for piece in pieces:
+        requests.append((pos, piece))
+        pos += len(piece)
+    requests += [None] * (4 - len(requests))
+    run(env, f.write_at_all(requests))
+    assert pfs.read_file_sync("/w") == b"".join(pieces)

@@ -1,0 +1,113 @@
+"""Tests for the data.frame."""
+
+import numpy as np
+import pytest
+
+from repro.rlang import DataFrame, data_frame
+
+
+def sample():
+    return data_frame(
+        x=[3, 1, 2, 1],
+        y=[1.0, 2.0, 3.0, 4.0],
+        s=["c", "a", "b", "a"],
+    )
+
+
+def test_construction_and_shape():
+    df = sample()
+    assert df.nrow == 4
+    assert df.ncol == 3
+    assert df.names == ["x", "y", "s"]
+    assert len(df) == 4
+
+
+def test_column_access_and_dtype_promotion():
+    df = sample()
+    np.testing.assert_array_equal(df["x"], [3, 1, 2, 1])
+    assert df["s"].dtype == object  # strings become object arrays
+
+
+def test_missing_column_raises():
+    with pytest.raises(KeyError, match="no column"):
+        sample()["zz"]
+
+
+def test_mismatched_length_rejected():
+    df = sample()
+    with pytest.raises(ValueError):
+        df["bad"] = [1, 2]
+
+
+def test_scalar_recycling():
+    df = sample()
+    df["k"] = 7
+    np.testing.assert_array_equal(df["k"], [7, 7, 7, 7])
+
+
+def test_2d_column_rejected():
+    df = DataFrame()
+    with pytest.raises(ValueError):
+        df["m"] = np.zeros((2, 2))
+
+
+def test_subset_by_mask_and_index():
+    df = sample()
+    got = df.subset(df["x"] == 1)
+    np.testing.assert_array_equal(got["y"], [2.0, 4.0])
+    got2 = df.subset(np.array([0, 3]))
+    np.testing.assert_array_equal(got2["x"], [3, 1])
+
+
+def test_order_by_and_head():
+    df = sample().order_by("x")
+    np.testing.assert_array_equal(df["x"], [1, 1, 2, 3])
+    np.testing.assert_array_equal(df["y"], [2.0, 4.0, 3.0, 1.0])  # stable
+    desc = sample().order_by("x", decreasing=True)
+    assert desc["x"][0] == 3
+    assert sample().head(2).nrow == 2
+    assert sample().head(99).nrow == 4
+
+
+def test_select_and_drop():
+    df = sample()
+    assert df.select(["y", "x"]).names == ["y", "x"]
+    assert df.drop("y").names == ["x", "s"]
+
+
+def test_cbind_rbind():
+    a = data_frame(x=[1, 2])
+    b = data_frame(y=[3, 4])
+    assert a.cbind(b).names == ["x", "y"]
+    with pytest.raises(ValueError):
+        a.cbind(data_frame(x=[0, 0]))
+    stacked = a.rbind(data_frame(x=[5]))
+    np.testing.assert_array_equal(stacked["x"], [1, 2, 5])
+    with pytest.raises(ValueError):
+        a.rbind(b)
+
+
+def test_rbind_with_empty_frame():
+    a = data_frame(x=[1])
+    empty = DataFrame()
+    assert empty.rbind(a) == a
+    assert a.rbind(empty) == a
+
+
+def test_rows_iteration():
+    df = sample()
+    rows = list(df.iter_rows())
+    assert rows[0] == {"x": 3, "y": 1.0, "s": "c"}
+    assert len(rows) == 4
+
+
+def test_equality():
+    assert sample() == sample()
+    other = sample()
+    other["x"] = [9, 9, 9, 9]
+    assert sample() != other
+
+
+def test_to_dict():
+    d = data_frame(x=[1, 2]).to_dict()
+    assert d == {"x": [1, 2]}

@@ -1,0 +1,155 @@
+"""Tests for PNG encoding, colormaps, and image2d plotting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rlang.colormap import apply_colormap, colormap_names
+from repro.rlang.plot import image2d, plot_cost_model, resize_nearest
+from repro.rlang.png import decode_png, encode_png
+
+
+# --------------------------------------------------------------------- PNG
+def test_png_roundtrip_rgb():
+    rng = np.random.default_rng(1)
+    img = rng.integers(0, 256, size=(7, 11, 3), dtype=np.uint8)
+    np.testing.assert_array_equal(decode_png(encode_png(img)), img)
+
+
+def test_png_roundtrip_rgba():
+    rng = np.random.default_rng(2)
+    img = rng.integers(0, 256, size=(5, 4, 4), dtype=np.uint8)
+    np.testing.assert_array_equal(decode_png(encode_png(img)), img)
+
+
+def test_png_signature_and_structure():
+    img = np.zeros((2, 2, 3), dtype=np.uint8)
+    data = encode_png(img)
+    assert data.startswith(b"\x89PNG\r\n\x1a\n")
+    assert b"IHDR" in data and b"IDAT" in data and data.endswith(
+        b"IEND" + (0xAE426082).to_bytes(4, "big"))
+
+
+def test_png_input_validation():
+    with pytest.raises(ValueError):
+        encode_png(np.zeros((2, 2, 3), dtype=np.float32))
+    with pytest.raises(ValueError):
+        encode_png(np.zeros((2, 2), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        encode_png(np.zeros((0, 2, 3), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        decode_png(b"not a png")
+
+
+def test_png_crc_detects_corruption():
+    img = np.zeros((2, 2, 3), dtype=np.uint8)
+    data = bytearray(encode_png(img))
+    data[40] ^= 0xFF  # flip a byte inside a chunk payload
+    with pytest.raises(ValueError):
+        decode_png(bytes(data))
+
+
+@given(st.integers(min_value=1, max_value=16),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=3, max_value=4),
+       st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_property_png_roundtrip(h, w, channels, seed):
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, size=(h, w, channels), dtype=np.uint8)
+    np.testing.assert_array_equal(decode_png(encode_png(img)), img)
+
+
+# ---------------------------------------------------------------- colormap
+def test_colormap_endpoints():
+    jet = apply_colormap(np.array([0.0, 1.0]), "jet")
+    np.testing.assert_array_equal(jet[0], [0, 0, 128])   # dark blue
+    np.testing.assert_array_equal(jet[1], [128, 0, 0])   # dark red
+
+
+def test_colormap_clips_out_of_range():
+    out = apply_colormap(np.array([-5.0, 5.0]), "greys")
+    np.testing.assert_array_equal(out[0], [0, 0, 0])
+    np.testing.assert_array_equal(out[1], [255, 255, 255])
+
+
+def test_colormap_nan_is_black():
+    out = apply_colormap(np.array([np.nan]), "jet")
+    np.testing.assert_array_equal(out[0], [0, 0, 0])
+
+
+def test_colormap_names_and_unknown():
+    assert "jet" in colormap_names()
+    with pytest.raises(ValueError):
+        apply_colormap(np.zeros(1), "nope")
+
+
+def test_colormap_monotone_greys():
+    v = np.linspace(0, 1, 11)
+    out = apply_colormap(v, "greys")
+    assert np.all(np.diff(out[:, 0].astype(int)) >= 0)
+
+
+# ------------------------------------------------------------------ resize
+def test_resize_nearest_shapes():
+    field = np.arange(12).reshape(3, 4)
+    out = resize_nearest(field, 6, 8)
+    assert out.shape == (6, 8)
+    assert out[0, 0] == field[0, 0]
+    out_small = resize_nearest(field, 2, 2)
+    assert out_small.shape == (2, 2)
+
+
+def test_resize_rejects_non_2d():
+    with pytest.raises(ValueError):
+        resize_nearest(np.zeros(5), 2, 2)
+
+
+# ----------------------------------------------------------------- image2d
+def test_image2d_returns_valid_png_at_resolution():
+    field = np.random.default_rng(3).random((10, 10))
+    png = image2d(field, resolution=(64, 48))
+    img = decode_png(png)
+    assert img.shape == (64, 48, 3)
+
+
+def test_image2d_constant_field():
+    png = image2d(np.ones((5, 5)), resolution=(8, 8))
+    img = decode_png(png)
+    # Constant field normalises to 0 -> the colormap's low end everywhere.
+    assert (img == img[0, 0]).all()
+
+
+def test_image2d_highlight_draws_white_cross():
+    field = np.zeros((10, 10))
+    rgb = image2d(field, resolution=(100, 100),
+                  highlight=[(5, 5)], as_png=False)
+    assert (rgb == 255).all(axis=-1).any()
+
+
+def test_image2d_deterministic():
+    field = np.random.default_rng(4).random((6, 6))
+    assert image2d(field, resolution=(32, 32)) == \
+        image2d(field, resolution=(32, 32))
+
+
+def test_image2d_vmin_vmax_override():
+    field = np.array([[0.5]])
+    a = image2d(field, resolution=(2, 2), vmin=0.0, vmax=1.0, as_png=False)
+    b = image2d(field, resolution=(2, 2), as_png=False)  # auto: span 0
+    assert not np.array_equal(a, b)
+
+
+def test_image2d_rejects_bad_rank():
+    with pytest.raises(ValueError):
+        image2d(np.zeros((2, 2, 2)))
+
+
+# --------------------------------------------------------------- cost model
+def test_plot_cost_model_monotone():
+    small = plot_cost_model(100, (100, 100))
+    big = plot_cost_model(100, (1200, 1200))
+    assert big > small
+    more_data = plot_cost_model(10**6, (100, 100))
+    assert more_data > small

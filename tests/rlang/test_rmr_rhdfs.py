@@ -1,0 +1,93 @@
+"""Tests for the rmr2/rhdfs bindings over the simulated cluster."""
+
+import pytest
+
+from repro.mapreduce import TextInputFormat
+from repro.rlang.rmr import RMRSession, keyval
+from repro.rlang.rhdfs import RHDFS
+
+from tests.mapreduce.conftest import run, world  # noqa: F401 (fixture)
+
+
+def test_rmr_wordcount(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"x y x\nz x\n" * 5)
+    session = RMRSession(env, nodes, hdfs, cluster.network)
+
+    def wc_map(_offset, line):
+        return [keyval(word, 1) for word in line.split()]
+
+    def wc_reduce(key, values):
+        return keyval(key, sum(values))
+
+    result = run(env, session.mapreduce(
+        input="/in", map=wc_map, reduce=wc_reduce,
+        input_format=TextInputFormat(), n_reducers=2, name="rmr-wc"))
+    got = {k: v for recs in result.outputs.values() for k, v in recs}
+    assert got == {b"x": 15, b"y": 5, b"z": 5}
+
+
+def test_rmr_map_only_with_none_results(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"keep\nskip\nkeep\n")
+    session = RMRSession(env, nodes, hdfs, cluster.network)
+
+    def filter_map(_offset, line):
+        return keyval(line, 1) if line == b"keep" else None
+
+    result = run(env, session.mapreduce(
+        input="/in", map=filter_map, input_format=TextInputFormat(),
+        name="rmr-filter"))
+    assert sorted(result.map_records) == [(b"keep", 1), (b"keep", 1)]
+
+
+def test_rmr_cost_hook_charges_phases(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"a\nb\n")
+    session = RMRSession(env, nodes, hdfs, cluster.network)
+
+    def costly(key, value):
+        return [("plot", 0.5)]
+
+    result = run(env, session.mapreduce(
+        input="/in", map=lambda k, v: keyval(v, 1),
+        input_format=TextInputFormat(), name="rmr-cost",
+        costs=costly))
+    means = result.phase_means("map")
+    assert means.get("plot", 0) > 0
+
+
+def test_rmr_bad_return_type_rejected(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"a\n")
+    session = RMRSession(env, nodes, hdfs, cluster.network)
+
+    def bad_map(_k, v):
+        return ["not a keyval"]
+
+    def proc():
+        yield from session.mapreduce(
+            input="/in", map=bad_map, input_format=TextInputFormat(),
+            name="rmr-bad")
+
+    # The TypeError exhausts the engine's task retries and surfaces as a
+    # job failure naming the original error.
+    from repro.mapreduce import MapReduceError
+    with pytest.raises(MapReduceError, match="keyval"):
+        run(env, proc())
+
+
+def test_rhdfs_put_get_ls_exists(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    r = RHDFS(hdfs, nodes[0])
+
+    def proc():
+        yield env.process(r.hdfs_put("/results/img.png", b"PNGDATA"))
+        assert (yield env.process(r.hdfs_exists("/results/img.png")))
+        data = yield env.process(r.hdfs_get("/results/img.png"))
+        listing = yield env.process(r.hdfs_ls("/results"))
+        return data, listing
+
+    data, listing = run(env, proc())
+    assert data == b"PNGDATA"
+    assert listing == ["/results/img.png"]

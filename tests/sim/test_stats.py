@@ -1,0 +1,111 @@
+"""Tests for monitors and interval timers."""
+
+import pytest
+
+from repro.sim import Environment, IntervalTimer, Monitor
+
+
+def test_monitor_records_time_and_value():
+    env = Environment()
+    mon = Monitor(env, "util")
+
+    def proc():
+        mon.record(1.0)
+        yield env.timeout(2)
+        mon.record(3.0)
+        yield env.timeout(2)
+        mon.record(5.0)
+
+    env.process(proc())
+    env.run()
+    assert mon.times == [0.0, 2.0, 4.0]
+    assert mon.values == [1.0, 3.0, 5.0]
+    assert len(mon) == 3
+
+
+def test_monitor_statistics():
+    env = Environment()
+    mon = Monitor(env)
+    for v in (2.0, 4.0, 6.0):
+        mon.record(v)
+    assert mon.mean == 4.0
+    assert mon.minimum == 2.0
+    assert mon.maximum == 6.0
+    assert mon.stdev == pytest.approx(2.0)
+
+
+def test_monitor_stdev_single_sample_is_zero():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(7.0)
+    assert mon.stdev == 0.0
+
+
+def test_monitor_empty_mean_raises():
+    env = Environment()
+    mon = Monitor(env, "empty")
+    with pytest.raises(ValueError):
+        _ = mon.mean
+    with pytest.raises(ValueError):
+        mon.time_average()
+
+
+def test_monitor_time_average_step_function():
+    env = Environment()
+    mon = Monitor(env)
+
+    def proc():
+        mon.record(0.0)        # value 0 held [0, 4)
+        yield env.timeout(4)
+        mon.record(10.0)       # value 10 held [4, 8)
+        yield env.timeout(4)
+
+    env.process(proc())
+    env.run()
+    assert mon.time_average() == pytest.approx(5.0)
+    # Explicit horizon extends the last value's hold.
+    assert mon.time_average(until=12) == pytest.approx(
+        (0 * 4 + 10 * 8) / 12)
+
+
+def test_monitor_time_average_zero_span():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(42.0)
+    assert mon.time_average() == 42.0
+
+
+def test_interval_timer_accumulates():
+    timer = IntervalTimer("t")
+    timer.add("read", 1.0)
+    timer.add("read", 2.0)
+    timer.add("plot", 0.5)
+    assert timer.total("read") == 3.0
+    assert timer.count("read") == 2
+    assert timer.mean("read") == 1.5
+    assert timer.total("missing") == 0.0
+    assert timer.as_dict() == {"read": 3.0, "plot": 0.5}
+
+
+def test_interval_timer_negative_rejected():
+    timer = IntervalTimer()
+    with pytest.raises(ValueError):
+        timer.add("x", -1)
+
+
+def test_interval_timer_mean_empty_raises():
+    timer = IntervalTimer()
+    with pytest.raises(ValueError):
+        timer.mean("nope")
+
+
+def test_interval_timer_merge():
+    a = IntervalTimer()
+    a.add("read", 1.0)
+    b = IntervalTimer()
+    b.add("read", 2.0)
+    b.add("plot", 3.0)
+    a.merge(b)
+    assert a.total("read") == 3.0
+    assert a.count("read") == 2
+    assert a.total("plot") == 3.0

@@ -1,0 +1,57 @@
+"""Differential testing: Spark-like pipelines vs plain-Python references
+on random inputs."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.sparklike.test_sparklike import make_ctx
+
+
+@given(st.lists(st.sampled_from("abcdef"), max_size=80),
+       st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_wordcount_matches_counter(words, n_partitions):
+    ctx, _ = make_ctx(n_nodes=3)
+    out = dict(
+        ctx.parallelize(words, n_partitions)
+        .map(lambda w: (w, 1))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect())
+    assert out == dict(Counter(words))
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), max_size=60),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_map_filter_matches_comprehension(values, n_partitions):
+    ctx, _ = make_ctx(n_nodes=2)
+    out = (ctx.parallelize(values, n_partitions)
+           .map(lambda v: v * 3 - 1)
+           .filter(lambda v: v % 2 == 0)
+           .collect())
+    assert sorted(out) == sorted(
+        v * 3 - 1 for v in values if (v * 3 - 1) % 2 == 0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                max_size=60))
+@settings(max_examples=25, deadline=None)
+def test_reduce_matches_builtin(values):
+    ctx, _ = make_ctx(n_nodes=2)
+    got = ctx.parallelize(values, 4).reduce(lambda a, b: a + b)
+    assert got == sum(values)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=4),
+                          st.integers()), max_size=50))
+@settings(max_examples=25, deadline=None)
+def test_group_by_key_matches_reference(pairs):
+    ctx, _ = make_ctx(n_nodes=2)
+    out = {k: sorted(v) for k, v in
+           ctx.parallelize(pairs, 3).group_by_key().collect()}
+    expect: dict = {}
+    for k, v in pairs:
+        expect.setdefault(k, []).append(v)
+    assert out == {k: sorted(v) for k, v in expect.items()}

@@ -1,0 +1,55 @@
+"""Tests for the calibration/scaling module."""
+
+import pytest
+
+from repro import costs
+
+
+@pytest.fixture(autouse=True)
+def _restore():
+    yield
+    costs.reset_scale()
+
+
+def test_default_scale_is_one():
+    costs.reset_scale()
+    assert costs.get_scale() == 1.0
+
+
+def test_set_scale_divides_all_rates():
+    base = {name: getattr(costs, name) for name in costs._RATE_NAMES}
+    costs.set_scale(10.0)
+    for name in costs._RATE_NAMES:
+        assert getattr(costs, name) == pytest.approx(base[name] / 10.0)
+    assert costs.get_scale() == 10.0
+
+
+def test_set_scale_is_idempotent_from_base():
+    """Scaling twice must not compound — rates derive from base values."""
+    costs.set_scale(10.0)
+    ten = costs.TEXT_PARSE_BYTES_PER_SEC
+    costs.set_scale(10.0)
+    assert costs.TEXT_PARSE_BYTES_PER_SEC == ten
+    costs.set_scale(5.0)
+    assert costs.TEXT_PARSE_BYTES_PER_SEC == pytest.approx(ten * 2)
+
+
+def test_reset_scale_restores():
+    original = costs.DECOMPRESS_BYTES_PER_SEC
+    costs.set_scale(100.0)
+    costs.reset_scale()
+    assert costs.DECOMPRESS_BYTES_PER_SEC == original
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ValueError):
+        costs.set_scale(0)
+    with pytest.raises(ValueError):
+        costs.set_scale(-3)
+
+
+def test_latency_constants_not_scaled():
+    before = costs.PFS_REQUEST_OVERHEAD
+    costs.set_scale(50.0)
+    assert costs.PFS_REQUEST_OVERHEAD == before
+    assert costs.HADOOP_STREAM_READ_BYTES == 64 * 1024

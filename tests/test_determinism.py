@@ -1,0 +1,49 @@
+"""Determinism: identical configurations produce identical simulations.
+
+The discrete-event engine breaks ties by insertion order, data
+generation is seeded, and nothing consults wall-clock or hash order —
+so two runs of an experiment agree to the last digit, which is what
+makes results in EXPERIMENTS.md reproducible.
+"""
+
+import pytest
+
+from repro import costs
+from repro.workloads.solutions import build_world, run_solution
+
+
+@pytest.fixture(autouse=True)
+def _reset():
+    yield
+    costs.reset_scale()
+
+
+def one_run(solution):
+    world = build_world(n_timesteps=2, shape=(4, 24, 24))
+    result = run_solution(world, solution)
+    costs.reset_scale()
+    return result
+
+
+def test_scidp_run_is_bit_deterministic():
+    a = one_run("scidp")
+    b = one_run("scidp")
+    assert a.total_time == b.total_time
+    assert a.phase_means == b.phase_means
+    assert a.counters == b.counters
+
+
+def test_baseline_run_is_bit_deterministic():
+    a = one_run("scihadoop")
+    b = one_run("scihadoop")
+    assert a.total_time == b.total_time
+    assert a.copy_time == b.copy_time
+
+
+def test_generated_files_identical_across_worlds():
+    w1 = build_world(n_timesteps=1, shape=(2, 16, 16), with_text=False)
+    bytes1 = w1.pfs.read_file_sync(w1.manifest["files"][0])
+    costs.reset_scale()
+    w2 = build_world(n_timesteps=1, shape=(2, 16, 16), with_text=False)
+    bytes2 = w2.pfs.read_file_sync(w2.manifest["files"][0])
+    assert bytes1 == bytes2

@@ -1,0 +1,296 @@
+"""Failure injection across the stack: flaky tasks, dead datanodes,
+failed OSTs."""
+
+import numpy as np
+import pytest
+
+from repro.hdfs import HDFSError
+from repro.mapreduce import JobConf, JobRunner, MapReduceError, \
+    TextInputFormat
+from repro.pfs import PFSError
+
+from tests.mapreduce.conftest import run, world  # noqa: F401 (fixture)
+
+
+# ----------------------------------------------------------- task retry
+class FlakyMapper:
+    """Fails the first ``n_failures`` invocations, then succeeds."""
+
+    def __init__(self, n_failures):
+        self.remaining = n_failures
+        self.calls = 0
+
+    def __call__(self, ctx, _offset, line):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise RuntimeError("transient task failure")
+        for word in line.split():
+            ctx.emit(word, 1)
+
+
+def make_job(mapper, **kw):
+    defaults = dict(
+        name="flaky",
+        mapper=mapper,
+        reducer=lambda ctx, k, vs: ctx.emit(k, sum(vs)),
+        input_format=TextInputFormat(),
+        n_reducers=1,
+        input_paths=["/in"],
+        task_startup=0.01,
+    )
+    defaults.update(kw)
+    return JobConf(**defaults)
+
+
+def test_flaky_map_task_retried_and_job_succeeds(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"x y\n")
+    mapper = FlakyMapper(n_failures=2)
+    job = make_job(mapper)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    result = run(env, runner.run())
+    got = {k: v for recs in result.outputs.values() for k, v in recs}
+    assert got == {b"x": 1, b"y": 1}
+    assert result.counters.value("job", "failed_map_attempts") == 2
+    assert mapper.calls == 3
+
+
+def test_permanently_failing_task_fails_job(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"x\n")
+
+    def always_fails(ctx, _offset, _line):
+        raise RuntimeError("bad task")
+
+    job = make_job(always_fails, max_task_attempts=3)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+
+    def proc():
+        yield from runner.run()
+
+    with pytest.raises(MapReduceError, match="failed 3 times"):
+        run(env, proc())
+
+
+def test_max_attempts_validated(world):  # noqa: F811
+    job = make_job(lambda *a: None, max_task_attempts=0)
+    with pytest.raises(MapReduceError):
+        job.validate()
+
+
+# ------------------------------------------------------- datanode death
+def test_read_fails_over_to_live_replica(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/f", b"A" * 100, replication=2)
+    block = hdfs.namenode.get_block_locations("/f")[0]
+    assert len(block.locations) == 2
+    hdfs.datanode(block.locations[0]).kill()
+    reader_node = next(
+        n for n in nodes if n.name not in block.locations)
+    got = run(env, hdfs.client(reader_node).read_block(block))
+    assert got == b"A" * 100
+
+
+def test_read_fails_when_all_replicas_dead(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/f", b"A" * 100)  # replication 1
+    block = hdfs.namenode.get_block_locations("/f")[0]
+    hdfs.datanode(block.locations[0]).kill()
+
+    def proc():
+        yield from hdfs.client(nodes[0]).read_block(block)
+
+    with pytest.raises(HDFSError, match="unreachable"):
+        run(env, proc())
+
+
+def test_revived_datanode_serves_again(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/f", b"B" * 50)
+    block = hdfs.namenode.get_block_locations("/f")[0]
+    datanode = hdfs.datanode(block.locations[0])
+    datanode.kill()
+    datanode.revive()
+    got = run(env, hdfs.client(nodes[0]).read_block(block))
+    assert got == b"B" * 50
+
+
+def test_write_to_dead_datanode_raises(world):  # noqa: F811
+    env, _cluster, hdfs, nodes = world
+    hdfs.datanode(nodes[1].name).kill()
+    client = hdfs.client(nodes[1])
+
+    def proc():
+        yield from client.write("/out", b"data")
+
+    with pytest.raises(HDFSError, match="down"):
+        run(env, proc())
+
+
+# ------------------------------------------------------------ OST failure
+def test_failed_ost_makes_striped_file_unreadable():
+    from repro.cluster import Cluster
+    from repro.pfs import PFS, PFSClient, StripeLayout
+    from repro.sim import Environment
+    from tests.pfs.conftest import small_spec
+
+    env = Environment()
+    cluster = Cluster(env)
+    c0 = cluster.add_node("c0", small_spec(), role="compute")
+    oss = cluster.add_node("oss", small_spec(n_disks=4), role="storage")
+    pfs = PFS(env, cluster.network, oss, [oss])
+    pfs.store_file("/f", bytes(400),
+                   StripeLayout(stripe_size=100, stripe_count=4))
+    client = PFSClient(pfs, c0)
+    pfs.osts[1].fail()
+
+    def proc():
+        yield from client.read("/f")
+
+    with pytest.raises(PFSError, match="failed"):
+        run(env, proc())
+
+    # Reads that avoid the failed OST still work.
+    inode = pfs.mds.lookup("/f")
+    ost0_only = [e for e in inode.layout.map_range(0, 400)
+                 if inode.osts[e.ost_index] != 1]
+    assert ost0_only  # sanity
+
+    pfs.osts[1].recover()
+    assert run(env, client.read("/f")) == bytes(400)
+
+
+def test_scidp_job_survives_transient_ost_failure():
+    """End-to-end: an OST fails mid-job; retried tasks succeed after
+    recovery is triggered by the first failure."""
+    import io
+    from repro.cluster import Cluster
+    from repro.core import SciDP
+    from repro.formats import Dataset, scinc
+    from repro.hdfs import HDFS
+    from repro.pfs import PFS, StripeLayout
+    from repro.sim import Environment
+    from tests.pfs.conftest import small_spec
+
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(2)]
+    oss = cluster.add_node("oss", small_spec(n_disks=2), role="storage")
+    pfs = PFS(env, cluster.network, oss, [oss],
+              default_layout=StripeLayout(stripe_size=256, stripe_count=2))
+    hdfs = HDFS(env, cluster.network, block_size=4096)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    scidp = SciDP(env, nodes, pfs, hdfs, cluster.network)
+
+    ds = Dataset()
+    ds.create_variable("v", ("z", "y"),
+                       np.arange(64, dtype=np.float32).reshape(4, 16),
+                       chunk_shape=(1, 16))
+    buf = io.BytesIO()
+    scinc.write(buf, ds)
+    pfs.store_file("/d/f.nc", buf.getvalue())
+
+    # Warm the virtual mapping first (the File Explorer's header probes
+    # happen at job setup and are not retryable tasks)...
+    warm = env.process(scidp.map_input("/d"))
+    env.run()
+    assert warm.value
+    # ...then fail the OST that actually holds the variable's chunks
+    # and bring it back shortly; the retry backoff (1 s default) lands
+    # the second attempt after recovery.
+    inode = pfs.mds.lookup("/d/f.nc")
+    (_vp, blocks), = warm.value
+    chunk_ost = inode.osts[
+        inode.layout.map_range(blocks[0].virtual.offset, 1)[0].ost_index]
+    pfs.osts[chunk_ost].fail()
+
+    def recovery():
+        yield env.timeout(0.5)
+        pfs.osts[chunk_ost].recover()
+
+    env.process(recovery())
+
+    total = {"v": 0.0}
+
+    def mapper(ctx, key, value):
+        total["v"] += float(np.asarray(value, dtype=np.float64).sum())
+        ctx.emit("ok", 1)
+
+    job = JobConf(
+        name="transient", mapper=mapper,
+        input_format=scidp.input_format(),
+        input_paths=["pfs:///d"], n_reducers=0, task_startup=0.0)
+    proc = env.process(scidp.run_job(job))
+    env.run()
+    result = proc.value
+    assert result.counters.value("job", "failed_map_attempts") >= 1
+    assert total["v"] == float(np.arange(64).sum())
+
+
+# --------------------------------------------------------- reduce retry
+def test_flaky_reducer_retried_and_job_succeeds(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"x y\n")
+    state = {"failures_left": 2}
+
+    def flaky_reduce(ctx, key, values):
+        if state["failures_left"] > 0:
+            state["failures_left"] -= 1
+            raise RuntimeError("transient reduce failure")
+        ctx.emit(key, sum(values))
+
+    job = make_job(
+        lambda ctx, _o, line: [ctx.emit(w, 1) for w in line.split()],
+        reducer=flaky_reduce, output_path="/out-rr")
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    result = run(env, runner.run())
+    got = {k: v for recs in result.outputs.values() for k, v in recs}
+    assert got == {b"x": 1, b"y": 1}
+    assert result.counters.value("job", "failed_reduce_attempts") == 2
+    # The retried attempt committed its output idempotently.
+    assert len(result.output_paths) == 1
+
+
+def test_permanently_failing_reducer_fails_job(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"x\n")
+
+    def bad_reduce(ctx, key, values):
+        raise RuntimeError("reduce is broken")
+
+    job = make_job(
+        lambda ctx, _o, line: ctx.emit(line, 1),
+        reducer=bad_reduce, max_task_attempts=2)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+
+    def proc():
+        yield from runner.run()
+
+    with pytest.raises(MapReduceError, match="reduce partition"):
+        run(env, proc())
+
+
+# -------------------------------------------------------- diskless spill
+def test_diskless_spill_goes_through_storage(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"a b a\n" * 10)
+
+    def wc_map(ctx, _o, line):
+        for w in line.split():
+            ctx.emit(w, 1)
+
+    def wc_reduce(ctx, key, values):
+        ctx.emit(key, sum(values))
+
+    job = make_job(wc_map, reducer=wc_reduce, diskless_spill=True,
+                   name="diskless")
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    result = run(env, runner.run())
+    got = {k: v for recs in result.outputs.values() for k, v in recs}
+    assert got == {b"a": 20, b"b": 10}
+    # Spill files landed in the storage namespace.
+    spills = hdfs.namenode.listdir("/_spill")
+    assert spills

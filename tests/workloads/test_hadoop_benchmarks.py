@@ -1,0 +1,129 @@
+"""Tests for terasort, grep, and TestDFSIO over HDFS and the connector."""
+
+import pytest
+
+from repro import costs
+from repro.cluster import Cluster, DiskSpec, LinkSpec, NodeSpec
+from repro.hdfs import HDFS, PFSConnector
+from repro.pfs import PFS, StripeLayout
+from repro.sim import Environment
+from repro.workloads.dfsio import run_dfsio_read, run_dfsio_write
+from repro.workloads.grep import generate_text, run_grep
+from repro.workloads.terasort import run_terasort, teragen, validate_sorted
+
+
+@pytest.fixture(autouse=True)
+def _reset_scale():
+    costs.reset_scale()
+    yield
+    costs.reset_scale()
+
+
+def spec(n_disks=1):
+    return NodeSpec(
+        cpus=8, memory=10**9,
+        disks=tuple(DiskSpec(bandwidth=10**6, seek_latency=0.002)
+                    for _ in range(n_disks)),
+        nic=LinkSpec(bandwidth=10**7, latency=0.0001))
+
+
+def make_worlds():
+    """One cluster hosting both storage systems under test."""
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", spec(), role="compute")
+             for i in range(4)]
+    hdfs = HDFS(env, cluster.network, block_size=2000, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    oss = cluster.add_node("oss", spec(n_disks=4), role="storage")
+    pfs = PFS(env, cluster.network, oss, [oss],
+              default_layout=StripeLayout(stripe_size=512, stripe_count=4))
+    connector = PFSConnector(pfs, block_size=2000, rpc_size=512,
+                             lock_latency=0.002)
+    return env, cluster, nodes, hdfs, connector
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+# ---------------------------------------------------------------- terasort
+def test_terasort_sorts_correctly():
+    env, cluster, nodes, hdfs, _conn = make_worlds()
+    teragen(hdfs, "/tera-in/part-0", n_records=200)
+    result, elapsed = run(env, run_terasort(
+        env, nodes, hdfs, cluster.network, "/tera-in"))
+    assert validate_sorted(result)
+    assert elapsed > 0
+    n_out = sum(len(r) for r in result.outputs.values())
+    assert n_out == 200
+
+
+def test_terasort_on_connector_same_answer_slower():
+    env, cluster, nodes, hdfs, conn = make_worlds()
+    data = teragen(hdfs, "/tera-in/part-0", n_records=150)
+    teragen(conn, "/tera-in/part-0", n_records=150)
+
+    r1, t_hdfs = run(env, run_terasort(
+        env, nodes, hdfs, cluster.network, "/tera-in",
+        output_path="/out-hdfs"))
+    r2, t_conn = run(env, run_terasort(
+        env, nodes, conn, cluster.network, "/tera-in",
+        output_path="/out-conn"))
+    assert validate_sorted(r1) and validate_sorted(r2)
+    keys1 = sorted(k for recs in r1.outputs.values() for k, _ in recs)
+    keys2 = sorted(k for recs in r2.outputs.values() for k, _ in recs)
+    assert keys1 == keys2
+    assert t_conn > t_hdfs  # the Fig. 2 relationship
+
+
+# -------------------------------------------------------------------- grep
+def test_grep_counts_matches():
+    env, cluster, nodes, hdfs, _conn = make_worlds()
+    data = generate_text(hdfs, "/corpus/a.txt", n_lines=300)
+    (result, matches), elapsed = run(env, run_grep(
+        env, nodes, hdfs, cluster.network, "/corpus", pattern=b"storm"))
+    assert matches == data.count(b"storm")
+    assert matches > 0
+    assert elapsed > 0
+
+
+def test_grep_pattern_absent():
+    env, cluster, nodes, hdfs, _conn = make_worlds()
+    generate_text(hdfs, "/corpus/a.txt", n_lines=50)
+    (_result, matches), _elapsed = run(env, run_grep(
+        env, nodes, hdfs, cluster.network, "/corpus",
+        pattern=b"zzzqqq"))
+    assert matches == 0
+
+
+# ------------------------------------------------------------------ dfsio
+def test_dfsio_write_then_read_roundtrip():
+    env, cluster, nodes, hdfs, _conn = make_worlds()
+    result_w, t_w, bw_w = run(env, run_dfsio_write(
+        env, nodes, hdfs, cluster.network, n_files=4, bytes_per_file=3000))
+    assert bw_w > 0
+    written = sum(v for _k, v in result_w.map_records)
+    assert written == 4 * 3000
+    # Files actually exist on HDFS with the right sizes.
+    for i in range(4):
+        assert len(hdfs.read_file_sync(f"/dfsio/part-{i:04d}")) == 3000
+
+    result_r, t_r, bw_r = run(env, run_dfsio_read(
+        env, nodes, hdfs, cluster.network, n_files=4, bytes_per_file=3000))
+    read = sum(v for _k, v in result_r.map_records)
+    assert read == 4 * 3000
+    assert bw_r > 0
+
+
+def test_dfsio_connector_slower_than_hdfs():
+    env, cluster, nodes, hdfs, conn = make_worlds()
+    _res, t_hdfs, _bw = run(env, run_dfsio_write(
+        env, nodes, hdfs, cluster.network, n_files=4, bytes_per_file=4000))
+    _res2, t_conn, _bw2 = run(env, run_dfsio_write(
+        env, nodes, conn, cluster.network, n_files=4, bytes_per_file=4000,
+        control_path="/dfsio-control-conn"))
+    assert t_conn > t_hdfs

@@ -1,0 +1,102 @@
+"""Tests for the synthetic NU-WRF generator."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import scinc
+from repro.workloads.nuwrf import (
+    NUWRF_VARIABLES,
+    NUWRFConfig,
+    generate_nuwrf,
+    synthesize_timestep,
+)
+
+
+def small_config(**kw):
+    defaults = dict(shape=(4, 24, 24), timesteps=2)
+    defaults.update(kw)
+    return NUWRFConfig(**defaults)
+
+
+def test_data_model_matches_paper():
+    """§IV-A: 23 single-precision variables, z*y*x, one file/timestamp."""
+    assert len(NUWRF_VARIABLES) == 23
+    assert "QR" in NUWRF_VARIABLES
+    cfg = small_config()
+    ds = synthesize_timestep(cfg, 0)
+    assert len(ds.variables) == 23
+    for var in ds.variables.values():
+        assert var.dtype == np.float32
+        assert var.shape == (4, 24, 24)
+        assert var.chunk_shape == (1, 24, 24)  # one level per chunk
+
+
+def test_generation_is_deterministic():
+    cfg = small_config()
+    a = synthesize_timestep(cfg, 1)
+    b = synthesize_timestep(cfg, 1)
+    np.testing.assert_array_equal(
+        a.variables["QR"].data, b.variables["QR"].data)
+
+
+def test_timesteps_differ():
+    cfg = small_config()
+    a = synthesize_timestep(cfg, 0)
+    b = synthesize_timestep(cfg, 1)
+    assert not np.array_equal(
+        a.variables["T"].data, b.variables["T"].data)
+
+
+def test_hydrometeors_sparse_and_nonnegative():
+    cfg = small_config()
+    ds = synthesize_timestep(cfg, 0)
+    qr = ds.variables["QR"].data
+    assert (qr >= 0).all()
+    assert (qr == 0).mean() > 0.3  # rain covers part of the domain only
+
+
+def test_compression_ratio_near_paper():
+    """Paper: 298 MB -> ~91 MB per variable, ratio ~3.27."""
+    cfg = NUWRFConfig(shape=(8, 48, 48), timesteps=1)
+    ds = synthesize_timestep(cfg, 0)
+    buf = io.BytesIO()
+    scinc.write(buf, ds, compression_level=cfg.compression_level)
+    ratio = cfg.raw_bytes_per_file / len(buf.getvalue())
+    assert 2.8 <= ratio <= 3.8
+
+
+def test_generate_writes_manifest(world=None):
+    from tests.core.conftest import world as _w  # reuse fixture factory
+    from repro.cluster import Cluster
+    from repro.pfs import PFS
+    from repro.sim import Environment
+    from tests.core.conftest import small_spec
+
+    env = Environment()
+    cluster = Cluster(env)
+    mds = cluster.add_node("mds", small_spec(), role="storage")
+    oss = cluster.add_node("oss", small_spec(n_disks=2), role="storage")
+    pfs = PFS(env, cluster.network, mds, [oss])
+    cfg = small_config()
+    manifest = generate_nuwrf(pfs, cfg, directory="/nuwrf")
+    assert len(manifest["files"]) == 2
+    assert manifest["raw_bytes"] == 2 * cfg.raw_bytes_per_file
+    assert manifest["compression_ratio"] > 1.5
+    for path in manifest["files"]:
+        assert pfs.mds.exists(path)
+    # Files are genuine SCNC containers with all 23 variables.
+    reader = scinc.Reader(pfs.open_sync(manifest["files"][0]))
+    assert len(reader.variable_paths()) == 23
+
+
+def test_file_names_follow_paper_example():
+    cfg = small_config()
+    assert cfg.file_name(0) == "plot_18_00_00.nc"  # §III-A.1's example
+
+
+def test_raw_byte_accounting():
+    cfg = NUWRFConfig(shape=(50, 1250, 1250))
+    assert cfg.raw_bytes_per_variable == 50 * 1250 * 1250 * 4  # 312.5 MB
+    assert cfg.raw_bytes_per_file == cfg.raw_bytes_per_variable * 23
