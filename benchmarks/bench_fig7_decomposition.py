@@ -5,6 +5,10 @@ PortHadoop because ``read.table`` sequentially parses text; SciDP reads a
 level in 0.035 s and converts binary data "in a very short time"; Plot is
 essentially equal across the parallel solutions, slightly lower for the
 contention-free naive run.
+
+Phase durations are aggregated from the per-task spans that
+``TaskContext.phase`` records (``repro.obs``); the legacy
+``IntervalTimer`` totals remain as a cross-check shim.
 """
 
 from repro.bench.harness import fig7_rows

@@ -16,6 +16,7 @@ import time
 
 from repro.bench import harness
 from repro.bench.reporting import print_table
+from repro.obs import TraceSession
 
 EXPERIMENTS = {
     "fig2": (harness.fig2_rows, {},
@@ -38,6 +39,9 @@ EXPERIMENTS = {
     "ext-spark": (harness.ext_spark_rows, {}, {"n_timesteps": 3}),
 }
 
+#: experiments whose runner accepts ``trace=`` (figure benches)
+TRACEABLE = {"fig2", "fig5", "fig6", "fig7", "fig8", "fig9"}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -47,6 +51,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment names, or 'all'")
     parser.add_argument("--quick", action="store_true",
                         help="miniature sizes (fast sanity run)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export a Chrome trace (.json) or JSONL "
+                             "(.jsonl) of the simulated runs")
     args = parser.parse_args(argv)
 
     if not args.experiments:
@@ -64,13 +71,23 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    session = TraceSession(args.trace) if args.trace else None
     for name in names:
         runner, full_kwargs, quick_kwargs = EXPERIMENTS[name]
-        kwargs = quick_kwargs if args.quick else full_kwargs
+        kwargs = dict(quick_kwargs if args.quick else full_kwargs)
+        if session is not None and name in TRACEABLE:
+            kwargs["trace"] = session
         started = time.time()
         columns, rows, note = runner(**kwargs)
         print_table(name, columns, rows, note)
         print(f"[{name}: {time.time() - started:.1f}s wall]")
+    if session is not None:
+        if session.runs:
+            session.save()
+            print(f"[trace: wrote {args.trace}]")
+        else:
+            print(f"[trace: no traceable experiment ran; "
+                  f"nothing written to {args.trace}]")
     return 0
 
 

@@ -16,6 +16,7 @@ from repro.core import SciDP
 from repro.core.reader import PFSReader
 from repro.formats import scinc
 from repro.hdfs import HDFS, PFSConnector
+from repro.obs import TraceSession
 from repro.pfs import PFS, PFSClient, StripeLayout
 from repro.pfs.mpiio import MPIFile
 from repro.sim import AllOf, Environment
@@ -110,13 +111,17 @@ def _run(env, gen):
 
 def fig2_rows(n_records: int = 180_000, n_lines: int = 300_000,
               dfsio_files: int = 8,
-              dfsio_bytes: int = int(64 * MB / FIG2_SCALE)):
+              dfsio_bytes: int = int(64 * MB / FIG2_SCALE),
+              trace: Optional[TraceSession] = None):
     """Terasort / Grep / TestDFSIO on native HDFS vs the PFS connector.
 
     Defaults model ~8 GB-class runs at 1/64 scale (~8 MB real input per
     workload, 64 MB-equivalent blocks).
     """
     env, cluster, nodes, hdfs, connector = _fig2_world()
+    if trace is not None:
+        trace.observe(env, "fig2", nodes=nodes, hdfs=hdfs,
+                      network=cluster.network)
     rows = []
 
     def both(name, runner):
@@ -192,13 +197,16 @@ def table1_rows():
 # --------------------------------------------------------------------------
 
 def fig5_table3_rows(sizes: Sequence[int] = SCALED_SIZES,
-                     solutions: Optional[Sequence[str]] = None):
+                     solutions: Optional[Sequence[str]] = None,
+                     trace: Optional[TraceSession] = None):
     """Total time of every solution at every dataset size, plus SciDP's
     speedup over each (Table III)."""
     solutions = list(solutions or SOLUTIONS)
     totals: dict[tuple[str, int], float] = {}
     for size in sizes:
         world = build_world(n_timesteps=size)
+        if trace is not None:
+            trace.observe_world(world, f"fig5@{size}")
         for solution in solutions:
             result = run_solution(world, solution)
             totals[(solution, size)] = result.total_time
@@ -234,7 +242,8 @@ def _fig6_world(n_nodes: int):
                        n_nodes=n_nodes, with_text=False)
 
 
-def fig6_rows(readers: Sequence[int] = (1, 2, 4, 8, 16)):
+def fig6_rows(readers: Sequence[int] = (1, 2, 4, 8, 16),
+              trace: Optional[TraceSession] = None):
     """NC Ind / NC Coll / MPI Coll / SciDP / SciDP Equal bandwidths.
 
     Bandwidths are reported at paper-equivalent scale (bytes x S / time).
@@ -242,6 +251,8 @@ def fig6_rows(readers: Sequence[int] = (1, 2, 4, 8, 16)):
     rows = []
     for n in readers:
         world = _fig6_world(max(readers))
+        if trace is not None:
+            trace.observe_world(world, f"fig6:r{n}")
         env = world.env
         scale = costs.get_scale()
         path = world.manifest["files"][0]
@@ -365,12 +376,20 @@ def _wait_all(env, procs):
 # Fig. 7 — task time decomposition
 # --------------------------------------------------------------------------
 
-def fig7_rows(n_timesteps: int = 48):
+def fig7_rows(n_timesteps: int = 48,
+              trace: Optional[TraceSession] = None):
     """Per-level Read/Convert/Plot decomposition at 384 paper timestamps
-    (48 scaled files)."""
+    (48 scaled files).
+
+    Phase durations come from the per-task spans recorded by
+    ``TaskContext.phase`` (``JobResult.phase_means`` aggregates them);
+    the naive driver has no tasks and reports its loop timings directly.
+    """
     rows = []
     for solution in ("naive", "vanilla", "porthadoop", "scidp"):
         world = build_world(n_timesteps=n_timesteps)
+        if trace is not None:
+            trace.observe_world(world, f"fig7:{solution}")
         result = run_solution(world, solution)
         phases = result.phase_means
         rows.append((
@@ -393,12 +412,15 @@ def fig7_rows(n_timesteps: int = 48):
 # --------------------------------------------------------------------------
 
 def fig8_rows(node_counts: Sequence[int] = (4, 8, 16),
-              n_timesteps: int = 24):
+              n_timesteps: int = 24,
+              trace: Optional[TraceSession] = None):
     """SciDP Img-only time vs Hadoop cluster size (8 slots per node)."""
     rows = []
     base = None
     for n_nodes in node_counts:
         world = build_world(n_timesteps=n_timesteps, n_nodes=n_nodes)
+        if trace is not None:
+            trace.observe_world(world, f"fig8:n{n_nodes}")
         result = run_solution(world, "scidp")
         if base is None:
             base = result.map_phase_time
@@ -421,10 +443,13 @@ def fig8_rows(node_counts: Sequence[int] = (4, 8, 16),
 # --------------------------------------------------------------------------
 
 def fig9_rows(sizes: Sequence[int] = (12, 24, 48),
-              analyses: Sequence[str] = ("none", "highlight", "top1pct")):
+              analyses: Sequence[str] = ("none", "highlight", "top1pct"),
+              trace: Optional[TraceSession] = None):
     rows = []
     for size in sizes:
         world = build_world(n_timesteps=size)
+        if trace is not None:
+            trace.observe_world(world, f"fig9@{size}")
         times = []
         for analysis in analyses:
             result = run_solution(world, "scidp", analysis=analysis)

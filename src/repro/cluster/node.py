@@ -33,6 +33,11 @@ class Disk:
         return self._pipe.transfer(nbytes, latency=self.spec.seek_latency)
 
     @property
+    def pipe(self) -> SharedBandwidth:
+        """The underlying bandwidth pipe — exposed for metrics watchers."""
+        return self._pipe
+
+    @property
     def bytes_moved(self) -> float:
         return self._pipe.bytes_moved
 

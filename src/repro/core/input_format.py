@@ -86,7 +86,8 @@ class SciDPInputFormat:
             return records
         reader = PFSReader(
             self.scidp.pfs_client(ctx.node),
-            granularity=self.granularity)
+            granularity=self.granularity,
+            track=getattr(ctx, "track", None))
         data = yield client.env.process(reader.read_block(virtual))
         ctx.counters.increment("scidp", "blocks_read", 1)
         ctx.counters.increment("scidp", "bytes_fetched",

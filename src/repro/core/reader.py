@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import costs
 from repro.hdfs.block import VirtualBlock
+from repro.obs.trace import tracer_of
 from repro.pfs.client import PFSClient
 
 __all__ = ["PFSReader"]
@@ -34,13 +35,16 @@ class PFSReader:
 
     def __init__(self, client: PFSClient,
                  granularity: Optional[int] = None,
-                 request_overhead: float = costs.PFS_REQUEST_OVERHEAD):
+                 request_overhead: float = costs.PFS_REQUEST_OVERHEAD,
+                 track: Optional[str] = None):
         if granularity is not None and granularity < 1:
             raise ValueError("granularity must be >= 1")
         self.client = client
         self.env = client.env
         self.granularity = granularity
         self.request_overhead = request_overhead
+        #: trace swimlane for this reader's spans (the owning task's)
+        self.track = track or f"{client.node.name}.pfs"
         #: stored (possibly compressed) bytes fetched
         self.bytes_fetched = 0
         #: raw bytes delivered after decompression
@@ -68,9 +72,17 @@ class PFSReader:
     # -- public API ----------------------------------------------------------
     def read_block(self, block: VirtualBlock):
         """DES process returning bytes (flat) or ndarray (scientific)."""
-        if block.hyperslab is None:
-            return (yield from self._read_flat(block))
-        return (yield from self._read_hyperslab(block))
+        fetched0, delivered0 = self.bytes_fetched, self.bytes_delivered
+        with tracer_of(self.env).span(
+                "pfs.read_block", cat="storage", track=self.track,
+                path=block.source_path) as span:
+            if block.hyperslab is None:
+                data = yield from self._read_flat(block)
+            else:
+                data = yield from self._read_hyperslab(block)
+            span.set(fetched=int(self.bytes_fetched - fetched0),
+                     delivered=int(self.bytes_delivered - delivered0))
+        return data
 
     def _read_flat(self, block: VirtualBlock):
         data = yield self.env.process(self._fetch_range(

@@ -7,6 +7,7 @@ from typing import Optional
 from repro.cluster.node import Node
 from repro.hdfs.block import BlockInfo
 from repro.hdfs.namenode import HDFSError
+from repro.obs.trace import tracer_of
 
 __all__ = ["DFSClient"]
 
@@ -24,6 +25,8 @@ class DFSClient:
         self.hdfs = hdfs
         self.node = node
         self.env = hdfs.env
+        #: trace swimlane for this client's spans
+        self.track = f"{node.name}.hdfs"
         #: payload bytes read/written by this client
         self.bytes_read = 0.0
         self.bytes_written = 0.0
@@ -51,17 +54,20 @@ class DFSClient:
         Blocks are written sequentially, as a real output stream does.
         DES process; returns the FileEntry.
         """
-        namenode = self.hdfs.namenode
-        yield from namenode.rpc()
-        entry = namenode.create_file(path, block_size, replication)
-        pos = 0
-        while pos < len(data):
-            chunk = data[pos:pos + entry.block_size]
-            yield self.env.process(self._write_block(entry.path, chunk))
-            pos += len(chunk)
-        namenode.complete_file(entry.path)
-        self.bytes_written += len(data)
-        return entry
+        with tracer_of(self.env).span(
+                "hdfs.write", cat="storage", track=self.track,
+                path=path, bytes=len(data)):
+            namenode = self.hdfs.namenode
+            yield from namenode.rpc()
+            entry = namenode.create_file(path, block_size, replication)
+            pos = 0
+            while pos < len(data):
+                chunk = data[pos:pos + entry.block_size]
+                yield self.env.process(self._write_block(entry.path, chunk))
+                pos += len(chunk)
+            namenode.complete_file(entry.path)
+            self.bytes_written += len(data)
+            return entry
 
     # -- read ---------------------------------------------------------------
     def _pick_replica(self, block: BlockInfo) -> str:
@@ -87,12 +93,18 @@ class DFSClient:
         """Read one block, preferring a local replica. DES process."""
         replica = self._pick_replica(block)
         datanode = self.hdfs.datanode(replica)
-        data = yield self.env.process(
-            datanode.read(block.block_id, offset, length))
-        if datanode.node is not self.node:
-            yield self.hdfs.network.transfer(
-                datanode.node, self.node, len(data))
-        self.bytes_read += len(data)
+        local = datanode.node is self.node
+        with tracer_of(self.env).span(
+                "hdfs.read_block", cat="storage", track=self.track,
+                block=block.block_id, replica=replica,
+                locality="node_local" if local else "remote") as span:
+            data = yield self.env.process(
+                datanode.read(block.block_id, offset, length))
+            if not local:
+                yield self.hdfs.network.transfer(
+                    datanode.node, self.node, len(data))
+            self.bytes_read += len(data)
+            span.set(bytes=len(data))
         return data
 
     def read(self, path: str):

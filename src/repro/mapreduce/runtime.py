@@ -9,6 +9,8 @@ from repro.mapreduce.config import JobConf, MapReduceError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.input_format import InputSplit
 from repro.mapreduce.task import MapOutput, MapTask, ReduceTask, TaskStats
+from repro.obs.history import FAILED, KILLED, SUCCEEDED, JobHistory, TaskAttempt
+from repro.obs.trace import tracer_of
 from repro.sim import AllOf, Resource
 
 __all__ = ["JobResult", "JobRunner"]
@@ -29,6 +31,8 @@ class JobResult:
     output_paths: list[str] = field(default_factory=list)
     #: map outputs when the job is map-only (no reducer)
     map_records: list[tuple[Any, Any]] = field(default_factory=list)
+    #: per-attempt history (node, split, locality, spans, outcome)
+    history: Optional[JobHistory] = None
 
     @property
     def duration(self) -> float:
@@ -38,13 +42,18 @@ class JobResult:
         return [s for s in self.task_stats if s.kind == kind]
 
     def phase_means(self, kind: str = "map") -> dict[str, float]:
-        """Mean per-task seconds in each phase (Fig. 7 decomposition)."""
+        """Mean per-task seconds in each phase (Fig. 7 decomposition).
+
+        Durations come from the tasks' phase spans; the legacy ``phases``
+        dict is the fallback for stats built without span records.
+        """
         stats = self.stats_for(kind)
         if not stats:
             return {}
         totals: dict[str, float] = {}
         for s in stats:
-            for phase, seconds in s.phases.items():
+            per_task = s.phase_totals() if s.spans else s.phases
+            for phase, seconds in per_task.items():
                 totals[phase] = totals.get(phase, 0.0) + seconds
         return {p: t / len(stats) for p, t in totals.items()}
 
@@ -99,8 +108,8 @@ class JobRunner:
                 return key, info["split"]
         return None
 
-    def _map_worker(self, node, pending, outputs, stats, counters,
-                    attempts, tracker):
+    def _map_worker(self, node, slot, pending, outputs, stats, counters,
+                    attempts, tracker, history):
         """One map slot's pull loop with retry + speculation. DES process.
 
         A failed attempt requeues the split (another slot — possibly on
@@ -110,6 +119,7 @@ class JobRunner:
         first attempt to finish wins and the loser's output is dropped.
         """
         client = self.storage.client(node)
+        track = f"{node.name}.s{slot}"
         while True:
             split = self._pick_split(pending, node.name)
             speculation = False
@@ -127,11 +137,19 @@ class JobRunner:
             info["nodes"].add(node.name)
 
             task = MapTask(self.env, self.job, split, node, client,
-                           self._next_task_id("m"))
+                           self._next_task_id("m"), track=track)
+            attempt = history.record(TaskAttempt(
+                attempt_id=task.task_id, kind="map", node=node.name,
+                start=self.env.now,
+                split=f"{split.path}#{split.index}",
+                locality=task.locality, speculative=speculation))
             try:
                 output, task_stats, task_counters = yield self.env.process(
                     task.run())
             except Exception as exc:
+                attempt.end = self.env.now
+                attempt.outcome = FAILED
+                attempt.error = repr(exc)
                 info["nodes"].discard(node.name)
                 if speculation or key in tracker["done"]:
                     continue  # a failed backup never fails the job
@@ -146,9 +164,14 @@ class JobRunner:
                 pending.append(split)
                 continue
 
+            attempt.end = self.env.now
+            attempt.spans = list(task_stats.spans)
+            attempt.counters = task_counters.as_dict()
             if key in tracker["done"]:
+                attempt.outcome = KILLED
                 counters.increment("job", "speculative_losses", 1)
                 continue  # another attempt won; drop this output
+            attempt.outcome = SUCCEEDED
             tracker["done"].add(key)
             tracker["durations"].append(task_stats.duration)
             tracker["running"].pop(key, None)
@@ -157,22 +180,30 @@ class JobRunner:
             counters.merge(task_counters)
 
     def _reduce_worker(self, partition, node, slots: Resource,
-                       map_outputs, results, stats, counters):
+                       map_outputs, results, stats, counters, history):
         """One reduce task wrapped in its slot, with retry. DES process."""
         req = slots.request()
         yield req
         try:
             client = self.storage.client(node)
+            track = f"{node.name}.r{partition}"
             attempt = 0
             while True:
                 attempt += 1
                 task = ReduceTask(
                     self.env, self.job, partition, node, client,
-                    map_outputs, self.network, self._next_task_id("r"))
+                    map_outputs, self.network, self._next_task_id("r"),
+                    track=track)
+                record = history.record(TaskAttempt(
+                    attempt_id=task.task_id, kind="reduce", node=node.name,
+                    start=self.env.now, partition=partition))
                 try:
                     records, output_path, task_stats, task_counters = \
                         yield self.env.process(task.run())
                 except Exception as exc:
+                    record.end = self.env.now
+                    record.outcome = FAILED
+                    record.error = repr(exc)
                     counters.increment("job", "failed_reduce_attempts", 1)
                     if attempt >= self.job.max_task_attempts:
                         raise MapReduceError(
@@ -181,6 +212,10 @@ class JobRunner:
                         ) from exc
                     yield self.env.timeout(self.job.task_retry_backoff)
                     continue
+                record.end = self.env.now
+                record.outcome = SUCCEEDED
+                record.spans = list(task_stats.spans)
+                record.counters = task_counters.as_dict()
                 break
             results[partition] = (records, output_path)
             stats.append(task_stats)
@@ -196,54 +231,60 @@ class JobRunner:
         start = env.now
         counters = Counters()
         stats: list[TaskStats] = []
+        history = JobHistory(job.name, start)
+        tracer = tracer_of(env)
 
-        master_client = self.storage.client(self.master)
-        splits = yield env.process(
-            job.input_format.get_splits(job, self.storage, master_client))
-        counters.increment("job", "splits", len(splits))
+        with tracer.span("job", cat="job", track="job", job=job.name):
+            master_client = self.storage.client(self.master)
+            splits = yield env.process(
+                job.input_format.get_splits(
+                    job, self.storage, master_client))
+            counters.increment("job", "splits", len(splits))
 
-        pending = list(splits)
-        map_outputs: list[MapOutput] = []
-        attempts: dict = {}
-        tracker = {"running": {}, "done": set(), "durations": []}
-        workers = []
-        for node in self.nodes:
-            for _slot in range(job.map_slots_per_node):
-                workers.append(env.process(self._map_worker(
-                    node, pending, map_outputs, stats, counters,
-                    attempts, tracker)))
-        yield AllOf(env, workers)
+            pending = list(splits)
+            map_outputs: list[MapOutput] = []
+            attempts: dict = {}
+            tracker = {"running": {}, "done": set(), "durations": []}
+            workers = []
+            for node in self.nodes:
+                for slot in range(job.map_slots_per_node):
+                    workers.append(env.process(self._map_worker(
+                        node, slot, pending, map_outputs, stats, counters,
+                        attempts, tracker, history)))
+            yield AllOf(env, workers)
 
-        result = JobResult(
-            name=job.name, start=start, end=env.now,
-            counters=counters, task_stats=stats)
+            result = JobResult(
+                name=job.name, start=start, end=env.now,
+                counters=counters, task_stats=stats, history=history)
 
-        if job.reducer is None:
-            # Map-only job: expose the mappers' records directly.
-            for output in map_outputs:
-                for partition in output.partitions:
-                    result.map_records.extend(partition)
+            if job.reducer is None:
+                # Map-only job: expose the mappers' records directly.
+                for output in map_outputs:
+                    for partition in output.partitions:
+                        result.map_records.extend(partition)
+                result.end = env.now
+                history.finish(result.end)
+                return result
+
+            slots = {
+                node.name: Resource(env, job.reduce_slots_per_node,
+                                    f"{node.name}.reduce")
+                for node in self.nodes
+            }
+            results: dict[int, tuple[list, Optional[str]]] = {}
+            reducers = []
+            for partition in range(job.n_reducers):
+                node = self.nodes[partition % len(self.nodes)]
+                reducers.append(env.process(self._reduce_worker(
+                    partition, node, slots[node.name], map_outputs,
+                    results, stats, counters, history)))
+            yield AllOf(env, reducers)
+
+            for partition, (records, output_path) in sorted(results.items()):
+                result.outputs[partition] = records
+                if output_path is not None:
+                    result.output_paths.append(output_path)
             result.end = env.now
+            result.task_stats = stats
+            history.finish(result.end)
             return result
-
-        slots = {
-            node.name: Resource(env, job.reduce_slots_per_node,
-                                f"{node.name}.reduce")
-            for node in self.nodes
-        }
-        results: dict[int, tuple[list, Optional[str]]] = {}
-        reducers = []
-        for partition in range(job.n_reducers):
-            node = self.nodes[partition % len(self.nodes)]
-            reducers.append(env.process(self._reduce_worker(
-                partition, node, slots[node.name], map_outputs,
-                results, stats, counters)))
-        yield AllOf(env, reducers)
-
-        for partition, (records, output_path) in sorted(results.items()):
-            result.outputs[partition] = records
-            if output_path is not None:
-                result.output_paths.append(output_path)
-        result.end = env.now
-        result.task_stats = stats
-        return result

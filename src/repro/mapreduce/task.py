@@ -22,6 +22,7 @@ from repro.mapreduce.shuffle import (
     merge_sorted_runs,
     sort_run,
 )
+from repro.obs.trace import tracer_of
 from repro.sim.stats import IntervalTimer
 
 __all__ = ["MapOutput", "MapTask", "ReduceTask", "TaskContext", "TaskStats"]
@@ -37,27 +38,78 @@ class TaskStats:
     start: float
     end: float = 0.0
     phases: dict[str, float] = field(default_factory=dict)
+    #: (phase name, start, end) — the authoritative timing record;
+    #: ``phases`` keeps the per-phase totals derived from it.
+    spans: list[tuple[str, float, float]] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    def phase_totals(self) -> dict[str, float]:
+        """Seconds per phase summed from spans."""
+        totals: dict[str, float] = {}
+        for name, start, end in self.spans:
+            totals[name] = totals.get(name, 0.0) + (end - start)
+        return totals
+
+
+class _Phase:
+    """Context manager for one timed task phase.
+
+    Records a (name, start, end) span on the context, keeps the
+    backwards-compatible ``ctx.timer`` totals in sync, and mirrors the
+    phase as a tracer child span when tracing is enabled.
+    """
+
+    __slots__ = ("_ctx", "_name", "_start", "_handle")
+
+    def __init__(self, ctx: "TaskContext", name: str):
+        self._ctx = ctx
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        ctx = self._ctx
+        self._start = ctx.env.now
+        self._handle = ctx.tracer.span(
+            self._name, cat="task.phase", track=ctx.track)
+        self._handle.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        ctx = self._ctx
+        end = ctx.env.now
+        ctx.spans.append((self._name, self._start, end))
+        ctx.timer.add(self._name, end - self._start)
+        self._handle.__exit__(*exc)
 
 
 class TaskContext:
     """What user code sees inside a task."""
 
     def __init__(self, env, node, job: JobConf, task_id: str,
-                 storage_client=None):
+                 storage_client=None, track: Optional[str] = None):
         self.env = env
         self.node = node
         self.job = job
         self.task_id = task_id
         self.client = storage_client
         self.counters = Counters()
+        #: shim kept for callers that still read per-phase totals here;
+        #: :meth:`phase` is the primary timing API and feeds it.
         self.timer = IntervalTimer(task_id)
+        #: (phase name, start, end) spans recorded by :meth:`phase`
+        self.spans: list[tuple[str, float, float]] = []
+        #: trace swimlane this task's spans land on
+        self.track = track or node.name
+        self.tracer = tracer_of(env)
         self._output: list[tuple[Any, Any]] = []
         self._charges: dict[str, float] = {}
         self._io_actions: list[tuple[str, str, Any]] = []
+
+    def phase(self, name: str) -> _Phase:
+        """Time a task phase: ``with ctx.phase("read"): yield ...``."""
+        return _Phase(self, name)
 
     def emit(self, key: Any, value: Any) -> None:
         """Produce one output record."""
@@ -108,82 +160,100 @@ class MapTask:
     """Executes one split: read → map → partition/sort(/combine) → spill."""
 
     def __init__(self, env, job: JobConf, split: InputSplit, node,
-                 storage_client, task_id: str):
+                 storage_client, task_id: str, track: Optional[str] = None):
         self.env = env
         self.job = job
         self.split = split
         self.node = node
         self.client = storage_client
         self.task_id = task_id
+        self.track = track
+
+    @property
+    def locality(self) -> str:
+        """Where this attempt's split lives relative to its node."""
+        if not self.split.locations:
+            return "any"          # dummy blocks carry no locations
+        if self.node.name in self.split.locations:
+            return "node_local"
+        return "remote"
 
     def run(self):
         """DES process returning (MapOutput, TaskStats, Counters)."""
         env = self.env
         job = self.job
         stats = TaskStats(self.task_id, "map", self.node.name, env.now)
-        ctx = TaskContext(env, self.node, job, self.task_id, self.client)
+        ctx = TaskContext(env, self.node, job, self.task_id, self.client,
+                          track=self.track)
+        task_span = ctx.tracer.span(
+            "map", cat="task.map", track=ctx.track, task_id=self.task_id,
+            node=self.node.name,
+            split=f"{self.split.path}#{self.split.index}",
+            locality=self.locality)
+        with task_span:
+            yield env.timeout(job.task_startup)
 
-        yield env.timeout(job.task_startup)
+            with ctx.phase("read"):
+                records = yield env.process(
+                    job.input_format.read_records(
+                        self.split, self.client, ctx))
 
-        t0 = env.now
-        records = yield env.process(
-            job.input_format.read_records(self.split, self.client, ctx))
-        ctx.timer.add("read", env.now - t0)
+            for key, value in records:
+                job.mapper(ctx, key, value)
+            ctx.counters.increment("map", "records_mapped", len(records))
 
-        for key, value in records:
-            job.mapper(ctx, key, value)
-        ctx.counters.increment("map", "records_mapped", len(records))
+            for op, path, payload in ctx.take_io_actions():
+                with ctx.phase("user_io"):
+                    if op == "write":
+                        yield env.process(self.client.write(path, payload))
+                        ctx.counters.increment(
+                            "io", "bytes_written", len(payload))
+                    else:
+                        data = yield env.process(self.client.read(path))
+                        wanted = payload if payload is not None else len(data)
+                        if len(data) < wanted:
+                            raise ValueError(
+                                f"deferred read of {path!r}: "
+                                f"{len(data)} < {wanted}")
+                        ctx.counters.increment("io", "bytes_read", len(data))
 
-        for op, path, payload in ctx.take_io_actions():
-            t0 = env.now
-            if op == "write":
-                yield env.process(self.client.write(path, payload))
-                ctx.counters.increment("io", "bytes_written", len(payload))
-            else:
-                data = yield env.process(self.client.read(path))
-                wanted = payload if payload is not None else len(data)
-                if len(data) < wanted:
-                    raise ValueError(
-                        f"deferred read of {path!r}: {len(data)} < {wanted}")
-                ctx.counters.increment("io", "bytes_read", len(data))
-            ctx.timer.add("user_io", env.now - t0)
+            charges = ctx.take_charges()
+            overhead = len(records) * job.record_overhead
+            if overhead:
+                charges["framework"] = (
+                    charges.get("framework", 0.0) + overhead)
+            for phase, seconds in sorted(charges.items()):
+                with ctx.phase(phase):
+                    yield env.timeout(seconds)
 
-        charges = ctx.take_charges()
-        overhead = len(records) * job.record_overhead
-        if overhead:
-            charges["framework"] = charges.get("framework", 0.0) + overhead
-        for phase, seconds in sorted(charges.items()):
-            t0 = env.now
-            yield env.timeout(seconds)
-            ctx.timer.add(phase, env.now - t0)
+            n_parts = max(1, job.n_reducers)
+            partitions: list[list[tuple[Any, Any]]] = [
+                [] for _ in range(n_parts)]
+            for key, value in ctx.take_output():
+                partitions[hash_partition(key, n_parts)].append((key, value))
+            for p in range(n_parts):
+                partitions[p] = sort_run(partitions[p])
+                if job.combiner is not None:
+                    partitions[p] = self._combine(ctx, partitions[p])
+            sizes = [
+                sum(estimate_size(k) + estimate_size(v) for k, v in part)
+                for part in partitions
+            ]
 
-        n_parts = max(1, job.n_reducers)
-        partitions: list[list[tuple[Any, Any]]] = [[] for _ in range(n_parts)]
-        for key, value in ctx.take_output():
-            partitions[hash_partition(key, n_parts)].append((key, value))
-        for p in range(n_parts):
-            partitions[p] = sort_run(partitions[p])
-            if job.combiner is not None:
-                partitions[p] = self._combine(ctx, partitions[p])
-        sizes = [
-            sum(estimate_size(k) + estimate_size(v) for k, v in part)
-            for part in partitions
-        ]
-
-        spill = sum(sizes)
-        if spill and job.reducer is not None:
-            t0 = env.now
-            if job.diskless_spill:
-                # No local disks: the spill crosses to the storage
-                # system under test (e.g. the Lustre connector).
-                yield env.process(self.client.write(
-                    f"/_spill/{self.task_id}", bytes(spill)))
-            else:
-                yield self.node.disk.write(spill)
-            ctx.timer.add("spill", env.now - t0)
+            spill = sum(sizes)
+            if spill and job.reducer is not None:
+                with ctx.phase("spill"):
+                    if job.diskless_spill:
+                        # No local disks: the spill crosses to the storage
+                        # system under test (e.g. the Lustre connector).
+                        yield env.process(self.client.write(
+                            f"/_spill/{self.task_id}", bytes(spill)))
+                    else:
+                        yield self.node.disk.write(spill)
 
         stats.end = env.now
-        stats.phases = ctx.timer.as_dict()
+        stats.spans = list(ctx.spans)
+        stats.phases = stats.phase_totals()
         return (MapOutput(self.task_id, self.node, partitions, sizes),
                 stats, ctx.counters)
 
@@ -205,7 +275,7 @@ class ReduceTask:
 
     def __init__(self, env, job: JobConf, partition: int, node,
                  storage_client, map_outputs: list[MapOutput],
-                 network, task_id: str):
+                 network, task_id: str, track: Optional[str] = None):
         self.env = env
         self.job = job
         self.partition = partition
@@ -214,6 +284,7 @@ class ReduceTask:
         self.map_outputs = map_outputs
         self.network = network
         self.task_id = task_id
+        self.track = track
 
     #: shuffle servlet round trip per fetch
     FETCH_RPC_LATENCY = 0.0005
@@ -238,46 +309,52 @@ class ReduceTask:
         env = self.env
         job = self.job
         stats = TaskStats(self.task_id, "reduce", self.node.name, env.now)
-        ctx = TaskContext(env, self.node, job, self.task_id, self.client)
+        ctx = TaskContext(env, self.node, job, self.task_id, self.client,
+                          track=self.track)
+        task_span = ctx.tracer.span(
+            "reduce", cat="task.reduce", track=ctx.track,
+            task_id=self.task_id, node=self.node.name,
+            partition=self.partition)
+        with task_span:
+            yield env.timeout(job.task_startup)
 
-        yield env.timeout(job.task_startup)
+            with ctx.phase("shuffle"):
+                runs = []
+                fetchers = [
+                    env.process(self._fetch(mo, ctx))
+                    for mo in self.map_outputs
+                ]
+                from repro.sim import AllOf
+                if fetchers:
+                    done = yield AllOf(env, fetchers)
+                    runs = [done[proc] for proc in fetchers]
 
-        t0 = env.now
-        runs = []
-        fetchers = [
-            env.process(self._fetch(mo, ctx)) for mo in self.map_outputs
-        ]
-        from repro.sim import AllOf
-        if fetchers:
-            done = yield AllOf(env, fetchers)
-            runs = [done[proc] for proc in fetchers]
-        ctx.timer.add("shuffle", env.now - t0)
+            merged = merge_sorted_runs([run for run in runs if run])
+            for key, values in group_sorted(merged):
+                job.reducer(ctx, key, values)
+            ctx.counters.increment("reduce", "groups", len(
+                list(group_sorted(merged))))
 
-        merged = merge_sorted_runs([run for run in runs if run])
-        for key, values in group_sorted(merged):
-            job.reducer(ctx, key, values)
-        ctx.counters.increment("reduce", "groups", len(
-            list(group_sorted(merged))))
+            for phase, seconds in sorted(ctx.take_charges().items()):
+                with ctx.phase(phase):
+                    yield env.timeout(seconds)
 
-        for phase, seconds in sorted(ctx.take_charges().items()):
-            t0 = env.now
-            yield env.timeout(seconds)
-            ctx.timer.add(phase, env.now - t0)
-
-        records = ctx.take_output()
-        output_path: Optional[str] = None
-        if job.output_path is not None:
-            output_path = f"{job.output_path}/part-r-{self.partition:05d}"
-            payload = pickle.dumps(records)
-            t0 = env.now
-            # Idempotent commit: a retried attempt replaces whatever a
-            # failed predecessor left behind.
-            if (yield env.process(self.client.exists(output_path))):
-                yield env.process(self.client.delete(output_path))
-            yield env.process(self.client.write(output_path, payload))
-            ctx.timer.add("write", env.now - t0)
-            ctx.counters.increment("io", "bytes_written", len(payload))
+            records = ctx.take_output()
+            output_path: Optional[str] = None
+            if job.output_path is not None:
+                output_path = (
+                    f"{job.output_path}/part-r-{self.partition:05d}")
+                payload = pickle.dumps(records)
+                with ctx.phase("write"):
+                    # Idempotent commit: a retried attempt replaces
+                    # whatever a failed predecessor left behind.
+                    if (yield env.process(self.client.exists(output_path))):
+                        yield env.process(self.client.delete(output_path))
+                    yield env.process(
+                        self.client.write(output_path, payload))
+                ctx.counters.increment("io", "bytes_written", len(payload))
 
         stats.end = env.now
-        stats.phases = ctx.timer.as_dict()
+        stats.spans = list(ctx.spans)
+        stats.phases = stats.phase_totals()
         return records, output_path, stats, ctx.counters

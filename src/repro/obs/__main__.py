@@ -1,0 +1,58 @@
+"""CLI: render or validate exported traces.
+
+Usage::
+
+    python -m repro.obs report /tmp/fig5.json [--width N] [--run LABEL]
+    python -m repro.obs validate /tmp/fig5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.report import render_report, validate_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect traces exported by the bench --trace option.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser(
+        "report", help="ASCII task timeline + device utilisation table")
+    rep.add_argument("trace", help="trace file (.json or .jsonl)")
+    rep.add_argument("--width", type=int, default=72,
+                     help="timeline width in characters (default 72)")
+    rep.add_argument("--run", default=None,
+                     help="only show runs whose label contains this string")
+
+    val = sub.add_parser(
+        "validate", help="check a trace for well-formedness")
+    val.add_argument("trace", help="trace file (.json or .jsonl)")
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        try:
+            report = render_report(args.trace, width=args.width,
+                                   run_filter=args.run)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(report)
+        return 0
+    problems = validate_trace(args.trace)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"INVALID: {len(problems)} problem(s) in {args.trace}",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {args.trace} is a valid trace")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

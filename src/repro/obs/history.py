@@ -1,0 +1,136 @@
+"""Hadoop-style job history: one record per task attempt.
+
+The :class:`~repro.mapreduce.runtime.JobRunner` files a
+:class:`TaskAttempt` for every map/reduce attempt it launches —
+including failed attempts, retries, and speculative backups that lost
+the race — so the history answers the questions a ``.jhist`` file
+answers on a real cluster: where did each attempt run, was its split
+local, how long did each phase take, and why did the attempt end.
+
+Everything is keyed to the simulated clock and serialises
+deterministically (:meth:`JobHistory.as_dict` sorts every collection),
+so histories diff cleanly between identical runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["JobHistory", "TaskAttempt"]
+
+#: attempt outcomes
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+KILLED = "killed"      # speculative attempt that lost the race
+RUNNING = "running"
+
+
+@dataclass
+class TaskAttempt:
+    """One launch of a map or reduce task on a specific node."""
+
+    attempt_id: str
+    kind: str                       # "map" | "reduce"
+    node: str
+    start: float
+    end: float = 0.0
+    split: Optional[str] = None     # "path#index" (maps)
+    partition: Optional[int] = None  # reduce partition
+    locality: Optional[str] = None  # "node_local" | "remote" | "any"
+    speculative: bool = False
+    outcome: str = RUNNING
+    error: Optional[str] = None
+    #: (phase name, start, end) tuples from the task's context
+    spans: list[tuple[str, float, float]] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def phase_totals(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for name, start, end in self.spans:
+            totals[name] = totals.get(name, 0.0) + (end - start)
+        return totals
+
+    def as_dict(self) -> dict:
+        return {
+            "attempt_id": self.attempt_id,
+            "kind": self.kind,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "split": self.split,
+            "partition": self.partition,
+            "locality": self.locality,
+            "speculative": self.speculative,
+            "outcome": self.outcome,
+            "error": self.error,
+            "spans": [list(span) for span in self.spans],
+            "counters": {g: dict(sorted(names.items()))
+                         for g, names in sorted(self.counters.items())},
+        }
+
+
+class JobHistory:
+    """All task attempts of one job, in launch order."""
+
+    def __init__(self, job_name: str, start: float):
+        self.job_name = job_name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attempts: list[TaskAttempt] = []
+
+    def record(self, attempt: TaskAttempt) -> TaskAttempt:
+        self.attempts.append(attempt)
+        return attempt
+
+    def finish(self, end: float) -> None:
+        self.end = end
+
+    def attempts_for(self, kind: str) -> list[TaskAttempt]:
+        return [a for a in self.attempts if a.kind == kind]
+
+    def successful(self, kind: Optional[str] = None) -> list[TaskAttempt]:
+        return [a for a in self.attempts
+                if a.outcome == SUCCEEDED and (kind is None
+                                               or a.kind == kind)]
+
+    def summary(self) -> dict:
+        """Attempt counts by kind and outcome, plus locality mix."""
+        by_kind: dict[str, dict[str, int]] = {}
+        locality: dict[str, int] = {}
+        for a in self.attempts:
+            kind = by_kind.setdefault(a.kind, {})
+            kind[a.outcome] = kind.get(a.outcome, 0) + 1
+            if a.speculative:
+                kind["speculative"] = kind.get("speculative", 0) + 1
+            if a.locality is not None:
+                locality[a.locality] = locality.get(a.locality, 0) + 1
+        return {
+            "job": self.job_name,
+            "start": self.start,
+            "end": self.end,
+            "attempts": {k: dict(sorted(v.items()))
+                         for k, v in sorted(by_kind.items())},
+            "locality": dict(sorted(locality.items())),
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "job": self.job_name,
+            "start": self.start,
+            "end": self.end,
+            "attempts": [a.as_dict() for a in self.attempts],
+        }
+
+    def write(self, path: str) -> None:
+        """Persist the history as deterministic JSON (a ``.jhist`` stand-in)."""
+        with open(path, "w") as fh:
+            fh.write(json.dumps(self.as_dict(), sort_keys=True,
+                                separators=(",", ":"), allow_nan=False))
+            fh.write("\n")

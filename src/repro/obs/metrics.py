@@ -1,0 +1,244 @@
+"""Metrics registry: counters, gauges, histograms, device utilisation.
+
+Gauges wrap :class:`repro.sim.stats.Monitor`, so their time-weighted
+average is the correct mean for utilisation-style series. Device
+watching hooks a registry gauge into a
+:class:`~repro.sim.resources.SharedBandwidth` pipe's ``observer``
+callback: every transfer admission/completion records the new in-flight
+count at the simulated time it changed, which makes
+``monitor.time_average()`` the exact time-weighted device load with no
+polling process in the event queue.
+
+The registry is attached to an environment with :func:`attach_metrics`
+and resolved with :func:`metrics_of`; with no registry attached, device
+pipes keep their ``observer`` set to ``None`` and pay one attribute test
+per membership change.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.sim.stats import Monitor
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "attach_metrics",
+    "metrics_of",
+]
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """A sampled series; keeps the full (time, value) history."""
+
+    __slots__ = ("name", "monitor")
+
+    def __init__(self, name: str, env):
+        self.name = name
+        self.monitor = Monitor(env, name)
+
+    def set(self, value: float) -> None:
+        self.monitor.record(value)
+
+    @property
+    def last(self) -> float:
+        return self.monitor.last
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        return self.monitor.time_average(until)
+
+
+class Histogram:
+    """Value distribution with exact quantiles (series stay small here)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        return self.total / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile, q in [0, 1]."""
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "max": self.quantile(1.0),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics plus the set of watched bandwidth devices."""
+
+    def __init__(self, env):
+        self.env = env
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        #: watched devices: name -> (pipe, in-flight gauge)
+        self._devices: dict[str, tuple] = {}
+        self._watched_ids: set[int] = set()
+
+    # -- named metrics ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name, self.env)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    # -- device watching -------------------------------------------------
+    def watch_pipe(self, pipe, name: Optional[str] = None) -> None:
+        """Sample a :class:`SharedBandwidth` pipe's in-flight count.
+
+        Idempotent per pipe; the pipe's ``observer`` slot is pointed at a
+        registry gauge, so each membership change records one sample at
+        the simulated time it happened.
+        """
+        if id(pipe) in self._watched_ids:
+            return
+        self._watched_ids.add(id(pipe))
+        label = name or pipe.name or f"pipe{len(self._devices)}"
+        gauge = self.gauge(f"device.{label}.in_flight")
+        gauge.set(pipe.n_active)
+        pipe.observer = gauge.set
+        self._devices[label] = (pipe, gauge)
+
+    def watch_node(self, node) -> None:
+        """Watch one compute/storage node's NIC pipes and disks."""
+        self.watch_pipe(node.tx)
+        self.watch_pipe(node.rx)
+        for disk in node.disks:
+            self.watch_pipe(disk.pipe)
+
+    def watch_network(self, network) -> None:
+        if network.core is not None:
+            self.watch_pipe(network.core)
+
+    def watch_pfs(self, pfs) -> None:
+        """Watch every OST disk (per-OST bandwidth/utilisation)."""
+        for ost in pfs.osts:
+            self.watch_pipe(ost.disk.pipe, name=f"ost{ost.index}")
+
+    def watch_hdfs(self, hdfs) -> None:
+        """Watch datanode disks (no-ops for disks already watched via
+        their node)."""
+        for datanode in hdfs.datanodes:
+            self.watch_pipe(datanode.node.disk.pipe,
+                            name=f"dn.{datanode.name}")
+
+    # -- export ----------------------------------------------------------
+    def device_monitors(self) -> Iterable[tuple[str, Monitor]]:
+        """(device name, in-flight Monitor) pairs, name-sorted."""
+        for label in sorted(self._devices):
+            _pipe, gauge = self._devices[label]
+            yield label, gauge.monitor
+
+    def device_rows(self, since: float = 0.0) -> list[dict]:
+        """Per-device summary: bytes moved, busy seconds, utilisation,
+        and the time-weighted mean number of in-flight transfers."""
+        rows = []
+        for label in sorted(self._devices):
+            pipe, gauge = self._devices[label]
+            monitor = gauge.monitor
+            rows.append({
+                "device": label,
+                "capacity_bps": pipe.capacity,
+                "bytes_moved": pipe.bytes_moved,
+                "busy_seconds": round(pipe.busy_time, 9),
+                "utilization": round(pipe.utilization(since), 6),
+                "mean_in_flight": round(
+                    monitor.time_average() if len(monitor) else 0.0, 6),
+            })
+        return rows
+
+    def as_dict(self) -> dict:
+        """Snapshot of every named metric plus the device table."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"last": g.monitor.last,
+                    "time_average": g.monitor.time_average()}
+                for n, g in sorted(self._gauges.items()) if len(g.monitor)
+            },
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self._histograms.items())
+                           if len(h)},
+            "devices": self.device_rows(),
+        }
+
+
+def attach_metrics(env, registry: Optional[MetricsRegistry] = None
+                   ) -> MetricsRegistry:
+    """Attach (and return) a metrics registry on ``env``; idempotent."""
+    existing = getattr(env, "metrics", None)
+    if registry is None:
+        if isinstance(existing, MetricsRegistry):
+            return existing
+        registry = MetricsRegistry(env)
+    env.metrics = registry
+    return registry
+
+
+def metrics_of(env) -> Optional[MetricsRegistry]:
+    """The registry attached to ``env``, or None."""
+    registry = getattr(env, "metrics", None)
+    return registry if isinstance(registry, MetricsRegistry) else None

@@ -1,0 +1,186 @@
+"""Render exported traces as ASCII: task timelines and device tables.
+
+``python -m repro.obs report trace.json`` prints, per simulated run in
+the file, a swimlane timeline (one row per track, grouped by node) and
+the per-device utilisation summary carried in the trace's
+``deviceMetrics`` section. ``validate`` checks a trace for
+well-formedness (the CI smoke job runs it against a bench ``--trace``
+output).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.trace import load_trace
+
+__all__ = ["render_report", "render_timeline", "validate_trace"]
+
+#: event phases the exporters emit
+_KNOWN_PHASES = {"X", "M", "i", "C"}
+
+
+def _runs(events: list[dict]) -> dict[int, dict]:
+    """Group events by pid into {pid: {name, tracks, spans}}."""
+    runs: dict[int, dict] = {}
+    for ev in events:
+        pid = ev.get("pid", 0)
+        run = runs.setdefault(
+            pid, {"name": f"pid{pid}", "tracks": {}, "spans": []})
+        if ev.get("ph") == "M":
+            if ev.get("name") == "process_name":
+                run["name"] = ev["args"]["name"]
+            elif ev.get("name") == "thread_name":
+                run["tracks"][ev["tid"]] = ev["args"]["name"]
+        elif ev.get("ph") == "X":
+            run["spans"].append(ev)
+    return runs
+
+
+def _lane_char(ev: dict) -> str:
+    """One fill character per span: task spans uppercase, rest lowercase."""
+    name = ev.get("name", "?").split(".")[-1] or "?"
+    char = name[0]
+    if str(ev.get("cat", "")).startswith("task.") \
+            and not str(ev.get("cat", "")).startswith("task.phase"):
+        return char.upper()
+    return char.lower()
+
+
+def render_timeline(run: dict, width: int = 72) -> str:
+    """ASCII swimlanes for one run: a row per track, grouped by node.
+
+    Tasks paint uppercase letters (``M``ap / ``R``educe); their phases
+    overwrite with lowercase (``r``ead, ``c``onvert, ``p``lot, ...), so
+    a lane reads as the task's internal phase sequence over time.
+    """
+    spans = run["spans"]
+    if not spans:
+        return "(no spans)"
+    t0 = min(ev["ts"] for ev in spans)
+    t1 = max(ev["ts"] + ev.get("dur", 0) for ev in spans)
+    if t1 <= t0:
+        t1 = t0 + 1.0
+    scale = width / (t1 - t0)
+
+    by_track: dict[str, list[dict]] = {}
+    for ev in spans:
+        track = run["tracks"].get(ev.get("tid"), f"tid{ev.get('tid')}")
+        by_track.setdefault(track, []).append(ev)
+
+    legend: dict[str, set] = {}
+    label_w = max(len(t) for t in by_track)
+    lines = []
+    prev_group = None
+    for track in sorted(by_track):
+        group = track.split(".")[0]
+        if prev_group is not None and group != prev_group:
+            lines.append("")
+        prev_group = group
+        lane = ["."] * width
+        # uppercase task spans first so phase detail wins the overlap
+        ordered = sorted(
+            by_track[track],
+            key=lambda ev: (not _lane_char(ev).isupper(), ev["ts"]))
+        for ev in ordered:
+            char = _lane_char(ev)
+            legend.setdefault(char, set()).add(
+                ev.get("name", "?").split(".")[-1])
+            lo = int((ev["ts"] - t0) * scale)
+            hi = int((ev["ts"] + ev.get("dur", 0) - t0) * scale)
+            for i in range(max(0, lo), min(width, max(hi, lo + 1))):
+                lane[i] = char
+        lines.append(f"{track.ljust(label_w)} |{''.join(lane)}|")
+
+    axis = (f"{' ' * label_w} |{t0 / 1e6:.3f}s"
+            f"{' ' * max(1, width - 24)}{t1 / 1e6:.3f}s|")
+    lines.append(axis)
+    keys = ", ".join(
+        f"{char}={'/'.join(sorted(names))}"
+        for char, names in sorted(legend.items()))
+    lines.append(f"key: {keys}")
+    return "\n".join(lines)
+
+
+def _device_table(devices: list[dict]) -> str:
+    from repro.bench.reporting import format_table
+
+    columns = ["run", "device", "MB moved", "busy s", "util %",
+               "mean in-flight"]
+    rows = []
+    for row in devices:
+        rows.append([
+            row.get("run", "-"),
+            row.get("device", "?"),
+            row.get("bytes_moved", 0.0) / 1e6,
+            row.get("busy_seconds", 0.0),
+            100.0 * row.get("utilization", 0.0),
+            row.get("mean_in_flight", 0.0),
+        ])
+    return format_table(
+        "device utilisation", columns, rows,
+        note="utilisation = busy time / simulated run time")
+
+
+def render_report(path: str, width: int = 72,
+                  run_filter: Optional[str] = None) -> str:
+    """The full report: per-run timelines plus the device table."""
+    doc = load_trace(path)
+    runs = _runs(doc["traceEvents"])
+    sections = []
+    for pid in sorted(runs):
+        run = runs[pid]
+        if run_filter is not None and run_filter not in run["name"]:
+            continue
+        header = f"== run: {run['name']} ({len(run['spans'])} spans) =="
+        sections.append(f"{header}\n{render_timeline(run, width=width)}")
+    devices = doc["deviceMetrics"]
+    if run_filter is not None:
+        devices = [d for d in devices
+                   if run_filter in str(d.get("run", ""))]
+    if devices:
+        sections.append(_device_table(devices))
+    if not sections:
+        return f"no matching runs or devices in {path}"
+    return "\n\n".join(sections)
+
+
+def validate_trace(path: str) -> list[str]:
+    """Well-formedness check; returns a list of problems (empty = valid).
+
+    Checks every event has a known phase and the required fields, span
+    durations are non-negative, and timestamps within each pid are
+    monotonically non-decreasing (the exporters sort them).
+    """
+    problems: list[str] = []
+    try:
+        doc = load_trace(path)
+    except Exception as exc:
+        return [f"unreadable trace: {exc!r}"]
+    last_ts: dict[Any, float] = {}
+    for i, ev in enumerate(doc["traceEvents"]):
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        for req in ("name", "pid", "tid", "ts"):
+            if req not in ev:
+                problems.append(f"event {i}: missing {req!r}")
+        if ph == "X":
+            if ev.get("dur", -1) < 0:
+                problems.append(
+                    f"event {i}: span {ev.get('name')!r} has negative "
+                    f"or missing dur")
+            pid = ev.get("pid")
+            ts = ev.get("ts", 0)
+            if ts < last_ts.get(pid, float("-inf")):
+                problems.append(
+                    f"event {i}: non-monotonic ts {ts} in pid {pid}")
+            last_ts[pid] = ts
+    for i, row in enumerate(doc["deviceMetrics"]):
+        if "device" not in row:
+            problems.append(f"device row {i}: missing 'device'")
+        if not 0.0 <= row.get("utilization", 0.0) <= 1.0:
+            problems.append(
+                f"device row {i}: utilization outside [0, 1]")
+    return problems

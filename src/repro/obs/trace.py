@@ -1,0 +1,384 @@
+"""Span tracer on the simulated clock, with Chrome/JSONL exporters.
+
+A :class:`Tracer` is attached to a DES environment
+(:func:`attach_tracer`); instrumented code resolves it through
+:func:`tracer_of`, which returns the shared :data:`NULL_TRACER` when
+tracing is off — ``tracer_of(env).span(...)`` then returns one shared
+no-op handle, so the disabled hot path allocates nothing.
+
+Timestamps are simulated seconds converted to microseconds (the Chrome
+``trace_event`` unit); there is no wall time anywhere, so two identical
+runs export byte-identical traces.
+
+Spans carry a *track* name instead of a raw thread id; the exporter
+assigns integer ``tid``\\ s in sorted track order and emits
+``thread_name`` metadata so Perfetto shows one labelled swimlane per
+track (``hadoop3.s2``, ``hadoop3.pfs``, ...). Multi-run sessions
+(:class:`TraceSession`) map each simulated run to its own ``pid``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+__all__ = [
+    "NULL_TRACER",
+    "Span",
+    "TraceSession",
+    "Tracer",
+    "attach_tracer",
+    "chrome_events",
+    "load_trace",
+    "tracer_of",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+]
+
+
+class Span:
+    """One finished (or in-flight) named interval on a track."""
+
+    __slots__ = ("name", "cat", "track", "start", "end", "args")
+
+    def __init__(self, name: str, cat: str, track: str, start: float,
+                 args: Optional[dict] = None):
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.start = start
+        self.end = start
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Span {self.name!r} [{self.start:.6f}, {self.end:.6f}] "
+                f"track={self.track!r}>")
+
+
+class _SpanHandle:
+    """Context manager that closes one span at the simulated exit time."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def set(self, **args: Any) -> "_SpanHandle":
+        """Attach (or update) span arguments mid-flight."""
+        if self._span.args is None:
+            self._span.args = {}
+        self._span.args.update(args)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._span.end = self._tracer.env.now
+        self._tracer.spans.append(self._span)
+
+
+class _NullHandle:
+    """Shared do-nothing span handle — the disabled-tracing hot path."""
+
+    __slots__ = ()
+
+    def set(self, **args: Any) -> "_NullHandle":
+        return self
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class _NullTracer:
+    """Tracer stand-in when tracing is disabled. All methods are no-ops
+    returning shared singletons; nothing is allocated per call."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, cat: str = "", track: str = "main",
+             **args: Any) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def instant(self, name: str, cat: str = "", track: str = "main",
+                **args: Any) -> None:
+        pass
+
+    def counter(self, name: str, value: float, cat: str = "util") -> None:
+        pass
+
+
+NULL_TRACER = _NullTracer()
+
+
+class Tracer:
+    """Collects spans/instants/counter samples against one environment."""
+
+    enabled = True
+
+    def __init__(self, env):
+        self.env = env
+        self.spans: list[Span] = []
+        #: (time, name, cat, track, args)
+        self.instants: list[tuple[float, str, str, str, Optional[dict]]] = []
+        #: (time, name, value, cat)
+        self.counter_samples: list[tuple[float, str, float, str]] = []
+
+    def span(self, name: str, cat: str = "", track: str = "main",
+             **args: Any) -> _SpanHandle:
+        """Open a span; use as a context manager (``with tracer.span(...)``).
+        The span is recorded when the ``with`` block exits."""
+        return _SpanHandle(
+            self, Span(name, cat, track, self.env.now, args or None))
+
+    def instant(self, name: str, cat: str = "", track: str = "main",
+                **args: Any) -> None:
+        """Record a zero-duration marker at the current simulated time."""
+        self.instants.append(
+            (self.env.now, name, cat, track, args or None))
+
+    def counter(self, name: str, value: float, cat: str = "util") -> None:
+        """Record one sample of a named counter series."""
+        self.counter_samples.append((self.env.now, name, float(value), cat))
+
+
+def attach_tracer(env, tracer: Optional[Tracer] = None) -> Tracer:
+    """Attach (and return) a tracer on ``env``; idempotent by default."""
+    existing = getattr(env, "tracer", None)
+    if tracer is None:
+        if isinstance(existing, Tracer):
+            return existing
+        tracer = Tracer(env)
+    env.tracer = tracer
+    return tracer
+
+
+def tracer_of(env):
+    """The tracer attached to ``env``, or :data:`NULL_TRACER`."""
+    tracer = getattr(env, "tracer", None)
+    return tracer if tracer is not None else NULL_TRACER
+
+
+# --------------------------------------------------------------------------
+# Export
+# --------------------------------------------------------------------------
+
+def _us(seconds: float) -> float:
+    """Simulated seconds -> trace_event microseconds (exact, no wall time)."""
+    return round(seconds * 1e6, 3)
+
+
+def chrome_events(tracer: Tracer, pid: int = 0, process_name: str = "sim",
+                  extra_counters: Optional[list[tuple]] = None) -> list[dict]:
+    """Flatten one tracer into Chrome ``trace_event`` dicts.
+
+    Events are sorted by (timestamp, -duration, track, name) so exported
+    timestamps are monotonically non-decreasing and parents precede their
+    children at equal start times.
+    """
+    tracks = sorted({s.track for s in tracer.spans}
+                    | {track for _t, _n, _c, track, _a in tracer.instants})
+    tid_of = {track: i + 1 for i, track in enumerate(tracks)}
+
+    events: list[dict] = []
+    events.append({
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0, "ts": 0,
+        "args": {"name": process_name},
+    })
+    for track in tracks:
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid,
+            "tid": tid_of[track], "ts": 0, "args": {"name": track},
+        })
+
+    body: list[tuple] = []
+    for span in tracer.spans:
+        ev = {
+            "ph": "X", "name": span.name, "cat": span.cat or "span",
+            "pid": pid, "tid": tid_of[span.track],
+            "ts": _us(span.start), "dur": _us(span.duration),
+        }
+        if span.args:
+            ev["args"] = span.args
+        body.append((ev["ts"], -ev["dur"], span.track, span.name, ev))
+    for when, name, cat, track, args in tracer.instants:
+        ev = {
+            "ph": "i", "name": name, "cat": cat or "instant",
+            "pid": pid, "tid": tid_of[track], "ts": _us(when), "s": "t",
+        }
+        if args:
+            ev["args"] = args
+        body.append((ev["ts"], 0.0, track, name, ev))
+    for when, name, value, cat in (
+            list(tracer.counter_samples) + list(extra_counters or ())):
+        ev = {
+            "ph": "C", "name": name, "cat": cat, "pid": pid, "tid": 0,
+            "ts": _us(when), "args": {"value": value},
+        }
+        body.append((ev["ts"], 0.0, "", name, ev))
+    body.sort(key=lambda item: item[:4])
+    events.extend(ev for *_key, ev in body)
+    return events
+
+
+def _dump(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def write_chrome_trace(path: str, events: list[dict],
+                       device_metrics: Optional[list[dict]] = None) -> None:
+    """Write the Chrome ``trace_event`` *object format* JSON.
+
+    ``device_metrics`` rows (per-device bytes/utilisation summaries) ride
+    along under a ``deviceMetrics`` key; trace viewers ignore unknown
+    top-level keys.
+    """
+    doc: dict[str, Any] = {
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+    }
+    if device_metrics is not None:
+        doc["deviceMetrics"] = device_metrics
+    with open(path, "w") as fh:
+        fh.write(_dump(doc))
+        fh.write("\n")
+
+
+def write_jsonl_trace(path: str, events: list[dict],
+                      device_metrics: Optional[list[dict]] = None) -> None:
+    """Write one JSON event per line (stream-friendly variant)."""
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(_dump(event))
+            fh.write("\n")
+        for row in device_metrics or ():
+            fh.write(_dump({"ph": "device", **row}))
+            fh.write("\n")
+
+
+def load_trace(path: str) -> dict:
+    """Load a trace written by either exporter.
+
+    Returns ``{"traceEvents": [...], "deviceMetrics": [...]}`` regardless
+    of the on-disk flavour (object JSON, bare array, or JSONL).
+    """
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None  # several documents -> JSONL
+    if isinstance(doc, dict):
+        return {"traceEvents": doc.get("traceEvents", []),
+                "deviceMetrics": doc.get("deviceMetrics", [])}
+    if isinstance(doc, list):
+        return {"traceEvents": doc, "deviceMetrics": []}
+    events, devices = [], []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("ph") == "device":
+            devices.append(record)
+        else:
+            events.append(record)
+    return {"traceEvents": events, "deviceMetrics": devices}
+
+
+# --------------------------------------------------------------------------
+# Multi-run sessions (the bench --trace path)
+# --------------------------------------------------------------------------
+
+class TraceSession:
+    """Collects one tracer + metrics registry per simulated run and saves
+    a single combined trace file.
+
+    A figure bench typically builds several worlds (one per dataset size
+    or solution); each :meth:`observe` call claims the next ``pid`` so
+    the runs appear as separate named processes in the trace viewer.
+    With ``path=None`` the session is disabled and every call no-ops.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        #: (label, tracer, registry)
+        self.runs: list[tuple] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    def observe(self, env, label: str, nodes=(), pfs=None, hdfs=None,
+                network=None):
+        """Attach tracing+metrics to one run's environment.
+
+        Returns the attached tracer (or :data:`NULL_TRACER` when the
+        session is disabled).
+        """
+        if not self.enabled:
+            return NULL_TRACER
+        from repro.obs.metrics import attach_metrics
+
+        tracer = attach_tracer(env)
+        registry = attach_metrics(env)
+        for node in nodes:
+            registry.watch_node(node)
+        if network is not None:
+            registry.watch_network(network)
+        if pfs is not None:
+            registry.watch_pfs(pfs)
+        if hdfs is not None:
+            registry.watch_hdfs(hdfs)
+        self.runs.append((label, tracer, registry))
+        return tracer
+
+    def observe_world(self, world, label: str):
+        """Convenience for :class:`~repro.workloads.solutions
+        .ExperimentWorld`-shaped objects."""
+        return self.observe(
+            world.env, label, nodes=world.nodes, pfs=world.pfs,
+            hdfs=world.hdfs, network=world.cluster.network)
+
+    def events(self) -> tuple[list[dict], list[dict]]:
+        """Merge all runs into (events, device_metrics rows)."""
+        events: list[dict] = []
+        devices: list[dict] = []
+        for pid, (label, tracer, registry) in enumerate(self.runs, start=1):
+            # Fold the registry's utilisation gauges in as counter series
+            # so device load is visible on the timeline itself.
+            counters = [
+                (when, name, value, "util")
+                for name, monitor in registry.device_monitors()
+                for when, value in zip(monitor.times, monitor.values)
+            ]
+            events.extend(chrome_events(tracer, pid=pid, process_name=label,
+                                        extra_counters=counters))
+            for row in registry.device_rows():
+                devices.append({"run": label, **row})
+        return events, devices
+
+    def save(self) -> Optional[str]:
+        """Write the combined trace; returns the path (None if disabled)."""
+        if not self.enabled:
+            return None
+        events, devices = self.events()
+        if self.path.endswith(".jsonl"):
+            write_jsonl_trace(self.path, events, devices)
+        else:
+            write_chrome_trace(self.path, events, devices)
+        return self.path

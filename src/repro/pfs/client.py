@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cluster.node import Node
+from repro.obs.trace import tracer_of
 from repro.pfs.filesystem import PFS
 from repro.pfs.layout import Extent, StripeLayout
 from repro.pfs.server import Inode, PFSError
@@ -47,6 +48,8 @@ class PFSClient:
         self.pfs = pfs
         self.node = node
         self.env = pfs.env
+        #: trace swimlane for this client's spans
+        self.track = f"{node.name}.pfs"
         #: Total payload bytes this client has read (bandwidth accounting).
         self.bytes_read = 0.0
 
@@ -120,20 +123,25 @@ class PFSClient:
     def read(self, path: str, offset: int = 0,
              length: Optional[int] = None):
         """Timed read of ``length`` bytes at ``offset``. DES process."""
-        inode = yield self.env.process(self.stat(path))
-        if length is None:
-            length = inode.size - offset
-        if offset + length > inode.size:
-            raise PFSError(
-                f"read past EOF: {offset}+{length} > {inode.size}")
-        if length == 0:
-            return b""
-        extents = inode.layout.map_range(offset, length)
-        data = yield self.env.process(self.read_extents(inode, extents))
-        # map_range yields stripe-order == file-order pieces; the coalesced
-        # reassembly preserved that, but guard the contract here.
-        assert len(data) == length, (len(data), length)
-        return data
+        with tracer_of(self.env).span(
+                "pfs.read", cat="storage", track=self.track,
+                path=path, offset=offset) as span:
+            inode = yield self.env.process(self.stat(path))
+            if length is None:
+                length = inode.size - offset
+            if offset + length > inode.size:
+                raise PFSError(
+                    f"read past EOF: {offset}+{length} > {inode.size}")
+            if length == 0:
+                return b""
+            extents = inode.layout.map_range(offset, length)
+            span.set(bytes=length, extents=len(extents))
+            data = yield self.env.process(self.read_extents(inode, extents))
+            # map_range yields stripe-order == file-order pieces; the
+            # coalesced reassembly preserved that, but guard the contract
+            # here.
+            assert len(data) == length, (len(data), length)
+            return data
 
     def _push_run(self, inode: Inode, ext: Extent, data: bytes):
         ost_global = inode.osts[ext.ost_index]
@@ -146,21 +154,24 @@ class PFSClient:
     def write(self, path: str, data: bytes, offset: int = 0,
               layout: Optional[StripeLayout] = None):
         """Timed write; creates the file if missing. DES process."""
-        yield from self.pfs.mds.rpc()
-        if self.pfs.mds.exists(path):
-            inode = self.pfs.mds.lookup(path)
-        else:
-            inode = self.pfs.create(path, layout)
-        # Writes go out one RPC per stripe extent (no coalescing: a run
-        # merged in object space is discontiguous in the payload).
-        extents = inode.layout.map_range(offset, len(data))
-        writers = []
-        for ext in extents:
-            chunk = data[ext.file_offset - offset:
-                         ext.file_offset - offset + ext.length]
-            writers.append(
-                self.env.process(self._push_run(inode, ext, chunk)))
-        if writers:
-            yield AllOf(self.env, writers)
-        inode.size = max(inode.size, offset + len(data))
-        return inode
+        with tracer_of(self.env).span(
+                "pfs.write", cat="storage", track=self.track,
+                path=path, bytes=len(data)):
+            yield from self.pfs.mds.rpc()
+            if self.pfs.mds.exists(path):
+                inode = self.pfs.mds.lookup(path)
+            else:
+                inode = self.pfs.create(path, layout)
+            # Writes go out one RPC per stripe extent (no coalescing: a run
+            # merged in object space is discontiguous in the payload).
+            extents = inode.layout.map_range(offset, len(data))
+            writers = []
+            for ext in extents:
+                chunk = data[ext.file_offset - offset:
+                             ext.file_offset - offset + ext.length]
+                writers.append(
+                    self.env.process(self._push_run(inode, ext, chunk)))
+            if writers:
+                yield AllOf(self.env, writers)
+            inode.size = max(inode.size, offset + len(data))
+            return inode

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.obs.trace import tracer_of
 from repro.pfs.client import PFSClient
 from repro.pfs.server import Inode, PFSError
 from repro.sim import AllOf
@@ -115,16 +116,24 @@ class MPIFile:
     # -- independent ------------------------------------------------------
     def read_at(self, rank: int, offset: int, length: int):
         """`MPI_File_read_at`: independent read by one rank. DES process."""
-        data = yield self.env.process(
-            self.clients[rank].read(self.path, offset, length))
+        with tracer_of(self.env).span(
+                "mpi.read_at", cat="mpiio",
+                track=f"{self.clients[rank].node.name}.mpi",
+                rank=rank, offset=offset, bytes=length):
+            data = yield self.env.process(
+                self.clients[rank].read(self.path, offset, length))
         return data
 
     # -- writes -----------------------------------------------------------
     def write_at(self, rank: int, offset: int, data: bytes):
         """`MPI_File_write_at`: independent write by one rank.
         DES process. Extends the file as needed."""
-        yield self.env.process(
-            self.clients[rank].write(self.path, data, offset=offset))
+        with tracer_of(self.env).span(
+                "mpi.write_at", cat="mpiio",
+                track=f"{self.clients[rank].node.name}.mpi",
+                rank=rank, offset=offset, bytes=len(data)):
+            yield self.env.process(
+                self.clients[rank].write(self.path, data, offset=offset))
         self._inode = self.pfs.mds.lookup(self.path)
 
     def write_at_all(self, requests: Sequence[Optional[tuple[int, bytes]]]):
@@ -142,6 +151,11 @@ class MPIFile:
                 for off, data in [req]]
         if not live:
             return
+        collective = tracer_of(self.env).span(
+            "mpi.write_at_all", cat="mpiio", track="mpiio",
+            writers=len(live),
+            bytes=sum(len(data) for _r, _off, data in live))
+        collective.__enter__()
         # Overlapping writes are a data race under MPI semantics.
         spans = sorted((off, off + len(data)) for _r, off, data in live)
         for (lo_a, hi_a), (lo_b, _hi_b) in zip(spans, spans[1:]):
@@ -192,6 +206,7 @@ class MPIFile:
         if writers:
             yield AllOf(self.env, writers)
         self._inode = self.pfs.mds.lookup(self.path)
+        collective.__exit__(None, None, None)
 
     # -- collective -------------------------------------------------------
     def _aggregate(self, rank: int, domain: list[Range], out: dict):
@@ -223,6 +238,11 @@ class MPIFile:
                 raise PFSError("collective read past EOF")
         merged = merge_ranges([r for r in requests if r is not None])
         domains = partition_domains(merged, self.nranks)
+        collective = tracer_of(self.env).span(
+            "mpi.read_at_all", cat="mpiio", track="mpiio",
+            readers=sum(1 for r in requests if r is not None),
+            bytes=sum(length for _off, length in merged))
+        collective.__enter__()
 
         # Phase 1: aggregators fetch their file domains in parallel.
         hauls: dict[int, dict[int, bytes]] = {}
@@ -265,4 +285,5 @@ class MPIFile:
         for rank, pieces in enumerate(assembled):
             if requests[rank] is not None:
                 results[rank] = b"".join(p for _off, p in sorted(pieces))
+        collective.__exit__(None, None, None)
         return results

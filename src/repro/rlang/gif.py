@@ -83,6 +83,11 @@ def _lzw_encode(data: bytes, min_code_size: int) -> bytes:
             table, next_code, width = reset_table()
         w = bytes([byte])
     writer.write(table[w], width)
+    # The decoder appends one more table entry after the final data code
+    # and applies its early width bump; mirror that bump before EOI or the
+    # decoder reads EOI one bit wider than we wrote it.
+    if next_code == (1 << width) - 1 and width < 12:
+        width += 1
     writer.write(eoi, width)
     return writer.finish()
 

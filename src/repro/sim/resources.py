@@ -211,6 +211,9 @@ class SharedBandwidth:
         self.bytes_moved = 0.0
         #: Simulated seconds with at least one transfer in flight.
         self.busy_time = 0.0
+        #: Optional callable(in_flight_count) invoked after every
+        #: membership change — the hook the metrics layer samples through.
+        self.observer = None
 
     @property
     def n_active(self) -> int:
@@ -235,6 +238,8 @@ class SharedBandwidth:
             return
         self._advance()
         self._active.append(_Transfer(nbytes, done))
+        if self.observer is not None:
+            self.observer(len(self._active))
         self._reschedule()
 
     def _advance(self) -> None:
@@ -279,6 +284,8 @@ class SharedBandwidth:
             finished = [x for x in self._active if x.remaining <= floor]
         done_set = set(id(x) for x in finished)
         self._active = [x for x in self._active if id(x) not in done_set]
+        if finished and self.observer is not None:
+            self.observer(len(self._active))
         for xfer in finished:
             xfer.event.succeed(priority=URGENT)
         self._reschedule()

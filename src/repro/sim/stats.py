@@ -43,11 +43,22 @@ class Monitor:
 
     @property
     def minimum(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
         return min(self.values)
 
     @property
     def maximum(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
         return max(self.values)
+
+    @property
+    def last(self) -> float:
+        """The most recently recorded value."""
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return self.values[-1]
 
     @property
     def stdev(self) -> float:

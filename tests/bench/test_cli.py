@@ -39,6 +39,26 @@ def test_quick_fig9(capsys):
     assert "no analysis" in out
 
 
+def test_quick_trace_export(tmp_path, capsys):
+    from repro.obs.report import validate_trace
+    from repro.obs.trace import load_trace
+
+    path = tmp_path / "fig9.json"
+    assert main(["fig9", "--quick", "--trace", str(path)]) == 0
+    assert f"wrote {path}" in capsys.readouterr().out
+    assert validate_trace(str(path)) == []
+    doc = load_trace(str(path))
+    assert any(e.get("cat") == "task.map" for e in doc["traceEvents"])
+    assert doc["deviceMetrics"]
+
+
+def test_trace_without_traceable_experiment(tmp_path, capsys):
+    path = tmp_path / "t1.json"
+    assert main(["table1", "--quick", "--trace", str(path)]) == 0
+    assert "nothing written" in capsys.readouterr().out
+    assert not path.exists()
+
+
 def test_every_experiment_has_quick_kwargs():
     for name, (_runner, _full, quick) in EXPERIMENTS.items():
         assert isinstance(quick, dict), name

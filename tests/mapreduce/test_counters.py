@@ -1,0 +1,44 @@
+"""Tests for Hadoop-style grouped job counters."""
+
+from repro.mapreduce.counters import Counters
+
+
+def test_increment_and_value():
+    c = Counters()
+    c.increment("job", "splits", 4)
+    c.increment("job", "splits")
+    assert c.value("job", "splits") == 5
+    assert c.value("job", "missing") == 0
+    assert c.value("nope", "splits") == 0
+    assert c.group("job") == {"splits": 5}
+
+
+def test_merge_sums_overlapping_and_copies_new():
+    a = Counters()
+    a.increment("task", "records_read", 10)
+    a.increment("task", "bytes_read", 100)
+    b = Counters()
+    b.increment("task", "records_read", 7)
+    b.increment("hdfs", "blocks", 2)
+    a.merge(b)
+    assert a.value("task", "records_read") == 17
+    assert a.value("task", "bytes_read") == 100
+    assert a.value("hdfs", "blocks") == 2
+    # merge reads from the source without mutating it
+    assert b.value("task", "records_read") == 7
+    assert b.value("task", "bytes_read") == 0
+
+
+def test_merge_empty_is_noop():
+    a = Counters()
+    a.increment("g", "n", 1)
+    a.merge(Counters())
+    assert a.as_dict() == {"g": {"n": 1}}
+
+
+def test_as_dict_is_a_copy():
+    a = Counters()
+    a.increment("g", "n", 1)
+    snapshot = a.as_dict()
+    snapshot["g"]["n"] = 99
+    assert a.value("g", "n") == 1

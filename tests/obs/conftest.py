@@ -1,0 +1,22 @@
+"""Observability test fixtures (reuses the MapReduce world shape)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hdfs import HDFS
+from repro.sim import Environment
+
+from tests.mapreduce.conftest import small_spec
+
+
+@pytest.fixture
+def world():
+    """4 compute/data nodes; block size 200 B; replication 1."""
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(4)]
+    hdfs = HDFS(env, cluster.network, block_size=200, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    return env, cluster, hdfs, nodes

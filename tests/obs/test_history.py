@@ -1,0 +1,71 @@
+"""Tests for the Hadoop-style job history."""
+
+import json
+
+from repro.obs.history import (
+    FAILED,
+    KILLED,
+    SUCCEEDED,
+    JobHistory,
+    TaskAttempt,
+)
+
+
+def _attempt(i, **kw):
+    defaults = dict(attempt_id=f"j-m-{i:04d}", kind="map", node="n0",
+                    start=float(i))
+    defaults.update(kw)
+    return TaskAttempt(**defaults)
+
+
+def test_attempt_duration_and_phase_totals():
+    a = _attempt(1, end=5.0,
+                 spans=[("read", 1.0, 2.0), ("convert", 2.0, 4.0),
+                        ("read", 4.0, 4.5)])
+    assert a.duration == 4.0
+    assert a.phase_totals() == {"read": 1.5, "convert": 2.0}
+
+
+def test_history_records_and_summarises():
+    h = JobHistory("job", start=0.0)
+    h.record(_attempt(1, end=2.0, outcome=SUCCEEDED,
+                      locality="node_local"))
+    h.record(_attempt(2, end=3.0, outcome=FAILED, error="IOError()",
+                      locality="remote"))
+    h.record(_attempt(3, end=4.0, outcome=KILLED, speculative=True,
+                      locality="remote"))
+    h.record(_attempt(4, kind="reduce", partition=0, end=6.0,
+                      outcome=SUCCEEDED))
+    h.finish(6.0)
+
+    assert len(h.attempts_for("map")) == 3
+    assert [a.attempt_id for a in h.successful("map")] == ["j-m-0001"]
+    assert len(h.successful()) == 2
+
+    summary = h.summary()
+    assert summary["attempts"]["map"] == {
+        "failed": 1, "killed": 1, "speculative": 1, "succeeded": 1}
+    assert summary["attempts"]["reduce"] == {"succeeded": 1}
+    assert summary["locality"] == {"node_local": 1, "remote": 2}
+    assert summary["end"] == 6.0
+
+
+def test_history_write_is_deterministic_json(tmp_path):
+    def build():
+        h = JobHistory("job", start=0.0)
+        h.record(_attempt(1, end=2.0, outcome=SUCCEEDED,
+                          spans=[("read", 0.0, 1.0)],
+                          counters={"task": {"records": 3}}))
+        h.finish(2.0)
+        return h
+
+    a, b = tmp_path / "a.jhist", tmp_path / "b.jhist"
+    build().write(str(a))
+    build().write(str(b))
+    assert a.read_bytes() == b.read_bytes()
+
+    doc = json.loads(a.read_text())
+    assert doc["job"] == "job"
+    (attempt,) = doc["attempts"]
+    assert attempt["spans"] == [["read", 0.0, 1.0]]
+    assert attempt["counters"] == {"task": {"records": 3}}

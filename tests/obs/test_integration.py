@@ -1,0 +1,141 @@
+"""End-to-end observability tests: traced jobs, histories, bench traces."""
+
+import pytest
+
+from repro import costs
+from repro.mapreduce import JobConf, JobRunner, TextInputFormat
+from repro.obs.history import SUCCEEDED
+from repro.obs.report import render_report, validate_trace
+from repro.obs.trace import TraceSession, attach_tracer, load_trace
+from repro.workloads.solutions import build_world, run_solution
+
+from tests.mapreduce.conftest import run
+
+
+@pytest.fixture(autouse=True)
+def _reset_scale():
+    yield
+    costs.reset_scale()
+
+
+def _mapper(ctx, _offset, line):
+    ctx.emit(len(line.split()), 1)
+    ctx.charge(1e-6 * len(line), phase="convert")
+
+
+def _reducer(ctx, key, values):
+    ctx.emit(key, sum(values))
+
+
+def _job(**kw):
+    defaults = dict(
+        name="traced", mapper=_mapper, reducer=_reducer,
+        input_format=TextInputFormat(), n_reducers=2,
+        input_paths=["/in"], map_slots_per_node=2, task_startup=0.01)
+    defaults.update(kw)
+    return JobConf(**defaults)
+
+
+def test_job_history_and_spans(world):
+    env, cluster, hdfs, nodes = world
+    tracer = attach_tracer(env)
+    hdfs.store_file_sync("/in/text.txt", b"one two three\n" * 60)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, _job())
+    result = run(env, runner.run())
+
+    history = result.history
+    assert history is not None
+    assert history.end == result.end
+    n_splits = result.counters.value("job", "splits")
+
+    # one successful attempt per split, each fully described
+    succeeded = history.successful("map")
+    assert len(succeeded) == n_splits
+    for attempt in succeeded:
+        assert attempt.node in {n.name for n in nodes}
+        assert attempt.split and "#" in attempt.split
+        assert attempt.locality in ("node_local", "remote", "any")
+        assert attempt.end > attempt.start
+        assert "read" in attempt.phase_totals()
+        assert attempt.counters
+    assert len(history.successful("reduce")) == 2
+
+    # exactly one traced map span per attempt, on a per-slot track
+    map_spans = [s for s in tracer.spans if s.cat == "task.map"]
+    assert len(map_spans) == len(history.attempts_for("map"))
+    for span in map_spans:
+        assert span.args["node"] in {n.name for n in nodes}
+        assert "#" in span.args["split"]
+        assert ".s" in span.track
+    # phase child spans nest inside their task span
+    for phase in (s for s in tracer.spans if s.cat == "task.phase"):
+        parent = next(s for s in map_spans + [
+            s for s in tracer.spans if s.cat == "task.reduce"]
+            if s.track == phase.track
+            and s.start <= phase.start and phase.end <= s.end)
+        assert parent is not None
+    # the whole job is wrapped in one span
+    (job_span,) = [s for s in tracer.spans if s.cat == "job"]
+    assert job_span.start == result.start
+    assert job_span.end == result.end
+
+
+def test_untraced_job_records_no_spans(world):
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", b"one two three\n" * 20)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, _job())
+    result = run(env, runner.run())
+    assert not hasattr(env, "tracer")
+    # stats still carry spans (tasks record them regardless of tracing)
+    assert all(s.spans for s in result.task_stats)
+    assert result.phase_means("map")["read"] > 0
+
+
+def _run_scidp(path):
+    world = build_world(n_timesteps=2, shape=(2, 16, 16))
+    session = TraceSession(str(path))
+    session.observe_world(world, "fig5@2")
+    run_solution(world, "scidp")
+    session.save()
+    return world, session
+
+
+def test_scidp_world_trace_end_to_end(tmp_path):
+    path = tmp_path / "fig5.json"
+    world, session = _run_scidp(path)
+    assert validate_trace(str(path)) == []
+
+    doc = load_trace(str(path))
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    map_spans = [e for e in spans if e.get("cat") == "task.map"]
+    assert map_spans
+    node_names = {n.name for n in world.nodes}
+    for ev in map_spans:
+        assert ev["args"]["node"] in node_names
+        assert "#" in ev["args"]["split"]
+        assert ev["args"]["locality"] in ("node_local", "remote", "any")
+    # map tasks decompose into read/convert/plot phase spans
+    phase_names = {e["name"] for e in spans
+                   if e.get("cat") == "task.phase"}
+    assert {"read", "convert", "plot"} <= phase_names
+
+    # per-OST and per-NIC utilisation rows ride along
+    devices = {row["device"] for row in doc["deviceMetrics"]}
+    assert any(d.startswith("ost") for d in devices)
+    assert any(d.endswith(".tx") for d in devices)
+    for row in doc["deviceMetrics"]:
+        assert 0.0 <= row["utilization"] <= 1.0
+
+    # and the report renders a timeline + device table from the file
+    out = render_report(str(path), width=48)
+    assert "fig5@2" in out
+    assert "device utilisation" in out
+    assert "ost0" in out
+
+
+def test_scidp_world_trace_is_deterministic(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    _run_scidp(a)
+    _run_scidp(b)
+    assert a.read_bytes() == b.read_bytes()

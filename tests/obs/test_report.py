@@ -1,0 +1,98 @@
+"""Tests for the ASCII report renderer and trace validation."""
+
+import json
+
+from repro.obs.report import render_report, render_timeline, validate_trace
+from repro.obs.trace import TraceSession
+from repro.sim import Environment
+
+
+def _session_trace(tmp_path, suffix=".json"):
+    path = tmp_path / f"trace{suffix}"
+    session = TraceSession(str(path))
+    env = Environment()
+    tracer = session.observe(env, "demo")
+
+    def proc():
+        with tracer.span("map", cat="task.map", track="n0.s0"):
+            with tracer.span("read", cat="task.phase", track="n0.s0"):
+                yield env.timeout(2)
+            with tracer.span("plot", cat="task.phase", track="n0.s0"):
+                yield env.timeout(3)
+        with tracer.span("write", cat="storage", track="n1.hdfs"):
+            yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+    session.save()
+    return str(path)
+
+
+def test_render_timeline_swimlanes_and_legend(tmp_path):
+    path = _session_trace(tmp_path)
+    out = render_report(path, width=40)
+    assert "== run: demo" in out
+    assert "n0.s0" in out and "n1.hdfs" in out
+    # phases paint lowercase over the uppercase task span
+    lane = next(line for line in out.splitlines()
+                if line.startswith("n0.s0"))
+    assert "r" in lane and "p" in lane
+    assert "key:" in out
+    assert "M=map" in out
+
+
+def test_render_timeline_empty_run():
+    assert render_timeline({"name": "x", "tracks": {}, "spans": []}) \
+        == "(no spans)"
+
+
+def test_run_filter(tmp_path):
+    path = _session_trace(tmp_path)
+    assert "no matching runs" in render_report(path, run_filter="nope")
+    assert "demo" in render_report(path, run_filter="dem")
+
+
+def test_validate_good_trace(tmp_path):
+    for suffix in (".json", ".jsonl"):
+        assert validate_trace(_session_trace(tmp_path, suffix)) == []
+
+
+def test_validate_flags_problems(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({
+        "traceEvents": [
+            {"ph": "Z", "name": "a", "pid": 1, "tid": 1, "ts": 0},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 5, "dur": -1},
+            {"ph": "X", "name": "late", "pid": 1, "tid": 1, "ts": 2,
+             "dur": 1},
+        ],
+        "deviceMetrics": [{"utilization": 1.5}],
+    }))
+    problems = validate_trace(str(path))
+    assert any("unknown phase" in p for p in problems)
+    assert any("missing 'name'" in p for p in problems)
+    assert any("negative" in p for p in problems)
+    assert any("non-monotonic" in p for p in problems)
+    assert any("missing 'device'" in p for p in problems)
+    assert any("utilization outside" in p for p in problems)
+
+
+def test_validate_unreadable(tmp_path):
+    missing = tmp_path / "nope.json"
+    problems = validate_trace(str(missing))
+    assert problems and "unreadable" in problems[0]
+
+
+def test_cli_report_and_validate(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    path = _session_trace(tmp_path)
+    assert main(["report", path, "--width", "32"]) == 0
+    assert "demo" in capsys.readouterr().out
+    assert main(["validate", path]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+    assert main(["validate", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().err

@@ -1,0 +1,182 @@
+"""Tests for the span tracer and the Chrome/JSONL exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceSession,
+    Tracer,
+    attach_tracer,
+    chrome_events,
+    load_trace,
+    tracer_of,
+    write_chrome_trace,
+    write_jsonl_trace,
+)
+from repro.sim import Environment
+
+
+def _traced_env():
+    """An environment with a tracer and a couple of recorded spans."""
+    env = Environment()
+    tracer = attach_tracer(env)
+
+    def proc():
+        with tracer.span("outer", cat="test", track="n0.s0", idx=1):
+            yield env.timeout(2)
+            with tracer.span("inner", cat="test.phase", track="n0.s0"):
+                yield env.timeout(3)
+        tracer.instant("marker", track="n0.s0")
+        tracer.counter("queue", 4.0)
+
+    env.process(proc())
+    env.run()
+    return env, tracer
+
+
+def test_tracer_records_simulated_interval():
+    _env, tracer = _traced_env()
+    # inner closes first (inner end 5 <= outer end 5, appended on exit)
+    names = [s.name for s in tracer.spans]
+    assert names == ["inner", "outer"]
+    outer = tracer.spans[1]
+    assert (outer.start, outer.end) == (0.0, 5.0)
+    assert outer.duration == 5.0
+    assert outer.args == {"idx": 1}
+    assert tracer.instants[0][:2] == (5.0, "marker")
+    assert tracer.counter_samples == [(5.0, "queue", 4.0, "util")]
+
+
+def test_span_set_updates_args_midflight():
+    env = Environment()
+    tracer = attach_tracer(env)
+    with tracer.span("s", track="t") as handle:
+        handle.set(bytes=10)
+        handle.set(bytes=20, extra="x")
+    assert tracer.spans[0].args == {"bytes": 20, "extra": "x"}
+
+
+def test_tracer_of_defaults_to_null_tracer():
+    env = Environment()
+    assert tracer_of(env) is NULL_TRACER
+
+
+def test_null_tracer_allocates_nothing():
+    handle_a = NULL_TRACER.span("a", cat="x", track="y", k=1)
+    handle_b = NULL_TRACER.span("b")
+    # one shared handle, no per-call allocation on the disabled hot path
+    assert handle_a is handle_b
+    with handle_a as h:
+        assert h.set(anything=1) is h
+    NULL_TRACER.instant("i")
+    NULL_TRACER.counter("c", 1.0)
+    assert not hasattr(NULL_TRACER, "spans")
+
+
+def test_attach_tracer_is_idempotent():
+    env = Environment()
+    assert attach_tracer(env) is attach_tracer(env)
+    assert tracer_of(env) is env.tracer
+
+
+def test_chrome_events_monotonic_and_named_tracks():
+    _env, tracer = _traced_env()
+    events = chrome_events(tracer, pid=3, process_name="run")
+    process_meta = [e for e in events if e["name"] == "process_name"]
+    assert process_meta[0]["args"] == {"name": "run"}
+    thread_meta = {e["args"]["name"]: e["tid"] for e in events
+                   if e["name"] == "thread_name"}
+    assert thread_meta == {"n0.s0": 1}
+    assert all(e["pid"] == 3 for e in events)
+    body = [e for e in events if e["ph"] != "M"]
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts)
+    # parent precedes child at the shared start when both start at ts=0
+    spans = [e for e in body if e["ph"] == "X"]
+    assert [e["name"] for e in spans] == ["outer", "inner"]
+    assert spans[0]["ts"] == 0.0 and spans[0]["dur"] == 5e6
+    assert spans[1]["ts"] == 2e6 and spans[1]["dur"] == 3e6
+
+
+def test_chrome_trace_roundtrip(tmp_path):
+    _env, tracer = _traced_env()
+    events = chrome_events(tracer)
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), events,
+                       device_metrics=[{"device": "d0", "utilization": 0.5}])
+    # the file is valid JSON on its own
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    loaded = load_trace(str(path))
+    assert loaded["traceEvents"] == events
+    assert loaded["deviceMetrics"] == [{"device": "d0", "utilization": 0.5}]
+
+
+def test_jsonl_trace_roundtrip(tmp_path):
+    _env, tracer = _traced_env()
+    events = chrome_events(tracer)
+    path = tmp_path / "trace.jsonl"
+    write_jsonl_trace(str(path), events,
+                      device_metrics=[{"device": "d0", "utilization": 0.5}])
+    # every line is valid JSON on its own
+    lines = path.read_text().splitlines()
+    assert all(json.loads(line) for line in lines)
+    loaded = load_trace(str(path))
+    assert loaded["traceEvents"] == events
+    assert loaded["deviceMetrics"] == [
+        {"ph": "device", "device": "d0", "utilization": 0.5}]
+
+
+def test_load_trace_bare_array(tmp_path):
+    path = tmp_path / "array.json"
+    events = [{"ph": "X", "name": "a", "pid": 0, "tid": 1,
+               "ts": 0, "dur": 1}]
+    path.write_text(json.dumps(events))
+    assert load_trace(str(path)) == {"traceEvents": events,
+                                     "deviceMetrics": []}
+
+
+@pytest.mark.parametrize("suffix", [".json", ".jsonl"])
+def test_identical_runs_export_byte_identical(tmp_path, suffix):
+    def run(path):
+        env, _tracer = _traced_env()
+        session = TraceSession(str(path))
+        # reuse the already-attached tracer: observe before running would
+        # be the normal order, but attach_tracer is idempotent
+        session.observe(env, "run")
+        session.save()
+
+    a, b = tmp_path / f"a{suffix}", tmp_path / f"b{suffix}"
+    run(a)
+    run(b)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_disabled_session_noops():
+    env = Environment()
+    session = TraceSession(None)
+    assert not session.enabled
+    assert session.observe(env, "x") is NULL_TRACER
+    assert session.runs == []
+    assert session.save() is None
+    assert tracer_of(env) is NULL_TRACER
+
+
+def test_session_assigns_one_pid_per_run(tmp_path):
+    session = TraceSession(str(tmp_path / "t.json"))
+    for label in ("first", "second"):
+        env = Environment()
+        tracer = session.observe(env, label)
+        with tracer.span("work", track="main"):
+            pass
+    events, _devices = session.events()
+    by_pid = {}
+    for ev in events:
+        if ev["ph"] == "M" and ev["name"] == "process_name":
+            by_pid[ev["pid"]] = ev["args"]["name"]
+    assert by_pid == {1: "first", 2: "second"}
+    # events() is repeatable (no accumulation across calls)
+    again, _ = session.events()
+    assert again == events

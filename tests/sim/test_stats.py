@@ -50,6 +50,22 @@ def test_monitor_empty_mean_raises():
         mon.time_average()
 
 
+def test_monitor_empty_extrema_raise_with_name():
+    env = Environment()
+    mon = Monitor(env, "net.util")
+    for attr in ("minimum", "maximum", "last"):
+        with pytest.raises(ValueError, match="net.util"):
+            getattr(mon, attr)
+
+
+def test_monitor_last():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(3.0)
+    mon.record(1.0)
+    assert mon.last == 1.0
+
+
 def test_monitor_time_average_step_function():
     env = Environment()
     mon = Monitor(env)
