@@ -30,9 +30,11 @@ def test_ablation_read_granularity(benchmark, record_table):
         abl_read_granularity_rows, rounds=1, iterations=1,
         kwargs={"n_timesteps": 12})
     record_table("abl_read_granularity", columns, rows, note)
-    whole, chopped = rows
+    whole, chopped, windowed = rows
     assert chopped[1] > whole[1]      # streaming is slower overall
     assert chopped[2] > whole[2]      # and per-level read time grows
+    assert windowed[1] < chopped[1]   # the request window claws back
+    assert windowed[2] < chopped[2]   # part of the chopped-read gap
 
 
 def test_ablation_variable_subsetting(benchmark, record_table):

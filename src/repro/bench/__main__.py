@@ -5,12 +5,15 @@
     python -m repro.bench all             # run everything (several min)
 
 Each experiment prints its paper-vs-measured table; pass ``--quick`` to
-run miniature sizes (sanity, not publication shape).
+run miniature sizes (sanity, not publication shape). ``--json`` emits
+one machine-readable JSON document instead of ASCII tables (the CI
+perf-smoke job consumes it).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -34,6 +37,8 @@ EXPERIMENTS = {
     "abl-gran": (harness.abl_read_granularity_rows, {},
                  {"n_timesteps": 3}),
     "abl-subset": (harness.abl_subsetting_rows, {}, {"n_timesteps": 2}),
+    "datapath": (harness.datapath_rows, {},
+                 {"n_timesteps": 8, "slots_per_node": 2}),
     "ext-scaleup": (harness.ext_scaleup_rows, {},
                     {"slot_counts": (4, 8), "n_timesteps": 8}),
     "ext-spark": (harness.ext_spark_rows, {}, {"n_timesteps": 3}),
@@ -54,6 +59,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="export a Chrome trace (.json) or JSONL "
                              "(.jsonl) of the simulated runs")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print one JSON document with every "
+                             "experiment's columns/rows instead of "
+                             "ASCII tables")
     args = parser.parse_args(argv)
 
     if not args.experiments:
@@ -72,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     session = TraceSession(args.trace) if args.trace else None
+    documents = []
     for name in names:
         runner, full_kwargs, quick_kwargs = EXPERIMENTS[name]
         kwargs = dict(quick_kwargs if args.quick else full_kwargs)
@@ -79,13 +89,26 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["trace"] = session
         started = time.time()
         columns, rows, note = runner(**kwargs)
-        print_table(name, columns, rows, note)
-        print(f"[{name}: {time.time() - started:.1f}s wall]")
+        if args.as_json:
+            documents.append({
+                "name": name,
+                "columns": list(columns),
+                "rows": [list(row) for row in rows],
+                "note": note,
+                "wall_seconds": round(time.time() - started, 3),
+            })
+        else:
+            print_table(name, columns, rows, note)
+            print(f"[{name}: {time.time() - started:.1f}s wall]")
+    if args.as_json:
+        print(json.dumps({"quick": args.quick,
+                          "experiments": documents}, indent=2))
     if session is not None:
         if session.runs:
             session.save()
-            print(f"[trace: wrote {args.trace}]")
-        else:
+            if not args.as_json:
+                print(f"[trace: wrote {args.trace}]")
+        elif not args.as_json:
             print(f"[trace: no traceable experiment ran; "
                   f"nothing written to {args.trace}]")
     return 0

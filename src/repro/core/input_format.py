@@ -27,17 +27,20 @@ __all__ = ["SciDPInputFormat"]
 class SciDPInputFormat:
     def __init__(self, scidp, variables: Optional[list[str]] = None,
                  granularity: Optional[int] = None,
-                 delegate=None):
+                 delegate=None, max_inflight: Optional[int] = None):
         """``scidp``: the :class:`repro.core.runtime.SciDP` runtime.
         ``variables``: variable-level subset for scientific inputs.
         ``granularity``: per-request read size (None = whole block, the
         SciDP default; 64 KiB = stock-Hadoop streaming for the ablation).
         ``delegate``: input format for non-PFS paths (TextInputFormat
-        by default)."""
+        by default).
+        ``max_inflight``: the readers' bounded request window (None =
+        costs.PFS_MAX_INFLIGHT; 1 = strictly serial)."""
         self.scidp = scidp
         self.variables = variables
         self.granularity = granularity
         self.delegate = delegate or TextInputFormat()
+        self.max_inflight = max_inflight
 
     # -- splits ------------------------------------------------------------
     def get_splits(self, job, storage, client):
@@ -87,7 +90,9 @@ class SciDPInputFormat:
         reader = PFSReader(
             self.scidp.pfs_client(ctx.node),
             granularity=self.granularity,
-            track=getattr(ctx, "track", None))
+            track=getattr(ctx, "track", None),
+            max_inflight=self.max_inflight,
+            cache=getattr(ctx, "cache", None))
         data = yield client.env.process(reader.read_block(virtual))
         ctx.counters.increment("scidp", "blocks_read", 1)
         ctx.counters.increment("scidp", "bytes_fetched",
@@ -100,6 +105,22 @@ class SciDPInputFormat:
             key = (virtual.source_path, virtual.hyperslab["variable"],
                    tuple(virtual.hyperslab["start"]))
         return [(key, data)]
+
+    # -- prefetch ------------------------------------------------------------
+    def prefetch_split(self, split: InputSplit, client, cache, node):
+        """Advisory background fetch of one split's stored bytes into
+        ``node``'s read-ahead cache (the map runtime's double-buffering
+        hook). DES process; non-PFS splits are a no-op."""
+        virtual = split.meta.get("virtual") if split.meta else None
+        if virtual is None or cache is None:
+            return
+        reader = PFSReader(
+            self.scidp.pfs_client(node),
+            granularity=self.granularity,
+            track=f"{node.name}.prefetch",
+            max_inflight=self.max_inflight,
+            cache=cache)
+        yield from reader.prefetch_block(virtual)
 
 
 class _JobView:

@@ -12,6 +12,15 @@ Two behaviours the paper calls out are modelled exactly:
 - **Decompression inside the read**: Fig. 6's SciDP bandwidth divides by
   an I/O time that "includes both the actual data access time and the
   decompression time".
+
+When a block decomposes into several requests (multiple compressed
+chunks, or a granularity-chopped range), the reader issues them as a
+bounded in-flight window (``max_inflight``) instead of strictly
+serially, with the per-request overhead accounted concurrently —
+the pipelined parallel data path. ``max_inflight=1`` restores the
+serial behaviour exactly. An optional per-node
+:class:`~repro.sim.cache.ReadAheadCache` serves repeated or prefetched
+ranges without refetching.
 """
 
 from __future__ import annotations
@@ -26,6 +35,8 @@ from repro import costs
 from repro.hdfs.block import VirtualBlock
 from repro.obs.trace import tracer_of
 from repro.pfs.client import PFSClient
+from repro.sim.cache import ReadAheadCache
+from repro.sim.pipeline import bounded_fanout
 
 __all__ = ["PFSReader"]
 
@@ -36,13 +47,23 @@ class PFSReader:
     def __init__(self, client: PFSClient,
                  granularity: Optional[int] = None,
                  request_overhead: float = costs.PFS_REQUEST_OVERHEAD,
-                 track: Optional[str] = None):
+                 track: Optional[str] = None,
+                 max_inflight: Optional[int] = None,
+                 cache: Optional[ReadAheadCache] = None):
         if granularity is not None and granularity < 1:
             raise ValueError("granularity must be >= 1")
+        if max_inflight is None:
+            max_inflight = costs.PFS_MAX_INFLIGHT
+        if max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0 (0 = unbounded)")
         self.client = client
         self.env = client.env
         self.granularity = granularity
         self.request_overhead = request_overhead
+        #: in-flight request window; 1 = serial, 0 = unbounded
+        self.max_inflight = max_inflight
+        #: optional node-level read-ahead cache of stored byte ranges
+        self.cache = cache
         #: trace swimlane for this reader's spans (the owning task's)
         self.track = track or f"{client.node.name}.pfs"
         #: stored (possibly compressed) bytes fetched
@@ -51,22 +72,63 @@ class PFSReader:
         self.bytes_delivered = 0
 
     # -- low-level fetch ---------------------------------------------------
-    def _fetch_range(self, path: str, offset: int, length: int):
-        """Fetch one byte range, whole or chopped. DES process."""
+    def _chop(self, offset: int, length: int) -> list[tuple[int, int]]:
+        """(pos, nbytes) request pieces for one byte range."""
         if self.granularity is None:
-            yield self.env.timeout(self.request_overhead)
-            data = yield self.env.process(
-                self.client.read(path, offset, length))
-            return data
-        parts = []
+            return [(offset, length)]
+        pieces = []
         pos = offset
         end = offset + length
         while pos < end:
             piece = min(self.granularity, end - pos)
-            yield self.env.timeout(self.request_overhead)
-            parts.append((yield self.env.process(
-                self.client.read(path, pos, piece))))
+            pieces.append((pos, piece))
             pos += piece
+        return pieces
+
+    def _fetch_piece(self, path: str, pos: int, length: int,
+                     prefetching: bool = False):
+        """Fetch one request-sized piece, through the cache when present.
+        DES (sub)process — drive with ``yield from`` or ``env.process``."""
+        cache = self.cache
+        if cache is not None:
+            key = (path, pos, length)
+            data = cache.get(key)
+            if data is not None:
+                return data
+            waiter = cache.join(key)
+            if waiter is not None:
+                data = yield waiter
+                return data
+            reservation = cache.reserve(key)
+            try:
+                yield self.env.timeout(self.request_overhead)
+                data = yield self.env.process(
+                    self.client.read(path, pos, length))
+            except BaseException as exc:
+                reservation.abort(exc)
+                raise
+            reservation.fill(data, prefetched=prefetching)
+            return data
+        yield self.env.timeout(self.request_overhead)
+        data = yield self.env.process(self.client.read(path, pos, length))
+        return data
+
+    def _fetch_range(self, path: str, offset: int, length: int):
+        """Fetch one byte range, whole or chopped. DES process."""
+        pieces = self._chop(offset, length)
+        if len(pieces) == 1:
+            data = yield from self._fetch_piece(path, *pieces[0])
+            return data
+        if self.max_inflight == 1:
+            parts = []
+            for pos, n in pieces:
+                parts.append((yield from self._fetch_piece(path, pos, n)))
+        else:
+            parts = yield from bounded_fanout(
+                self.env,
+                [lambda pos=pos, n=n: self._fetch_piece(path, pos, n)
+                 for pos, n in pieces],
+                self.max_inflight)
         return b"".join(parts)
 
     # -- public API ----------------------------------------------------------
@@ -84,6 +146,32 @@ class PFSReader:
                      delivered=int(self.bytes_delivered - delivered0))
         return data
 
+    def prefetch_block(self, block: VirtualBlock):
+        """Fetch a block's stored bytes (into the cache) without
+        decompressing or assembling — the map runtime's double-buffered
+        read-ahead. DES process; advisory, the data is discarded."""
+        with tracer_of(self.env).span(
+                "pfs.prefetch_block", cat="storage", track=self.track,
+                path=block.source_path):
+            if block.hyperslab is None:
+                ranges = [(block.offset, block.length)]
+            else:
+                ranges = [(chunk["offset"], chunk["nbytes"])
+                          for chunk in block.hyperslab["chunks"]]
+            pieces = [piece for off, length in ranges
+                      for piece in self._chop(off, length)]
+            if self.max_inflight == 1 or len(pieces) == 1:
+                for pos, n in pieces:
+                    yield from self._fetch_piece(
+                        block.source_path, pos, n, prefetching=True)
+            else:
+                yield from bounded_fanout(
+                    self.env,
+                    [lambda pos=pos, n=n: self._fetch_piece(
+                        block.source_path, pos, n, prefetching=True)
+                     for pos, n in pieces],
+                    self.max_inflight)
+
     def _read_flat(self, block: VirtualBlock):
         data = yield self.env.process(self._fetch_range(
             block.source_path, block.offset, block.length))
@@ -97,11 +185,37 @@ class PFSReader:
         start = tuple(slab["start"])
         count = tuple(slab["count"])
         out = np.empty(count, dtype=dtype)
+        chunks = slab["chunks"]
+
+        if self.max_inflight == 1 or len(chunks) == 1:
+            # Serial (or single-request) path: fetch chunk by chunk, the
+            # exact event sequence of the pre-pipelining reader.
+            stored_chunks = []
+            for chunk in chunks:
+                stored_chunks.append((yield self.env.process(
+                    self._fetch_range(block.source_path, chunk["offset"],
+                                      chunk["nbytes"]))))
+        else:
+            # Pipelined path: every chunk's request pieces share one
+            # bounded in-flight window across the whole block.
+            spans = []
+            pieces: list[tuple[int, int]] = []
+            for chunk in chunks:
+                chopped = self._chop(chunk["offset"], chunk["nbytes"])
+                spans.append((len(pieces), len(pieces) + len(chopped)))
+                pieces.extend(chopped)
+            parts = yield from bounded_fanout(
+                self.env,
+                [lambda pos=pos, n=n: self._fetch_piece(
+                    block.source_path, pos, n) for pos, n in pieces],
+                self.max_inflight)
+            stored_chunks = [
+                parts[lo] if hi - lo == 1 else b"".join(parts[lo:hi])
+                for lo, hi in spans
+            ]
 
         raw_total = 0
-        for chunk in slab["chunks"]:
-            stored = yield self.env.process(self._fetch_range(
-                block.source_path, chunk["offset"], chunk["nbytes"]))
+        for chunk, stored in zip(chunks, stored_chunks):
             self.bytes_fetched += len(stored)
             raw = zlib.decompress(stored) if slab["compressed"] else stored
             if len(raw) != chunk["raw_nbytes"]:
@@ -130,10 +244,14 @@ class PFSReader:
     # -- diagnostics -----------------------------------------------------------
     @staticmethod
     def block_raw_bytes(block: VirtualBlock) -> int:
-        """Uncompressed payload size of a dummy block."""
+        """Uncompressed payload size of a dummy block.
+
+        A zero-dimensional hyperslab (empty ``count``) selects nothing
+        and reports 0 bytes.
+        """
         if block.hyperslab is None:
             return block.length
         slab = block.hyperslab
-        return (np.dtype(slab["dtype"]).itemsize
-                * math.prod(slab["count"]) if slab["count"] else
-                np.dtype(slab["dtype"]).itemsize)
+        if not slab["count"]:
+            return 0
+        return np.dtype(slab["dtype"]).itemsize * math.prod(slab["count"])

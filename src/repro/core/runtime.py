@@ -70,10 +70,11 @@ class SciDP:
     # -- engine glue -----------------------------------------------------
     def input_format(self, variables: Optional[list[str]] = None,
                      granularity: Optional[int] = None,
-                     delegate=None) -> SciDPInputFormat:
+                     delegate=None,
+                     max_inflight: Optional[int] = None) -> SciDPInputFormat:
         return SciDPInputFormat(
             self, variables=variables, granularity=granularity,
-            delegate=delegate)
+            delegate=delegate, max_inflight=max_inflight)
 
     def rmr_session(self, master_node=None):
         """An rmr2-style session whose jobs run on this deployment."""

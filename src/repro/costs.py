@@ -60,6 +60,22 @@ HADOOP_STREAM_READ_BYTES = 64 * 1024
 #: single whole-block request.
 PFS_REQUEST_OVERHEAD = 0.0008
 
+#: Default bounded in-flight window for a PFS Reader's chunk and
+#: granularity-chopped range requests. 1 = strictly serial (the
+#: pre-pipelining behaviour); Lustre clients default to a handful of
+#: RPCs in flight per target.
+PFS_MAX_INFLIGHT = 4
+
+#: Default per-OST-run fan-out bound in ``PFSClient.read_extents``.
+#: 0 = unbounded (every coalesced run issued at once), the historical
+#: behaviour; large collective reads can bound it to model client RPC
+#: slot limits.
+PFS_CLIENT_MAX_INFLIGHT = 0
+
+#: Default node read-ahead cache capacity (bytes) when a job enables
+#: prefetch without sizing ``readahead_cache_bytes`` itself.
+READAHEAD_CACHE_BYTES = 256 * 1024 * 1024
+
 
 # --------------------------------------------------------------------------
 # Experiment scaling

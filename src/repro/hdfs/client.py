@@ -8,6 +8,7 @@ from repro.cluster.node import Node
 from repro.hdfs.block import BlockInfo
 from repro.hdfs.namenode import HDFSError
 from repro.obs.trace import tracer_of
+from repro.sim.pipeline import bounded_fanout
 
 __all__ = ["DFSClient"]
 
@@ -107,14 +108,26 @@ class DFSClient:
             span.set(bytes=len(data))
         return data
 
-    def read(self, path: str):
-        """Read a whole file, block by block. DES process."""
+    def read(self, path: str, max_inflight: int = 1):
+        """Read a whole file, block by block. DES process.
+
+        ``max_inflight > 1`` keeps that many block reads in flight at a
+        time (0 = all blocks at once); the default streams serially, the
+        stock ``DFSInputStream`` behaviour.
+        """
         namenode = self.hdfs.namenode
         yield from namenode.rpc()
         blocks = namenode.get_block_locations(path)
-        parts = []
-        for block in blocks:
-            parts.append((yield self.env.process(self.read_block(block))))
+        if max_inflight != 1 and len(blocks) > 1:
+            parts = yield from bounded_fanout(
+                self.env,
+                [lambda b=b: self.read_block(b) for b in blocks],
+                max_inflight)
+        else:
+            parts = []
+            for block in blocks:
+                parts.append(
+                    (yield self.env.process(self.read_block(block))))
         return b"".join(parts)
 
     # -- metadata -------------------------------------------------------------

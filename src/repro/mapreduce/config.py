@@ -52,6 +52,14 @@ class JobConf:
     #: a running task is a straggler once its elapsed time exceeds this
     #: multiple of the mean completed-task duration
     speculative_slowdown: float = 1.5
+    #: double-buffered block prefetch: while a map task computes, the
+    #: slot's next split is already being fetched into its node's
+    #: read-ahead cache (requires an input format with prefetch_split)
+    prefetch: bool = False
+    #: per-node read-ahead cache capacity, bytes; 0 with prefetch on
+    #: falls back to costs.READAHEAD_CACHE_BYTES. Setting it without
+    #: prefetch still caches demand reads (overlapping hyperslabs).
+    readahead_cache_bytes: int = 0
     params: dict[str, Any] = field(default_factory=dict)
 
     def add_input_path(self, path: str) -> "JobConf":
@@ -76,3 +84,5 @@ class JobConf:
             raise MapReduceError("slot counts must be >= 1")
         if self.max_task_attempts < 1:
             raise MapReduceError("max_task_attempts must be >= 1")
+        if self.readahead_cache_bytes < 0:
+            raise MapReduceError("readahead_cache_bytes must be >= 0")

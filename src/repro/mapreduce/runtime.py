@@ -5,13 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro import costs
 from repro.mapreduce.config import JobConf, MapReduceError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.input_format import InputSplit
 from repro.mapreduce.task import MapOutput, MapTask, ReduceTask, TaskStats
 from repro.obs.history import FAILED, KILLED, SUCCEEDED, JobHistory, TaskAttempt
+from repro.obs.metrics import metrics_of
 from repro.obs.trace import tracer_of
-from repro.sim import AllOf, Resource
+from repro.sim import AllOf, CacheStats, ReadAheadCache, Resource
 
 __all__ = ["JobResult", "JobRunner"]
 
@@ -108,8 +110,40 @@ class JobRunner:
                 return key, info["split"]
         return None
 
+    def _build_caches(self) -> tuple:
+        """(shared CacheStats, {node name: ReadAheadCache}) for the job,
+        or (None, {}) when prefetch and caching are both off."""
+        job = self.job
+        if not (job.prefetch or job.readahead_cache_bytes > 0):
+            return None, {}
+        capacity = job.readahead_cache_bytes or costs.READAHEAD_CACHE_BYTES
+        stats = CacheStats(f"{job.name}.readahead")
+        caches = {
+            node.name: ReadAheadCache(
+                self.env, capacity,
+                name=f"{node.name}.readahead", stats=stats)
+            for node in self.nodes
+        }
+        registry = metrics_of(self.env)
+        if registry is not None:
+            registry.watch_cache(stats)
+        return stats, caches
+
+    def _prefetch_split(self, prefetcher, split, node, cache, counters):
+        """Advisory background fetch of a staged split. DES process.
+
+        Failures are swallowed: the task's demand read will surface them
+        with the normal retry machinery.
+        """
+        counters.increment("datapath", "prefetches_launched", 1)
+        try:
+            yield self.env.process(
+                prefetcher(split, self.storage.client(node), cache, node))
+        except Exception:
+            counters.increment("datapath", "prefetches_failed", 1)
+
     def _map_worker(self, node, slot, pending, outputs, stats, counters,
-                    attempts, tracker, history):
+                    attempts, tracker, history, cache=None):
         """One map slot's pull loop with retry + speculation. DES process.
 
         A failed attempt requeues the split (another slot — possibly on
@@ -117,12 +151,28 @@ class JobRunner:
         exhausted. With speculative execution on, a slot that finds no
         pending work re-launches a straggler instead of exiting; the
         first attempt to finish wins and the loser's output is dropped.
+
+        With ``job.prefetch`` on, the slot double-buffers: before running
+        a task it claims its *next* split and starts fetching that
+        split's bytes into the node cache in the background, so the
+        fetch overlaps the current task's compute. A slot only stages
+        ahead while pending splits outnumber the job's map slots —
+        otherwise staging would starve an idle slot of its only work
+        and lengthen the map wave instead of shortening it.
         """
         client = self.storage.client(node)
         track = f"{node.name}.s{slot}"
+        n_slots = len(self.nodes) * self.job.map_slots_per_node
+        prefetcher = (getattr(self.job.input_format, "prefetch_split", None)
+                      if self.job.prefetch and cache is not None else None)
+        staged: Optional[InputSplit] = None
         while True:
-            split = self._pick_split(pending, node.name)
-            speculation = False
+            if staged is not None:
+                split, staged = staged, None
+                speculation = False
+            else:
+                split = self._pick_split(pending, node.name)
+                speculation = False
             if split is None:
                 candidate = self._speculation_candidate(node.name, tracker)
                 if candidate is None:
@@ -136,8 +186,16 @@ class JobRunner:
                       "split": split})
             info["nodes"].add(node.name)
 
+            if (prefetcher is not None and not speculation
+                    and len(pending) > n_slots):
+                staged = self._pick_split(pending, node.name)
+                if staged is not None:
+                    self.env.process(self._prefetch_split(
+                        prefetcher, staged, node, cache, counters))
+
             task = MapTask(self.env, self.job, split, node, client,
-                           self._next_task_id("m"), track=track)
+                           self._next_task_id("m"), track=track,
+                           cache=cache)
             attempt = history.record(TaskAttempt(
                 attempt_id=task.task_id, kind="map", node=node.name,
                 start=self.env.now,
@@ -245,13 +303,18 @@ class JobRunner:
             map_outputs: list[MapOutput] = []
             attempts: dict = {}
             tracker = {"running": {}, "done": set(), "durations": []}
+            cache_stats, caches = self._build_caches()
             workers = []
             for node in self.nodes:
                 for slot in range(job.map_slots_per_node):
                     workers.append(env.process(self._map_worker(
                         node, slot, pending, map_outputs, stats, counters,
-                        attempts, tracker, history)))
+                        attempts, tracker, history,
+                        cache=caches.get(node.name))))
             yield AllOf(env, workers)
+            if cache_stats is not None:
+                for name, value in sorted(cache_stats.as_dict().items()):
+                    counters.increment("datapath", name, int(value))
 
             result = JobResult(
                 name=job.name, start=start, end=env.now,

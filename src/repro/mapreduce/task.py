@@ -88,12 +88,16 @@ class TaskContext:
     """What user code sees inside a task."""
 
     def __init__(self, env, node, job: JobConf, task_id: str,
-                 storage_client=None, track: Optional[str] = None):
+                 storage_client=None, track: Optional[str] = None,
+                 cache=None):
         self.env = env
         self.node = node
         self.job = job
         self.task_id = task_id
         self.client = storage_client
+        #: node read-ahead cache (set when the job enables prefetch or
+        #: caching); input formats pick it up for their readers
+        self.cache = cache
         self.counters = Counters()
         #: shim kept for callers that still read per-phase totals here;
         #: :meth:`phase` is the primary timing API and feeds it.
@@ -160,7 +164,8 @@ class MapTask:
     """Executes one split: read → map → partition/sort(/combine) → spill."""
 
     def __init__(self, env, job: JobConf, split: InputSplit, node,
-                 storage_client, task_id: str, track: Optional[str] = None):
+                 storage_client, task_id: str, track: Optional[str] = None,
+                 cache=None):
         self.env = env
         self.job = job
         self.split = split
@@ -168,6 +173,7 @@ class MapTask:
         self.client = storage_client
         self.task_id = task_id
         self.track = track
+        self.cache = cache
 
     @property
     def locality(self) -> str:
@@ -184,7 +190,7 @@ class MapTask:
         job = self.job
         stats = TaskStats(self.task_id, "map", self.node.name, env.now)
         ctx = TaskContext(env, self.node, job, self.task_id, self.client,
-                          track=self.track)
+                          track=self.track, cache=self.cache)
         task_span = ctx.tracer.span(
             "map", cat="task.map", track=ctx.track, task_id=self.task_id,
             node=self.node.name,

@@ -18,7 +18,7 @@ per membership change.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from repro.sim.stats import Monitor
 
@@ -126,6 +126,8 @@ class MetricsRegistry:
         self._histograms: dict[str, Histogram] = {}
         #: watched devices: name -> (pipe, in-flight gauge)
         self._devices: dict[str, tuple] = {}
+        #: watched read-ahead caches: name -> CacheStats
+        self._caches: dict[str, Any] = {}
         self._watched_ids: set[int] = set()
 
     # -- named metrics ---------------------------------------------------
@@ -184,6 +186,17 @@ class MetricsRegistry:
             self.watch_pipe(datanode.node.disk.pipe,
                             name=f"dn.{datanode.name}")
 
+    def watch_cache(self, stats, name: Optional[str] = None) -> None:
+        """Register a read-ahead cache's shared
+        :class:`~repro.sim.cache.CacheStats` so its hit/miss/overlap
+        counters show up next to the device utilisation rows.
+        Idempotent per stats object."""
+        if id(stats) in self._watched_ids:
+            return
+        self._watched_ids.add(id(stats))
+        label = stats.name or name or f"cache{len(self._caches)}"
+        self._caches[label] = stats
+
     # -- export ----------------------------------------------------------
     def device_monitors(self) -> Iterable[tuple[str, Monitor]]:
         """(device name, in-flight Monitor) pairs, name-sorted."""
@@ -209,6 +222,24 @@ class MetricsRegistry:
             })
         return rows
 
+    def cache_rows(self) -> list[dict]:
+        """Per-cache summary rows in the device-row shape: hit/miss/
+        overlap counters, bytes served, and the hit rate as the row's
+        ``utilization`` (always within [0, 1])."""
+        rows = []
+        for label in sorted(self._caches):
+            stats = self._caches[label]
+            rows.append({
+                "device": f"cache.{label}",
+                "cache_hits": stats.hits,
+                "cache_misses": stats.misses,
+                "overlap_hits": stats.overlap_hits,
+                "prefetch_fills": stats.prefetch_fills,
+                "bytes_moved": float(stats.bytes_from_cache),
+                "utilization": round(stats.hit_rate(), 6),
+            })
+        return rows
+
     def as_dict(self) -> dict:
         """Snapshot of every named metric plus the device table."""
         return {
@@ -223,6 +254,7 @@ class MetricsRegistry:
                            for n, h in sorted(self._histograms.items())
                            if len(h)},
             "devices": self.device_rows(),
+            "caches": self.cache_rows(),
         }
 
 

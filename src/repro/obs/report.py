@@ -107,19 +107,32 @@ def _device_table(devices: list[dict]) -> str:
 
     columns = ["run", "device", "MB moved", "busy s", "util %",
                "mean in-flight"]
+    has_caches = any("cache_hits" in row for row in devices)
+    if has_caches:
+        columns += ["hits", "misses", "overlap"]
     rows = []
     for row in devices:
-        rows.append([
+        cells = [
             row.get("run", "-"),
             row.get("device", "?"),
             row.get("bytes_moved", 0.0) / 1e6,
             row.get("busy_seconds", 0.0),
             100.0 * row.get("utilization", 0.0),
             row.get("mean_in_flight", 0.0),
-        ])
+        ]
+        if has_caches:
+            is_cache = "cache_hits" in row
+            cells += [
+                row.get("cache_hits", "-") if is_cache else "-",
+                row.get("cache_misses", "-") if is_cache else "-",
+                row.get("overlap_hits", "-") if is_cache else "-",
+            ]
+        rows.append(cells)
     return format_table(
         "device utilisation", columns, rows,
-        note="utilisation = busy time / simulated run time")
+        note="utilisation = busy time / simulated run time; for cache "
+             "rows util % is the hit rate and overlap counts reads that "
+             "joined an in-flight prefetch")
 
 
 def render_report(path: str, width: int = 72,

@@ -370,6 +370,8 @@ class TraceSession:
                                         extra_counters=counters))
             for row in registry.device_rows():
                 devices.append({"run": label, **row})
+            for row in registry.cache_rows():
+                devices.append({"run": label, **row})
         return events, devices
 
     def save(self) -> Optional[str]:

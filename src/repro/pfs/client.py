@@ -4,12 +4,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import costs
 from repro.cluster.node import Node
 from repro.obs.trace import tracer_of
 from repro.pfs.filesystem import PFS
 from repro.pfs.layout import Extent, StripeLayout
 from repro.pfs.server import Inode, PFSError
 from repro.sim import AllOf
+from repro.sim.pipeline import bounded_fanout
 
 __all__ = ["PFSClient", "coalesce_extents"]
 
@@ -44,10 +46,17 @@ class PFSClient:
     ``data = yield env.process(client.read(path, off, n))``.
     """
 
-    def __init__(self, pfs: PFS, node: Node):
+    def __init__(self, pfs: PFS, node: Node,
+                 max_inflight: Optional[int] = None):
         self.pfs = pfs
         self.node = node
         self.env = pfs.env
+        #: bounded window for coalesced per-OST run fetches;
+        #: 0 = unbounded (all runs issued at once)
+        self.max_inflight = (costs.PFS_CLIENT_MAX_INFLIGHT
+                             if max_inflight is None else max_inflight)
+        if self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0 (0 = unbounded)")
         #: trace swimlane for this client's spans
         self.track = f"{node.name}.pfs"
         #: Total payload bytes this client has read (bandwidth accounting).
@@ -83,24 +92,36 @@ class PFSClient:
         yield AllOf(self.env, [disk_leg, net_leg])
         results[(ext.ost_index, ext.object_offset)] = (ext, data)
 
-    def read_extents(self, inode: Inode, extents: list[Extent]):
+    def read_extents(self, inode: Inode, extents: list[Extent],
+                     max_inflight: Optional[int] = None):
         """Fetch arbitrary extents in parallel across OSTs. DES process.
 
         Coalesced runs merge object-adjacent stripes that interleave in the
         logical file, so reassembly scatters each original extent back out
         of its containing run rather than concatenating runs.
 
+        ``max_inflight`` bounds how many coalesced runs are in flight at
+        once (default: the client's window; 0 = all at once).
+
         Returns the requested bytes ordered by file offset.
         """
+        window = self.max_inflight if max_inflight is None else max_inflight
         per_ost = coalesce_extents(extents)
         results: dict = {}
-        fetchers = []
-        for runs in per_ost.values():
-            for run in runs:
-                fetchers.append(
-                    self.env.process(self._fetch_run(inode, run, results)))
-        if fetchers:
-            yield AllOf(self.env, fetchers)
+        all_runs = [run for runs in per_ost.values() for run in runs]
+        if 0 < window < len(all_runs):
+            yield from bounded_fanout(
+                self.env,
+                [lambda run=run: self._fetch_run(inode, run, results)
+                 for run in all_runs],
+                window)
+        else:
+            fetchers = [
+                self.env.process(self._fetch_run(inode, run, results))
+                for run in all_runs
+            ]
+            if fetchers:
+                yield AllOf(self.env, fetchers)
         run_data: dict[int, list[tuple[Extent, bytes]]] = {}
         for run, data in results.values():
             run_data.setdefault(run.ost_index, []).append((run, data))

@@ -71,27 +71,32 @@ def partition_domains(merged: Sequence[Range],
 class MPIFile:
     """An MPI "file handle" shared by a set of ranks (one client each)."""
 
-    def __init__(self, clients: list[PFSClient], path: str):
+    def __init__(self, clients: list[PFSClient], path: str,
+                 max_inflight: Optional[int] = None):
         if not clients:
             raise PFSError("MPIFile needs at least one rank")
         self.clients = clients
         self.env = clients[0].env
         self.pfs = clients[0].pfs
         self.path = path
+        #: per-aggregator bound on in-flight coalesced runs
+        #: (None = each client's own default window)
+        self.max_inflight = max_inflight
         self._inode: Optional[Inode] = None
 
     @classmethod
-    def open(cls, clients: list[PFSClient], path: str) -> "MPIFile":
+    def open(cls, clients: list[PFSClient], path: str,
+             max_inflight: Optional[int] = None) -> "MPIFile":
         """`MPI_File_open` — validates the path eagerly (sync metadata)."""
-        handle = cls(clients, path)
+        handle = cls(clients, path, max_inflight=max_inflight)
         handle._inode = handle.pfs.mds.lookup(path)
         return handle
 
     @classmethod
     def create(cls, clients: list[PFSClient], path: str,
-               layout=None) -> "MPIFile":
+               layout=None, max_inflight: Optional[int] = None) -> "MPIFile":
         """`MPI_File_open` with MODE_CREATE: new empty file."""
-        handle = cls(clients, path)
+        handle = cls(clients, path, max_inflight=max_inflight)
         handle._inode = handle.pfs.create(path, layout)
         return handle
 
@@ -215,7 +220,8 @@ class MPIFile:
         for off, length in domain:
             extents.extend(inode.layout.map_range(off, length))
         data = yield self.env.process(
-            self.clients[rank].read_extents(inode, extents))
+            self.clients[rank].read_extents(
+                inode, extents, max_inflight=self.max_inflight))
         # Slice the aggregator's contiguous haul back into its ranges.
         pieces = {}
         cursor = 0

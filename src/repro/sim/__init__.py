@@ -20,12 +20,15 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
+from repro.sim.cache import CacheStats, ReadAheadCache
+from repro.sim.pipeline import bounded_fanout
 from repro.sim.resources import Container, Resource, SharedBandwidth, Store
 from repro.sim.stats import IntervalTimer, Monitor
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CacheStats",
     "Container",
     "Environment",
     "Event",
@@ -33,9 +36,11 @@ __all__ = [
     "IntervalTimer",
     "Monitor",
     "Process",
+    "ReadAheadCache",
     "Resource",
     "SharedBandwidth",
     "SimulationError",
     "Store",
     "Timeout",
+    "bounded_fanout",
 ]

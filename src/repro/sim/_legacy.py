@@ -1,0 +1,118 @@
+"""Reference implementation of the pre-virtual-time SharedBandwidth.
+
+This is the original O(n)-rescan processor-sharing pipe, kept verbatim
+as an executable specification: equivalence tests drive seeded transfer
+schedules through both implementations and require identical completion
+times and orders, and the data-path micro-benchmark measures the
+Python-level work the virtual-time rework saves. Not part of the public
+API — simulation code must use :class:`repro.sim.SharedBandwidth`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import URGENT, Environment, Event
+
+__all__ = ["LegacySharedBandwidth"]
+
+
+class _Transfer:
+    __slots__ = ("remaining", "event", "total")
+
+    def __init__(self, nbytes: float, event: Event):
+        self.remaining = float(nbytes)
+        self.total = float(nbytes)
+        self.event = event
+
+
+class LegacySharedBandwidth:
+    """Processor-sharing pipe that rescans every active transfer on each
+    membership change (the historical implementation)."""
+
+    def __init__(self, env: Environment, capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.env = env
+        self.capacity = float(capacity)
+        self.name = name
+        self._active: list[_Transfer] = []
+        self._last_update = env.now
+        self._generation = 0
+        self.bytes_moved = 0.0
+        self.busy_time = 0.0
+        self.observer = None
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def transfer(self, nbytes: float, latency: float = 0.0) -> Event:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        done = Event(self.env)
+        if latency > 0:
+            delay = self.env.timeout(latency)
+            delay.callbacks.append(lambda _ev: self._admit(nbytes, done))
+        else:
+            self._admit(nbytes, done)
+        return done
+
+    def _admit(self, nbytes: float, done: Event) -> None:
+        self.bytes_moved += nbytes
+        if nbytes == 0:
+            done.succeed()
+            return
+        self._advance()
+        self._active.append(_Transfer(nbytes, done))
+        if self.observer is not None:
+            self.observer(len(self._active))
+        self._reschedule()
+
+    def _advance(self) -> None:
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._active:
+            return
+        self.busy_time += elapsed
+        rate = self.capacity / len(self._active)
+        drained = elapsed * rate
+        for xfer in self._active:
+            xfer.remaining = max(0.0, xfer.remaining - drained)
+
+    def _reschedule(self) -> None:
+        self._generation += 1
+        if not self._active:
+            return
+        gen = self._generation
+        rate = self.capacity / len(self._active)
+        min_remaining = min(x.remaining for x in self._active)
+        delay = min_remaining / rate
+        wake = self.env.timeout(delay)
+        wake.callbacks.append(lambda _ev: self._on_wake(gen))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._generation:
+            return
+        self._advance()
+        eps = 1e-6
+        finished = [x for x in self._active if x.remaining <= eps]
+        if not finished and self._active:
+            floor = min(x.remaining for x in self._active) + eps
+            finished = [x for x in self._active if x.remaining <= floor]
+        done_set = set(id(x) for x in finished)
+        self._active = [x for x in self._active if id(x) not in done_set]
+        if finished and self.observer is not None:
+            self.observer(len(self._active))
+        for xfer in finished:
+            xfer.event.succeed(priority=URGENT)
+        self._reschedule()
+
+    def time_for(self, nbytes: float) -> float:
+        return nbytes / self.capacity
+
+    def utilization(self, since: float = 0.0) -> float:
+        self._advance()
+        span = self.env.now - since
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / span)

@@ -1,0 +1,53 @@
+"""Bounded-window fan-out: the data path's pipelining primitive.
+
+:func:`bounded_fanout` drives a list of process *factories* keeping at
+most ``max_inflight`` of them running at once — the sliding-window
+request issue the paper's parallel PFS readers rely on. Results come
+back in input order regardless of completion order.
+
+``max_inflight <= 0`` (or a window at least as large as the input) is
+the unbounded fan-out: every process is created up front and awaited
+with a single :class:`AllOf`, which is the legacy shape callers used
+before windows existed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sim.engine import AllOf, AnyOf, Environment
+
+__all__ = ["bounded_fanout"]
+
+
+def bounded_fanout(env: Environment, factories: Sequence[Callable],
+                   max_inflight: int = 0):
+    """Run ``factories`` (thunks returning DES generators) with at most
+    ``max_inflight`` concurrently in flight. DES process returning the
+    results in input order.
+
+    Use with ``yield from`` to keep the window loop inside the calling
+    process, or wrap in ``env.process(...)`` to run it standalone. A
+    failing constituent propagates its exception (fail-fast, like
+    :class:`AllOf`); processes already in flight keep running.
+    """
+    factories = list(factories)
+    if not factories:
+        return []
+    if max_inflight <= 0 or max_inflight >= len(factories):
+        procs = [env.process(factory()) for factory in factories]
+        done = yield AllOf(env, procs)
+        return [done[proc] for proc in procs]
+    results: list = [None] * len(factories)
+    inflight: dict = {}  # Process -> input index
+    issued = 0
+    while issued < len(factories) or inflight:
+        while issued < len(factories) and len(inflight) < max_inflight:
+            proc = env.process(factories[issued]())
+            inflight[proc] = issued
+            issued += 1
+        yield AnyOf(env, list(inflight))
+        finished = [proc for proc in inflight if proc.triggered]
+        for proc in finished:
+            results[inflight.pop(proc)] = proc.value
+    return results

@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Any, Optional
 
@@ -177,12 +178,16 @@ class Store:
 
 
 class _Transfer:
-    __slots__ = ("remaining", "event", "total")
+    __slots__ = ("finish_tag", "event", "total", "seq")
 
-    def __init__(self, nbytes: float, event: Event):
-        self.remaining = float(nbytes)
+    def __init__(self, nbytes: float, event: Event, finish_tag: float,
+                 seq: int):
         self.total = float(nbytes)
         self.event = event
+        #: virtual-time service level at which this transfer completes
+        self.finish_tag = finish_tag
+        #: admission order, for deterministic completion tie-breaks
+        self.seq = seq
 
 
 class SharedBandwidth:
@@ -194,6 +199,14 @@ class SharedBandwidth:
     remainder, which is the standard fluid model for disk and NIC
     contention.
 
+    Bookkeeping uses the virtual-time formulation: one cumulative
+    per-transfer service counter advances at ``capacity / n`` bytes per
+    second, and each transfer carries a fixed finish tag (counter at
+    admission + its bytes) in a heap. A membership change is O(log n) —
+    no per-transfer rescan — while the simulated timings are identical
+    to walking every active transfer, since a transfer's remaining bytes
+    are always ``finish_tag - counter``.
+
     ``latency`` adds a fixed delay before the transfer joins the pipe —
     used for per-request seek/RPC overheads.
     """
@@ -204,7 +217,11 @@ class SharedBandwidth:
         self.env = env
         self.capacity = float(capacity)
         self.name = name
-        self._active: list[_Transfer] = []
+        #: cumulative per-transfer service, in bytes (virtual time)
+        self._vtime = 0.0
+        #: (finish_tag, seq, transfer) min-heap of active transfers
+        self._heap: list[tuple[float, int, _Transfer]] = []
+        self._seq = 0
         self._last_update = env.now
         self._generation = 0
         #: Total bytes ever pushed through (for utilisation statistics).
@@ -217,7 +234,7 @@ class SharedBandwidth:
 
     @property
     def n_active(self) -> int:
-        return len(self._active)
+        return len(self._heap)
 
     def transfer(self, nbytes: float, latency: float = 0.0) -> Event:
         """Move ``nbytes`` through the pipe; returns the completion event."""
@@ -237,32 +254,38 @@ class SharedBandwidth:
             done.succeed()
             return
         self._advance()
-        self._active.append(_Transfer(nbytes, done))
+        self._seq += 1
+        xfer = _Transfer(nbytes, done, self._vtime + float(nbytes),
+                         self._seq)
+        heapq.heappush(self._heap, (xfer.finish_tag, xfer.seq, xfer))
         if self.observer is not None:
-            self.observer(len(self._active))
+            self.observer(len(self._heap))
         self._reschedule()
 
     def _advance(self) -> None:
-        """Drain progress accrued since the last membership change."""
+        """Accrue service since the last membership change."""
         now = self.env.now
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._active:
+        if elapsed <= 0 or not self._heap:
             return
         self.busy_time += elapsed
-        rate = self.capacity / len(self._active)
-        drained = elapsed * rate
-        for xfer in self._active:
-            xfer.remaining = max(0.0, xfer.remaining - drained)
+        rate = self.capacity / len(self._heap)
+        self._vtime += elapsed * rate
 
     def _reschedule(self) -> None:
         """Schedule a wake-up at the earliest projected completion."""
         self._generation += 1
-        if not self._active:
+        if not self._heap:
+            # Idle pipe: restart virtual time at zero so a lone transfer's
+            # arithmetic (tag - vtime == nbytes - drained) matches the
+            # per-transfer subtraction bit for bit, and the counter never
+            # grows without bound across a long run.
+            self._vtime = 0.0
             return
         gen = self._generation
-        rate = self.capacity / len(self._active)
-        min_remaining = min(x.remaining for x in self._active)
+        rate = self.capacity / len(self._heap)
+        min_remaining = max(0.0, self._heap[0][0] - self._vtime)
         delay = min_remaining / rate
         wake = self.env.timeout(delay)
         wake.callbacks.append(lambda _ev: self._on_wake(gen))
@@ -278,15 +301,16 @@ class SharedBandwidth:
         # scheduled for have mathematically finished: force-finish the
         # minimum-remaining transfer when the epsilon test misses it.
         eps = 1e-6
-        finished = [x for x in self._active if x.remaining <= eps]
-        if not finished and self._active:
-            floor = min(x.remaining for x in self._active) + eps
-            finished = [x for x in self._active if x.remaining <= floor]
-        done_set = set(id(x) for x in finished)
-        self._active = [x for x in self._active if id(x) not in done_set]
+        finished: list[_Transfer] = []
+        while self._heap and self._heap[0][0] - self._vtime <= eps:
+            finished.append(heapq.heappop(self._heap)[2])
+        if not finished and self._heap:
+            floor = (self._heap[0][0] - self._vtime) + eps
+            while self._heap and self._heap[0][0] - self._vtime <= floor:
+                finished.append(heapq.heappop(self._heap)[2])
         if finished and self.observer is not None:
-            self.observer(len(self._active))
-        for xfer in finished:
+            self.observer(len(self._heap))
+        for xfer in sorted(finished, key=lambda x: x.seq):
             xfer.event.succeed(priority=URGENT)
         self._reschedule()
 

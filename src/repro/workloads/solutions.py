@@ -392,16 +392,26 @@ def run_scihadoop(world: ExperimentWorld, analysis: str = "none"):
 
 
 def run_scidp(world: ExperimentWorld, analysis: str = "none",
-              granularity=None, slots_per_node: int = 8):
+              granularity=None, slots_per_node: int = 8,
+              max_inflight=None, prefetch: bool = False,
+              readahead_cache_bytes: int = 0):
     """Direct processing of PFS netCDF data: no conversion, no copy,
-    variable-subset reads, whole-block requests. DES process."""
+    variable-subset reads, whole-block requests. DES process.
+
+    ``max_inflight`` bounds the readers' request window (1 = serial);
+    ``prefetch``/``readahead_cache_bytes`` enable the map runtime's
+    double-buffered block prefetch and node read-ahead cache.
+    """
     env = world.env
     input_format = world.scidp.input_format(
-        variables=[world.variable], granularity=granularity)
+        variables=[world.variable], granularity=granularity,
+        max_inflight=max_inflight)
     job = _job(world, "scidp",
                binary_level_mapper(world.variable, analysis),
                input_format, [f"pfs://{world.nc_dir}"], analysis,
                slots_per_node=slots_per_node)
+    job.prefetch = prefetch
+    job.readahead_cache_bytes = readahead_cache_bytes
     t0 = env.now
     job_result = yield env.process(_run_job(world, job))
     return _summarize(world, "scidp", _workload_name(analysis),

@@ -62,3 +62,17 @@ def test_trace_without_traceable_experiment(tmp_path, capsys):
 def test_every_experiment_has_quick_kwargs():
     for name, (_runner, _full, quick) in EXPERIMENTS.items():
         assert isinstance(quick, dict), name
+
+
+def test_json_output_is_machine_readable(capsys):
+    import json
+
+    assert main(["table1", "--quick", "--json"]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out)          # the whole stdout is one JSON document
+    assert doc["quick"] is True
+    (experiment,) = doc["experiments"]
+    assert experiment["name"] == "table1"
+    assert experiment["columns"]
+    assert experiment["rows"]
+    assert experiment["wall_seconds"] >= 0

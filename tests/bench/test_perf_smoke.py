@@ -1,0 +1,85 @@
+"""Perf smoke: the figure benches must not drift.
+
+Golden numbers were captured from the pre-pipelining data path. With
+the pipelining knobs at their defaults the fig benches take the exact
+old code paths (single-request blocks, no prefetch, no cache, AllOf
+fan-out), so these are equality checks up to float tolerance — any
+drift means the rework changed simulated physics, which is a bug.
+
+The datapath assertions are the flip side: with the knobs *on*, the
+pipeline must actually be faster than the serial path.
+"""
+
+import pytest
+
+from repro import costs
+from repro.bench.harness import datapath_rows, fig2_rows, fig5_table3_rows
+
+#: fig5 totals at sizes=(3,), captured before the pipelined data path
+GOLDEN_FIG5 = {
+    "naive": 83.08206649538458,
+    "vanilla": 5.496688062134538,
+    "porthadoop": 3.873715299853103,
+    "scihadoop": 3.7875080786851356,
+    "scidp": 0.4557778334075806,
+}
+GOLDEN_FIG5_SPEEDUPS = {
+    "scidp vs naive": 182.28632549816922,
+    "scidp vs vanilla": 12.060016216758637,
+    "scidp vs porthadoop": 8.499130532285063,
+    "scidp vs scihadoop": 8.309987456757568,
+}
+
+#: fig2 quick (n_records=2000, n_lines=2000, dfsio_files=2,
+#: dfsio_bytes=256 KiB): (hdfs s, connector s, ratio)
+GOLDEN_FIG2 = {
+    "terasort": (0.25000851905816, 0.4820987875158419,
+                 1.9283294398607682),
+    "grep": (0.1658780279171006, 0.23560200004893594,
+             1.4203327770853453),
+    "dfsio-write": (0.3428938113958331, 0.9702444723246506,
+                    2.829577087947529),
+    "dfsio-read": (0.34229381139583426, 0.9350183105468615,
+                   2.73162493570645),
+}
+GOLDEN_FIG2_GEOMEAN = 2.145005869724353
+
+REL = 1e-9
+
+
+@pytest.fixture(autouse=True)
+def _reset_scale():
+    yield
+    costs.reset_scale()
+
+
+def test_fig5_reproduces_golden_totals():
+    _columns, rows, _note = fig5_table3_rows(sizes=(3,))
+    got = {row[0]: row[1] for row in rows}
+    for solution, golden in GOLDEN_FIG5.items():
+        assert got[solution] == pytest.approx(golden, rel=REL), solution
+    for label, golden in GOLDEN_FIG5_SPEEDUPS.items():
+        assert got[label] == pytest.approx(golden, rel=REL), label
+
+
+def test_fig2_reproduces_golden_quick_numbers():
+    _columns, rows, _note = fig2_rows(
+        n_records=2000, n_lines=2000, dfsio_files=2,
+        dfsio_bytes=256 * 1024)
+    got = {row[0]: row for row in rows}
+    for workload, (hdfs_s, conn_s, ratio) in GOLDEN_FIG2.items():
+        row = got[workload]
+        assert row[1] == pytest.approx(hdfs_s, rel=REL), workload
+        assert row[2] == pytest.approx(conn_s, rel=REL), workload
+        assert row[3] == pytest.approx(ratio, rel=REL), workload
+    assert got["geo-mean"][3] == pytest.approx(GOLDEN_FIG2_GEOMEAN,
+                                               rel=REL)
+
+
+def test_pipelined_datapath_beats_serial():
+    _columns, rows, _note = datapath_rows(n_timesteps=8,
+                                          slots_per_node=2)
+    serial, prefetched, chopped, windowed = rows
+    assert prefetched[2] < serial[2]   # prefetch shortens the map phase
+    assert windowed[2] < chopped[2]    # window beats serial chopped reads
+    assert windowed[1] < chopped[1]

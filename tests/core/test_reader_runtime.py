@@ -105,6 +105,84 @@ def test_reader_validation(world):
     env, _cluster, nodes, _pfs, _hdfs, scidp = world
     with pytest.raises(ValueError):
         PFSReader(scidp.pfs_client(nodes[0]), granularity=0)
+    with pytest.raises(ValueError):
+        PFSReader(scidp.pfs_client(nodes[0]), max_inflight=-1)
+
+
+def test_block_raw_bytes_empty_count_is_zero(world):
+    """Satellite fix: a zero-dimensional hyperslab holds no payload."""
+    from repro.hdfs.block import VirtualBlock
+
+    empty = VirtualBlock(
+        source_path="/f",
+        hyperslab={"variable": "v", "start": (), "count": (),
+                   "dtype": "float32", "chunks": [], "compressed": True})
+    assert PFSReader.block_raw_bytes(empty) == 0
+    flat = VirtualBlock(source_path="/f", offset=0, length=77)
+    assert PFSReader.block_raw_bytes(flat) == 77
+
+
+def test_windowed_chopped_read_matches_serial_and_is_faster(world):
+    """The in-flight window changes timing, never the returned bytes."""
+    env, nodes, scidp, ds, blocks = mapped_blocks(world)
+    vb = blocks[0].virtual
+    expect = ds.variables["var_A"].data[0:1]
+
+    t0 = env.now
+    serial_reader = PFSReader(scidp.pfs_client(nodes[1]), granularity=16,
+                              max_inflight=1)
+    serial_data = run(env, serial_reader.read_block(vb))
+    serial = env.now - t0
+
+    t1 = env.now
+    windowed_reader = PFSReader(scidp.pfs_client(nodes[2]), granularity=16,
+                                max_inflight=4)
+    windowed_data = run(env, windowed_reader.read_block(vb))
+    windowed = env.now - t1
+
+    np.testing.assert_array_equal(serial_data, expect)
+    np.testing.assert_array_equal(windowed_data, expect)
+    assert serial_reader.bytes_fetched == windowed_reader.bytes_fetched
+    assert windowed < serial
+
+
+def test_reader_cache_serves_repeat_reads_without_refetch(world):
+    from repro.sim import ReadAheadCache
+
+    env, nodes, scidp, ds, blocks = mapped_blocks(world)
+    vb = blocks[0].virtual
+    client = scidp.pfs_client(nodes[1])
+    cache = ReadAheadCache(env, capacity_bytes=1 << 20)
+
+    first = run(env, PFSReader(client, cache=cache).read_block(vb))
+    read_after_first = client.bytes_read
+
+    t0 = env.now
+    second = run(env, PFSReader(client, cache=cache).read_block(vb))
+    cached_time = env.now - t0
+
+    np.testing.assert_array_equal(first, second)
+    assert client.bytes_read == read_after_first  # no second PFS fetch
+    assert cache.stats.hits >= 1
+    assert cached_time == 0.0 or cached_time < 1e-6
+
+
+def test_prefetch_block_fills_cache_for_demand_read(world):
+    from repro.sim import ReadAheadCache
+
+    env, nodes, scidp, ds, blocks = mapped_blocks(world)
+    vb = blocks[0].virtual
+    client = scidp.pfs_client(nodes[1])
+    cache = ReadAheadCache(env, capacity_bytes=1 << 20)
+
+    prefetcher = PFSReader(client, cache=cache)
+    run(env, prefetcher.prefetch_block(vb))
+    assert cache.stats.prefetch_fills >= 1
+    fetched = client.bytes_read
+
+    got = run(env, PFSReader(client, cache=cache).read_block(vb))
+    np.testing.assert_array_equal(got, ds.variables["var_A"].data[0:1])
+    assert client.bytes_read == fetched  # demand read hit the cache
 
 
 # --------------------------------------------------------- input format

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.pfs import PFS, PFSClient, PFSError, StripeLayout
 from repro.pfs.client import coalesce_extents
+from repro.pfs.layout import Extent
 
 from tests.pfs.conftest import run, small_spec
 
@@ -164,6 +165,43 @@ def test_coalesce_keeps_gaps_apart():
     exts = (layout.map_range(0, 10) + layout.map_range(30, 10))
     per_ost = coalesce_extents(exts)
     assert len(per_ost[0]) == 2
+
+
+def test_coalesce_out_of_order_extents_still_merge():
+    """Input order must not matter: runs sort by object offset."""
+    exts = [
+        Extent(ost_index=0, object_offset=20, file_offset=40, length=10),
+        Extent(ost_index=0, object_offset=0, file_offset=0, length=10),
+        Extent(ost_index=0, object_offset=10, file_offset=20, length=10),
+    ]
+    per_ost = coalesce_extents(exts)
+    assert list(per_ost) == [0]
+    (run,) = per_ost[0]
+    assert (run.object_offset, run.length) == (0, 30)
+    # The merged run keeps the first constituent's file offset so the
+    # reassembly maths anchors on the run's start.
+    assert run.file_offset == 0
+
+
+def test_coalesce_single_byte_extents():
+    """Degenerate 1-byte extents: adjacent ones merge, gapped stay."""
+    exts = [Extent(ost_index=0, object_offset=i, file_offset=i, length=1)
+            for i in (0, 1, 2, 5)]
+    per_ost = coalesce_extents(exts)
+    runs = per_ost[0]
+    assert [(r.object_offset, r.length) for r in runs] == [(0, 3), (5, 1)]
+
+
+def test_coalesce_adjacent_offsets_on_different_osts_stay_apart():
+    """Object adjacency only merges within one OST's object."""
+    exts = [
+        Extent(ost_index=0, object_offset=0, file_offset=0, length=10),
+        Extent(ost_index=1, object_offset=10, file_offset=10, length=10),
+        Extent(ost_index=0, object_offset=10, file_offset=20, length=10),
+    ]
+    per_ost = coalesce_extents(exts)
+    assert len(per_ost[0]) == 1 and per_ost[0][0].length == 20
+    assert len(per_ost[1]) == 1 and per_ost[1][0].length == 10
 
 
 def test_fewer_rpcs_for_aligned_reads(world):

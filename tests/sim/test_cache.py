@@ -1,0 +1,148 @@
+"""Unit tests for the read-ahead cache and its lookup protocol."""
+
+import pytest
+
+from repro.sim import Environment, ReadAheadCache
+from repro.sim.engine import SimulationError
+
+
+def test_miss_then_fill_then_hit():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=1024)
+    key = ("/f", 0, 4)
+    assert cache.get(key) is None
+    reservation = cache.reserve(key)
+    reservation.fill(b"data")
+    assert cache.get(key) == b"data"
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.bytes_inserted == 4
+    assert cache.stats.bytes_from_cache == 4
+
+
+def test_join_rides_the_inflight_fetch():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=1024)
+    key = ("/f", 0, 3)
+    got = []
+
+    def fetcher():
+        reservation = cache.reserve(key)
+        yield env.timeout(5)
+        reservation.fill(b"abc")
+
+    def joiner():
+        yield env.timeout(1)
+        assert cache.get(key) is None
+        waiter = cache.join(key)
+        assert waiter is not None
+        data = yield waiter
+        got.append((data, env.now))
+
+    env.process(fetcher())
+    env.process(joiner())
+    env.run()
+    assert got == [(b"abc", 5.0)]
+    assert cache.stats.overlap_hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 0
+
+
+def test_double_reserve_is_an_error():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=64)
+    cache.reserve("k")
+    with pytest.raises(SimulationError):
+        cache.reserve("k")
+
+
+def test_lru_eviction_is_byte_bounded():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=10)
+    for i, data in enumerate([b"aaaa", b"bbbb", b"cc"]):
+        cache.reserve(i).fill(data)
+    assert cache.used_bytes == 10
+    cache.get(0)                      # touch 0 -> 1 becomes LRU
+    cache.reserve(3).fill(b"dddd")    # needs 4 bytes -> evicts 1
+    assert 1 not in cache
+    assert 0 in cache and 2 in cache and 3 in cache
+    assert cache.stats.evictions == 1
+    assert cache.used_bytes <= 10
+
+
+def test_oversized_item_is_not_cached():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=4)
+    cache.reserve("big").fill(b"xxxxxxxx")
+    assert "big" not in cache
+    assert cache.used_bytes == 0
+
+
+def test_abort_fails_joiners_without_crashing_env():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=64)
+    failures = []
+
+    def fetcher():
+        reservation = cache.reserve("k")
+        yield env.timeout(2)
+        reservation.abort(OSError("ost down"))
+
+    def joiner():
+        yield env.timeout(1)
+        waiter = cache.join("k")
+        try:
+            yield waiter
+        except OSError as exc:
+            failures.append(repr(exc))
+
+    env.process(fetcher())
+    env.process(joiner())
+    env.run()
+    assert failures == ["OSError('ost down')"]
+    assert "k" not in cache
+
+
+def test_abort_with_no_joiners_is_silent():
+    """The pre-defused abort event must not blow up env.step()."""
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=64)
+
+    def fetcher():
+        reservation = cache.reserve("k")
+        yield env.timeout(1)
+        reservation.abort()
+
+    env.process(fetcher())
+    env.run()  # would raise the KeyError if the event were not defused
+    assert env.now == 1.0
+
+
+def test_fill_twice_is_an_error_abort_twice_is_not():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=64)
+    r1 = cache.reserve("a")
+    r1.fill(b"x")
+    with pytest.raises(SimulationError):
+        r1.fill(b"y")
+    r2 = cache.reserve("b")
+    r2.abort()
+    r2.abort()  # idempotent
+
+
+def test_prefetch_fill_counts_separately():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=64)
+    cache.reserve("a").fill(b"x", prefetched=True)
+    cache.reserve("b").fill(b"y")
+    assert cache.stats.prefetch_fills == 1
+    assert cache.stats.misses == 2
+
+
+def test_hit_rate_counts_hits_and_overlaps():
+    env = Environment()
+    cache = ReadAheadCache(env, capacity_bytes=64)
+    cache.reserve("a").fill(b"x")
+    cache.get("a")
+    assert cache.stats.hit_rate() == pytest.approx(0.5)
+    assert cache.stats.lookups == 2

@@ -1,0 +1,102 @@
+"""Unit tests for the bounded fan-out window."""
+
+import pytest
+
+from repro.sim import Environment, bounded_fanout
+
+
+def run_fanout(env, factories, window):
+    proc = env.process(bounded_fanout(env, factories, window))
+    env.run()
+    return proc.value
+
+
+def make_factory(env, delay, value, events):
+    def factory():
+        events.append(("start", value, env.now))
+        yield env.timeout(delay)
+        events.append(("end", value, env.now))
+        return value
+    return factory
+
+
+def test_results_come_back_in_input_order():
+    env = Environment()
+    events = []
+    # Later factories finish earlier; results must stay input-ordered.
+    factories = [make_factory(env, delay, i, events)
+                 for i, delay in enumerate([5, 3, 1])]
+    assert run_fanout(env, factories, 2) == [0, 1, 2]
+
+
+def test_window_bounds_concurrency():
+    env = Environment()
+    events = []
+    factories = [make_factory(env, 2, i, events) for i in range(6)]
+    run_fanout(env, factories, 2)
+    active = 0
+    peak = 0
+    for kind, _value, _t in events:
+        active += 1 if kind == "start" else -1
+        peak = max(peak, active)
+    assert peak == 2
+
+
+def test_window_of_one_is_strictly_serial():
+    env = Environment()
+    events = []
+    factories = [make_factory(env, 2, i, events) for i in range(3)]
+    assert run_fanout(env, factories, 1) == [0, 1, 2]
+    assert [e for e in events] == [
+        ("start", 0, 0.0), ("end", 0, 2.0),
+        ("start", 1, 2.0), ("end", 1, 4.0),
+        ("start", 2, 4.0), ("end", 2, 6.0),
+    ]
+
+
+def test_unbounded_runs_everything_at_once():
+    env = Environment()
+    events = []
+    factories = [make_factory(env, 2, i, events) for i in range(4)]
+    assert run_fanout(env, factories, 0) == [0, 1, 2, 3]
+    assert all(t == 0.0 for kind, _v, t in events if kind == "start")
+    assert env.now == 2.0
+
+
+def test_window_larger_than_input_is_unbounded():
+    env = Environment()
+    events = []
+    factories = [make_factory(env, 2, i, events) for i in range(3)]
+    assert run_fanout(env, factories, 16) == [0, 1, 2]
+    assert env.now == 2.0
+
+
+def test_empty_input_returns_empty_list():
+    env = Environment()
+    assert run_fanout(env, [], 4) == []
+    assert env.now == 0.0
+
+
+def test_failure_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("boom")
+
+    def good():
+        yield env.timeout(2)
+        return "ok"
+
+    proc = env.process(bounded_fanout(env, [bad, good], 1))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+    assert not proc.ok
+
+
+def test_negative_window_treated_as_unbounded():
+    env = Environment()
+    events = []
+    factories = [make_factory(env, 1, i, events) for i in range(3)]
+    assert run_fanout(env, factories, -1) == [0, 1, 2]
+    assert env.now == 1.0

@@ -1,0 +1,90 @@
+"""End-to-end tests for the pipelined data path on the Fig. 5 workload.
+
+The knobs (``max_inflight``, ``prefetch``, ``readahead_cache_bytes``)
+must never change *what* a job computes — only when its reads happen.
+"""
+
+import pytest
+
+from repro import costs
+from repro.workloads.solutions import build_world, run_solution
+
+
+@pytest.fixture(autouse=True)
+def _reset_scale():
+    yield
+    costs.reset_scale()
+
+
+def run_scidp(n_timesteps=4, slots_per_node=2, chopped=False, **kwargs):
+    world = build_world(n_timesteps=n_timesteps,
+                        slots_per_node=slots_per_node)
+    if chopped:
+        kwargs["granularity"] = max(
+            1, int(costs.HADOOP_STREAM_READ_BYTES / costs.get_scale()))
+    result = run_solution(world, "scidp", slots_per_node=slots_per_node,
+                          **kwargs)
+    costs.reset_scale()
+    return result
+
+
+def test_prefetch_does_not_change_results():
+    serial = run_scidp(max_inflight=1)
+    prefetched = run_scidp(prefetch=True)
+    assert prefetched.frames == serial.frames
+    assert (prefetched.counters["scidp"]["bytes_delivered"]
+            == serial.counters["scidp"]["bytes_delivered"])
+
+
+def test_prefetch_shortens_map_phase_when_saturated():
+    """splits (32) > slots (16): staging is active and overlaps I/O."""
+    serial = run_scidp(max_inflight=1)
+    prefetched = run_scidp(prefetch=True)
+    assert prefetched.map_phase_time < serial.map_phase_time
+    assert prefetched.total_time <= serial.total_time
+    datapath = prefetched.counters["datapath"]
+    assert datapath["prefetches_launched"] > 0
+    assert datapath["prefetch_fills"] > 0
+    assert datapath["cache_hits"] > 0
+
+
+def test_prefetch_stands_down_when_slots_outnumber_splits():
+    """splits (32) < slots (64): staging would starve idle slots, so
+    the guard keeps the prefetcher quiet and timings match serial."""
+    serial = run_scidp(slots_per_node=8, max_inflight=1)
+    prefetched = run_scidp(slots_per_node=8, max_inflight=1, prefetch=True)
+    datapath = prefetched.counters["datapath"]
+    assert datapath.get("prefetches_launched", 0) == 0
+    assert datapath.get("prefetch_fills", 0) == 0
+    assert prefetched.map_phase_time == pytest.approx(
+        serial.map_phase_time)
+
+
+def test_no_datapath_counters_with_knobs_off():
+    serial = run_scidp(max_inflight=1)
+    assert "datapath" not in serial.counters
+
+
+def test_cache_bytes_knob_bounds_the_cache():
+    """A tiny cache still works — it just evicts instead of hitting."""
+    tiny = run_scidp(prefetch=True, readahead_cache_bytes=1)
+    big = run_scidp(prefetch=True)
+    assert tiny.frames == big.frames
+    assert tiny.counters["datapath"]["cache_hits"] == 0
+    assert big.counters["datapath"]["cache_hits"] > 0
+
+
+def test_windowed_fetch_matches_serial_on_whole_block_reads():
+    """SciDP's default path is one request per block, so the window is
+    structurally inert there: identical simulated time."""
+    serial = run_scidp(max_inflight=1)
+    windowed = run_scidp(max_inflight=4)
+    assert windowed.total_time == pytest.approx(serial.total_time)
+    assert windowed.map_phase_time == pytest.approx(serial.map_phase_time)
+
+
+def test_windowed_fetch_speeds_up_chopped_reads():
+    serial = run_scidp(chopped=True, max_inflight=1)
+    windowed = run_scidp(chopped=True, max_inflight=4)
+    assert windowed.frames == serial.frames
+    assert windowed.map_phase_time < serial.map_phase_time
