@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.reader import PFSReader
+from repro.io.registry import split_url
 from repro.mapreduce.config import MapReduceError
 from repro.mapreduce.input_format import InputSplit, TextInputFormat
 
@@ -48,10 +49,8 @@ class SciDPInputFormat:
         splits: list[InputSplit] = []
         hdfs_paths = []
         for path in job.input_paths:
-            if path.startswith(self.scidp.prefix):
-                pfs_path = path[len(self.scidp.prefix):]
-                if not pfs_path.startswith("/"):
-                    pfs_path = "/" + pfs_path
+            scheme, pfs_path = split_url(path)
+            if scheme and scheme == self.scidp.pfs_scheme:
                 mapped = yield client.env.process(self.scidp.map_input(
                     pfs_path, variables=self.variables))
                 for virtual_path, blocks in mapped:

@@ -23,6 +23,7 @@ from repro.core.explorer import ExploredFile
 from repro.formats.container import VariableIndex
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE, VirtualBlock
 from repro.hdfs.namenode import NameNode
+from repro.io.plan import element_bytes
 
 __all__ = ["DataMapper", "MappedFile", "VirtualMappingTable"]
 
@@ -190,8 +191,8 @@ class DataMapper:
             }
             sub_slabs = _leading_split(start, count, pieces)
             for sub_start, sub_count in sub_slabs:
-                raw_sub = var.dtype.itemsize * math.prod(sub_count) \
-                    if sub_count else var.dtype.itemsize
+                raw_sub = element_bytes(var.dtype, sub_count,
+                                        scalar_when_empty=True)
                 frac = raw_sub / max(1, rec.raw_nbytes)
                 blocks.append(VirtualBlock(
                     source_path=source.path,

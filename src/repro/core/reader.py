@@ -13,19 +13,16 @@ Two behaviours the paper calls out are modelled exactly:
   an I/O time that "includes both the actual data access time and the
   decompression time".
 
-When a block decomposes into several requests (multiple compressed
-chunks, or a granularity-chopped range), the reader issues them as a
-bounded in-flight window (``max_inflight``) instead of strictly
-serially, with the per-request overhead accounted concurrently —
-the pipelined parallel data path. ``max_inflight=1`` restores the
-serial behaviour exactly. An optional per-node
-:class:`~repro.sim.cache.ReadAheadCache` serves repeated or prefetched
-ranges without refetching.
+The request machinery — granularity chopping, the bounded in-flight
+window, and the read-ahead-cache join-in-flight protocol — is the
+shared :class:`repro.io.planner.ReadPlanner` (``scidp`` scheme); this
+class keeps only what is reader-specific: hyperslab reassembly,
+decompression, and the fetched/delivered byte accounting.
+``max_inflight=1`` restores the serial behaviour exactly.
 """
 
 from __future__ import annotations
 
-import math
 import zlib
 from typing import Optional
 
@@ -33,10 +30,11 @@ import numpy as np
 
 from repro import costs
 from repro.hdfs.block import VirtualBlock
+from repro.io.plan import block_raw_bytes
+from repro.io.planner import ReadPlanner
 from repro.obs.trace import tracer_of
 from repro.pfs.client import PFSClient
 from repro.sim.cache import ReadAheadCache
-from repro.sim.pipeline import bounded_fanout
 
 __all__ = ["PFSReader"]
 
@@ -50,20 +48,15 @@ class PFSReader:
                  track: Optional[str] = None,
                  max_inflight: Optional[int] = None,
                  cache: Optional[ReadAheadCache] = None):
-        if granularity is not None and granularity < 1:
-            raise ValueError("granularity must be >= 1")
         if max_inflight is None:
             max_inflight = costs.PFS_MAX_INFLIGHT
-        if max_inflight < 0:
-            raise ValueError("max_inflight must be >= 0 (0 = unbounded)")
         self.client = client
         self.env = client.env
-        self.granularity = granularity
-        self.request_overhead = request_overhead
-        #: in-flight request window; 1 = serial, 0 = unbounded
-        self.max_inflight = max_inflight
-        #: optional node-level read-ahead cache of stored byte ranges
-        self.cache = cache
+        #: the shared planner: chopping, window, cache join-in-flight
+        self.planner = ReadPlanner(
+            client.env, scheme="scidp", granularity=granularity,
+            request_overhead=request_overhead, max_inflight=max_inflight,
+            cache=cache)
         #: trace swimlane for this reader's spans (the owning task's)
         self.track = track or f"{client.node.name}.pfs"
         #: stored (possibly compressed) bytes fetched
@@ -71,65 +64,26 @@ class PFSReader:
         #: raw bytes delivered after decompression
         self.bytes_delivered = 0
 
-    # -- low-level fetch ---------------------------------------------------
-    def _chop(self, offset: int, length: int) -> list[tuple[int, int]]:
-        """(pos, nbytes) request pieces for one byte range."""
-        if self.granularity is None:
-            return [(offset, length)]
-        pieces = []
-        pos = offset
-        end = offset + length
-        while pos < end:
-            piece = min(self.granularity, end - pos)
-            pieces.append((pos, piece))
-            pos += piece
-        return pieces
+    # -- planner passthroughs (legacy surface) -----------------------------
+    @property
+    def granularity(self) -> Optional[int]:
+        return self.planner.granularity
 
-    def _fetch_piece(self, path: str, pos: int, length: int,
-                     prefetching: bool = False):
-        """Fetch one request-sized piece, through the cache when present.
-        DES (sub)process — drive with ``yield from`` or ``env.process``."""
-        cache = self.cache
-        if cache is not None:
-            key = (path, pos, length)
-            data = cache.get(key)
-            if data is not None:
-                return data
-            waiter = cache.join(key)
-            if waiter is not None:
-                data = yield waiter
-                return data
-            reservation = cache.reserve(key)
-            try:
-                yield self.env.timeout(self.request_overhead)
-                data = yield self.env.process(
-                    self.client.read(path, pos, length))
-            except BaseException as exc:
-                reservation.abort(exc)
-                raise
-            reservation.fill(data, prefetched=prefetching)
-            return data
-        yield self.env.timeout(self.request_overhead)
-        data = yield self.env.process(self.client.read(path, pos, length))
-        return data
+    @property
+    def request_overhead(self) -> float:
+        return self.planner.request_overhead
 
-    def _fetch_range(self, path: str, offset: int, length: int):
-        """Fetch one byte range, whole or chopped. DES process."""
-        pieces = self._chop(offset, length)
-        if len(pieces) == 1:
-            data = yield from self._fetch_piece(path, *pieces[0])
-            return data
-        if self.max_inflight == 1:
-            parts = []
-            for pos, n in pieces:
-                parts.append((yield from self._fetch_piece(path, pos, n)))
-        else:
-            parts = yield from bounded_fanout(
-                self.env,
-                [lambda pos=pos, n=n: self._fetch_piece(path, pos, n)
-                 for pos, n in pieces],
-                self.max_inflight)
-        return b"".join(parts)
+    @property
+    def max_inflight(self) -> int:
+        return self.planner.max_inflight
+
+    @property
+    def cache(self) -> Optional[ReadAheadCache]:
+        return self.planner.cache
+
+    def _fetch(self, path: str):
+        """The piece-fetch thunk handed to the planner."""
+        return lambda pos, n: self.client.read(path, pos, n)
 
     # -- public API ----------------------------------------------------------
     def read_block(self, block: VirtualBlock):
@@ -158,23 +112,15 @@ class PFSReader:
             else:
                 ranges = [(chunk["offset"], chunk["nbytes"])
                           for chunk in block.hyperslab["chunks"]]
-            pieces = [piece for off, length in ranges
-                      for piece in self._chop(off, length)]
-            if self.max_inflight == 1 or len(pieces) == 1:
-                for pos, n in pieces:
-                    yield from self._fetch_piece(
-                        block.source_path, pos, n, prefetching=True)
-            else:
-                yield from bounded_fanout(
-                    self.env,
-                    [lambda pos=pos, n=n: self._fetch_piece(
-                        block.source_path, pos, n, prefetching=True)
-                     for pos, n in pieces],
-                    self.max_inflight)
+            pieces = self.planner.plan(ranges).pieces
+            yield from self.planner.fetch_pieces(
+                block.source_path, pieces, self._fetch(block.source_path),
+                prefetching=True)
 
     def _read_flat(self, block: VirtualBlock):
-        data = yield self.env.process(self._fetch_range(
-            block.source_path, block.offset, block.length))
+        data = yield self.env.process(self.planner.fetch_range(
+            block.source_path, block.offset, block.length,
+            self._fetch(block.source_path)))
         self.bytes_fetched += len(data)
         self.bytes_delivered += len(data)
         return data
@@ -186,6 +132,7 @@ class PFSReader:
         count = tuple(slab["count"])
         out = np.empty(count, dtype=dtype)
         chunks = slab["chunks"]
+        fetch = self._fetch(block.source_path)
 
         if self.max_inflight == 1 or len(chunks) == 1:
             # Serial (or single-request) path: fetch chunk by chunk, the
@@ -193,22 +140,21 @@ class PFSReader:
             stored_chunks = []
             for chunk in chunks:
                 stored_chunks.append((yield self.env.process(
-                    self._fetch_range(block.source_path, chunk["offset"],
-                                      chunk["nbytes"]))))
+                    self.planner.fetch_range(
+                        block.source_path, chunk["offset"],
+                        chunk["nbytes"], fetch))))
         else:
             # Pipelined path: every chunk's request pieces share one
             # bounded in-flight window across the whole block.
             spans = []
             pieces: list[tuple[int, int]] = []
             for chunk in chunks:
-                chopped = self._chop(chunk["offset"], chunk["nbytes"])
+                chopped = self.planner.plan(
+                    [(chunk["offset"], chunk["nbytes"])]).pieces
                 spans.append((len(pieces), len(pieces) + len(chopped)))
                 pieces.extend(chopped)
-            parts = yield from bounded_fanout(
-                self.env,
-                [lambda pos=pos, n=n: self._fetch_piece(
-                    block.source_path, pos, n) for pos, n in pieces],
-                self.max_inflight)
+            parts = yield from self.planner.fetch_pieces(
+                block.source_path, pieces, fetch)
             stored_chunks = [
                 parts[lo] if hi - lo == 1 else b"".join(parts[lo:hi])
                 for lo, hi in spans
@@ -246,12 +192,8 @@ class PFSReader:
     def block_raw_bytes(block: VirtualBlock) -> int:
         """Uncompressed payload size of a dummy block.
 
-        A zero-dimensional hyperslab (empty ``count``) selects nothing
-        and reports 0 bytes.
+        Delegates to the shared byte-counting helper
+        :func:`repro.io.plan.block_raw_bytes`, so reader-side and
+        planner-side byte accounting can never drift.
         """
-        if block.hyperslab is None:
-            return block.length
-        slab = block.hyperslab
-        if not slab["count"]:
-            return 0
-        return np.dtype(slab["dtype"]).itemsize * math.prod(slab["count"])
+        return block_raw_bytes(block)

@@ -8,6 +8,7 @@ from repro.core.explorer import FileExplorer
 from repro.core.mapper import DataMapper
 from repro.core.input_format import SciDPInputFormat
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.io.registry import StorageRegistry, split_url
 from repro.pfs.client import PFSClient
 
 __all__ = ["SciDP"]
@@ -33,6 +34,16 @@ class SciDP:
         self.hdfs = hdfs
         self.network = network
         self.prefix = prefix
+        #: scheme the job-submission prefix names (``pfs://`` → ``pfs``;
+        #: site-specific prefixes like ``gpfs://`` alias the same PFS)
+        self.pfs_scheme = split_url(prefix)[0] or "pfs"
+        #: the unified storage registry: scheme-less paths are HDFS (the
+        #: "SciDP will behave as the original Hadoop" fallback)
+        self.storage = StorageRegistry(default_scheme="hdfs")
+        self.storage.register("hdfs", hdfs)
+        self.storage.register("pfs", pfs)
+        if self.pfs_scheme != "pfs":
+            self.storage.register(self.pfs_scheme, pfs)
         self.mapper = DataMapper(
             hdfs.namenode, mirror_root=mirror_root,
             flat_block_size=flat_block_size, block_bytes=block_bytes)

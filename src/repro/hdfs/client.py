@@ -1,4 +1,10 @@
-"""DFSClient: write pipeline and locality-aware reads."""
+"""DFSClient: write pipeline and locality-aware reads.
+
+Implements the :class:`repro.io.protocol.StorageClient` protocol; block
+fan-out is delegated to the shared :class:`repro.io.planner.ReadPlanner`
+(``hdfs`` scheme), which also rolls this client's reads into the
+per-scheme datapath metrics.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +13,8 @@ from typing import Optional
 from repro.cluster.node import Node
 from repro.hdfs.block import BlockInfo
 from repro.hdfs.namenode import HDFSError
+from repro.io.planner import ReadPlanner
 from repro.obs.trace import tracer_of
-from repro.sim.pipeline import bounded_fanout
 
 __all__ = ["DFSClient"]
 
@@ -26,6 +32,8 @@ class DFSClient:
         self.hdfs = hdfs
         self.node = node
         self.env = hdfs.env
+        #: the shared read planner (block fan-out + per-scheme metrics)
+        self.planner = ReadPlanner(self.env, scheme="hdfs")
         #: trace swimlane for this client's spans
         self.track = f"{node.name}.hdfs"
         #: payload bytes read/written by this client
@@ -90,8 +98,14 @@ class DFSClient:
         return live[0]
 
     def read_block(self, block: BlockInfo, offset: int = 0,
-                   length: int = -1):
-        """Read one block, preferring a local replica. DES process."""
+                   length: int = -1, max_inflight: Optional[int] = None):
+        """Read one block, preferring a local replica. DES process.
+
+        ``max_inflight`` is accepted for the unified ``read_block``
+        surface; a single HDFS block is one datanode stream, so it has
+        nothing to fan out.
+        """
+        del max_inflight  # one replica stream; kwarg kept for uniformity
         replica = self._pick_replica(block)
         datanode = self.hdfs.datanode(replica)
         local = datanode.node is self.node
@@ -105,11 +119,32 @@ class DFSClient:
                 yield self.hdfs.network.transfer(
                     datanode.node, self.node, len(data))
             self.bytes_read += len(data)
+            self.planner.account(len(data))
             span.set(bytes=len(data))
         return data
 
-    def read(self, path: str, max_inflight: int = 1):
-        """Read a whole file, block by block. DES process.
+    @staticmethod
+    def _block_pieces(blocks: list[BlockInfo], offset: int,
+                      length: int) -> list[tuple[BlockInfo, int, int]]:
+        """``(block, in-block offset, nbytes)`` pieces covering a logical
+        file range, in file order."""
+        pieces: list[tuple[BlockInfo, int, int]] = []
+        pos = 0
+        end = offset + length
+        for block in blocks:
+            lo = max(offset, pos)
+            hi = min(end, pos + block.length)
+            if lo < hi:
+                pieces.append((block, lo - pos, hi - lo))
+            pos += block.length
+        if pos < end:
+            raise HDFSError(
+                f"read past EOF: {offset}+{length} > {pos}")
+        return pieces
+
+    def read(self, path: str, offset: int = 0, length: Optional[int] = None,
+             max_inflight: int = 1):
+        """Read a byte range (default: the whole file). DES process.
 
         ``max_inflight > 1`` keeps that many block reads in flight at a
         time (0 = all blocks at once); the default streams serially, the
@@ -118,19 +153,44 @@ class DFSClient:
         namenode = self.hdfs.namenode
         yield from namenode.rpc()
         blocks = namenode.get_block_locations(path)
-        if max_inflight != 1 and len(blocks) > 1:
-            parts = yield from bounded_fanout(
-                self.env,
-                [lambda b=b: self.read_block(b) for b in blocks],
-                max_inflight)
+        if offset == 0 and length is None:
+            factories = [lambda b=b: self.read_block(b) for b in blocks]
         else:
-            parts = []
-            for block in blocks:
-                parts.append(
-                    (yield self.env.process(self.read_block(block))))
+            if length is None:
+                length = sum(b.length for b in blocks) - offset
+            factories = [
+                lambda b=b, o=o, n=n: self.read_block(b, o, n)
+                for b, o, n in self._block_pieces(blocks, offset, length)]
+        parts = yield from self.planner.fan_out_blocks(
+            factories, max_inflight)
+        return b"".join(parts)
+
+    def read_extents(self, path: str, extents,
+                     max_inflight: Optional[int] = None):
+        """Fetch arbitrary ``(offset, length)`` ranges of a file. DES
+        process; returns the requested bytes ordered by file offset.
+
+        ``max_inflight`` bounds how many block pieces are in flight at
+        once (default: serial, the stock streaming discipline).
+        """
+        namenode = self.hdfs.namenode
+        yield from namenode.rpc()
+        blocks = namenode.get_block_locations(path)
+        pieces = [piece
+                  for offset, length in sorted(extents)
+                  for piece in self._block_pieces(blocks, offset, length)]
+        parts = yield from self.planner.fan_out_blocks(
+            [lambda b=b, o=o, n=n: self.read_block(b, o, n)
+             for b, o, n in pieces],
+            max_inflight)
         return b"".join(parts)
 
     # -- metadata -------------------------------------------------------------
+    def stat(self, path: str):
+        """Lookup a file entry (one RPC). DES process."""
+        yield from self.hdfs.namenode.rpc()
+        return self.hdfs.namenode.lookup(path)
+
     def get_block_locations(self, path: str):
         """Block list with locations (one RPC). DES process."""
         yield from self.hdfs.namenode.rpc()

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.cluster.node import Node
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE, BlockInfo
 from repro.hdfs.namenode import HDFSError
+from repro.io.planner import ReadPlanner
 from repro.pfs.client import PFSClient
 from repro.pfs.filesystem import PFS
 from repro.pfs.server import PFSError
@@ -96,13 +97,26 @@ class PFSConnector:
 
 
 class ConnectorClient:
-    """DFSClient-shaped access that actually talks to the PFS."""
+    """DFSClient-shaped access that actually talks to the PFS.
+
+    The RPC-granular, lock-per-request access pattern is expressed as a
+    :class:`repro.io.planner.ReadPlanner` configuration: granularity =
+    the Lustre RPC size, per-request overhead = the distributed-lock
+    round trip, serial window — the connector's mismatch with BD access
+    patterns is literally just a bad planner config.
+    """
 
     def __init__(self, connector: PFSConnector, node: Node):
         self.connector = connector
         self.node = node
         self.env = connector.env
         self._pfs_client = PFSClient(connector.pfs, node)
+        #: the shared read planner (RPC chopping + lock latency)
+        self.planner = ReadPlanner(
+            self.env, scheme="connector",
+            granularity=connector.rpc_size,
+            request_overhead=connector.lock_latency,
+            max_inflight=1)
         self.bytes_read = 0.0
         self.bytes_written = 0.0
 
@@ -111,23 +125,26 @@ class ConnectorClient:
         yield from self.connector.pfs.mds.rpc()
         return self.connector.get_blocks(path)
 
-    def _read_range(self, path: str, offset: int, length: int):
+    def stat(self, path: str):
+        """Lookup the backing PFS inode (one metadata RPC). DES process."""
+        yield from self.connector.pfs.mds.rpc()
+        try:
+            return self.connector.pfs.mds.lookup(path)
+        except PFSError as exc:
+            raise HDFSError(str(exc)) from exc
+
+    def _read_range(self, path: str, offset: int, length: int,
+                    max_inflight: Optional[int] = None):
         """RPC-granular read with a lock round trip per request."""
-        parts = []
-        pos = offset
-        end = offset + length
-        while pos < end:
-            chunk = min(self.connector.rpc_size, end - pos)
-            yield self.env.timeout(self.connector.lock_latency)
-            parts.append((yield self.env.process(
-                self._pfs_client.read(path, pos, chunk))))
-            pos += chunk
-        data = b"".join(parts)
+        data = yield from self.planner.fetch_range(
+            path, offset, length,
+            lambda pos, n: self._pfs_client.read(path, pos, n),
+            max_inflight)
         self.bytes_read += len(data)
         return data
 
     def read_block(self, block: BlockInfo, offset: int = 0,
-                   length: int = -1):
+                   length: int = -1, max_inflight: Optional[int] = None):
         """Read one synthesized block. DES process."""
         path, base = self.connector.resolve_block(block.block_id)
         if length < 0:
@@ -135,19 +152,33 @@ class ConnectorClient:
         if offset + length > block.length:
             raise HDFSError("read past end of block")
         data = yield self.env.process(
-            self._read_range(path, base + offset, length))
+            self._read_range(path, base + offset, length, max_inflight))
         return data
 
-    def read(self, path: str):
-        """Read a whole file through the connector. DES process."""
+    def read(self, path: str, offset: int = 0,
+             length: Optional[int] = None,
+             max_inflight: Optional[int] = None):
+        """Read a byte range (default: the whole file). DES process."""
         yield from self.connector.pfs.mds.rpc()
         try:
             inode = self.connector.pfs.mds.lookup(path)
         except PFSError as exc:
             raise HDFSError(str(exc)) from exc
+        if length is None:
+            length = inode.size - offset
         data = yield self.env.process(
-            self._read_range(path, 0, inode.size))
+            self._read_range(path, offset, length, max_inflight))
         return data
+
+    def read_extents(self, path: str, extents,
+                     max_inflight: Optional[int] = None):
+        """Fetch ``(offset, length)`` ranges, each RPC-chopped. DES
+        process; returns the requested bytes ordered by file offset."""
+        parts = []
+        for offset, length in sorted(extents):
+            parts.append((yield self.env.process(
+                self._read_range(path, offset, length, max_inflight))))
+        return b"".join(parts)
 
     def write(self, path: str, data: bytes, **_kwargs):
         """Write a file through the connector (RPC-granular). DES process."""

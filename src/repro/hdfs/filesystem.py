@@ -51,6 +51,13 @@ class HDFS:
     def client(self, node: Node) -> DFSClient:
         return DFSClient(self, node)
 
+    # -- sync metadata (StorageFacade surface, shared with the connector)
+    def listdir(self, path: str) -> list[str]:
+        return self.namenode.listdir(path)
+
+    def get_blocks(self, path: str):
+        return self.namenode.get_block_locations(path)
+
     # -- setup helpers -------------------------------------------------------
     def store_file_sync(self, path: str, data: bytes,
                         block_size: Optional[int] = None,

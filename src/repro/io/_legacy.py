@@ -1,0 +1,169 @@
+"""Frozen pre-planner read paths, kept only for equivalence tests.
+
+The mirror of :mod:`repro.sim._legacy`: when the data plane collapsed
+into :mod:`repro.io.planner`, the duplicated chopping/coalescing/fan-out
+copies that used to live in ``PFSReader``, ``PFSClient.read_extents``,
+and ``ConnectorClient._read_range`` were deleted from the production
+modules and their exact shapes preserved here, so
+``tests/io/test_planner_equivalence.py`` can hold the planner to the
+legacy event sequences (identical simulated timings *and* byte streams)
+on randomized workloads.
+
+Do not use these from production code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.io.plan import Extent
+from repro.sim.engine import AllOf
+from repro.sim.pipeline import bounded_fanout
+
+__all__ = [
+    "LegacyRangeReader",
+    "legacy_chop",
+    "legacy_coalesce_extents",
+    "legacy_read_extents",
+]
+
+
+def legacy_chop(offset: int, length: int,
+                granularity: Optional[int]) -> list[tuple[int, int]]:
+    """``PFSReader._chop`` as of PR 2."""
+    if granularity is None:
+        return [(offset, length)]
+    pieces = []
+    pos = offset
+    end = offset + length
+    while pos < end:
+        piece = min(granularity, end - pos)
+        pieces.append((pos, piece))
+        pos += piece
+    return pieces
+
+
+def legacy_coalesce_extents(extents: list[Extent]) -> dict[int, list[Extent]]:
+    """``repro.pfs.client.coalesce_extents`` as of PR 2."""
+    per_ost: dict[int, list[Extent]] = {}
+    for ext in sorted(extents, key=lambda e: (e.ost_index, e.object_offset)):
+        runs = per_ost.setdefault(ext.ost_index, [])
+        if runs:
+            last = runs[-1]
+            if last.object_offset + last.length == ext.object_offset:
+                runs[-1] = Extent(
+                    ost_index=last.ost_index,
+                    object_offset=last.object_offset,
+                    file_offset=last.file_offset,
+                    length=last.length + ext.length)
+                continue
+        runs.append(ext)
+    return per_ost
+
+
+def legacy_read_extents(client, inode, extents: list[Extent],
+                        max_inflight: Optional[int] = None):
+    """``PFSClient.read_extents`` as of PR 2. DES process.
+
+    ``client`` is a live :class:`~repro.pfs.client.PFSClient`; only its
+    ``_fetch_run`` transfer primitive is reused, the planning and
+    reassembly above it are the frozen legacy copies.
+    """
+    env = client.env
+    window = client.max_inflight if max_inflight is None else max_inflight
+    per_ost = legacy_coalesce_extents(extents)
+    results: dict = {}
+    all_runs = [run for runs in per_ost.values() for run in runs]
+    if 0 < window < len(all_runs):
+        yield from bounded_fanout(
+            env,
+            [lambda run=run: client._fetch_run(inode, run, results)
+             for run in all_runs],
+            window)
+    else:
+        fetchers = [
+            env.process(client._fetch_run(inode, run, results))
+            for run in all_runs
+        ]
+        if fetchers:
+            yield AllOf(env, fetchers)
+    run_data: dict[int, list[tuple[Extent, bytes]]] = {}
+    for run, data in results.values():
+        run_data.setdefault(run.ost_index, []).append((run, data))
+    pieces: list[tuple[int, bytes]] = []
+    for ext in extents:
+        for run, data in run_data[ext.ost_index]:
+            if (run.object_offset <= ext.object_offset
+                    and ext.object_offset + ext.length
+                    <= run.object_offset + run.length):
+                lo = ext.object_offset - run.object_offset
+                pieces.append((ext.file_offset, data[lo:lo + ext.length]))
+                break
+        else:  # pragma: no cover - coalesce invariant violated
+            raise RuntimeError("extent not covered by any coalesced run")
+    ordered = b"".join(data for _off, data in sorted(pieces))
+    return ordered
+
+
+class LegacyRangeReader:
+    """``PFSReader``'s chop/fetch machinery as of PR 2 (flat ranges).
+
+    Drives ``client.read`` with the legacy ``_chop`` + ``_fetch_piece``
+    + ``_fetch_range`` event sequences, including the read-ahead-cache
+    join-in-flight protocol, for side-by-side comparison with
+    :class:`~repro.io.planner.ReadPlanner.fetch_range`.
+    """
+
+    def __init__(self, client, granularity: Optional[int] = None,
+                 request_overhead: float = 0.0,
+                 max_inflight: int = 1, cache=None):
+        self.client = client
+        self.env = client.env
+        self.granularity = granularity
+        self.request_overhead = request_overhead
+        self.max_inflight = max_inflight
+        self.cache = cache
+
+    def _fetch_piece(self, path: str, pos: int, length: int,
+                     prefetching: bool = False):
+        cache = self.cache
+        if cache is not None:
+            key = (path, pos, length)
+            data = cache.get(key)
+            if data is not None:
+                return data
+            waiter = cache.join(key)
+            if waiter is not None:
+                data = yield waiter
+                return data
+            reservation = cache.reserve(key)
+            try:
+                yield self.env.timeout(self.request_overhead)
+                data = yield self.env.process(
+                    self.client.read(path, pos, length))
+            except BaseException as exc:
+                reservation.abort(exc)
+                raise
+            reservation.fill(data, prefetched=prefetching)
+            return data
+        yield self.env.timeout(self.request_overhead)
+        data = yield self.env.process(self.client.read(path, pos, length))
+        return data
+
+    def fetch_range(self, path: str, offset: int, length: int):
+        """Legacy ``PFSReader._fetch_range``. DES process."""
+        pieces = legacy_chop(offset, length, self.granularity)
+        if len(pieces) == 1:
+            data = yield from self._fetch_piece(path, *pieces[0])
+            return data
+        if self.max_inflight == 1:
+            parts = []
+            for pos, n in pieces:
+                parts.append((yield from self._fetch_piece(path, pos, n)))
+        else:
+            parts = yield from bounded_fanout(
+                self.env,
+                [lambda pos=pos, n=n: self._fetch_piece(path, pos, n)
+                 for pos, n in pieces],
+                self.max_inflight)
+        return b"".join(parts)

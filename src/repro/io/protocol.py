@@ -1,0 +1,86 @@
+"""The `StorageClient` protocol: one client surface for every backend.
+
+SciDP's premise (PAPER.md §III) is one framework reading both HDFS
+blocks and PFS-resident scientific data through a single virtual-block
+abstraction. This module is that abstraction's client contract: the
+DFS client, the PFS client, and the connector client all implement it,
+so any layer — the MapReduce runtime, the spark-like context, the R
+wrappers — can hold "a storage client" without knowing which backend is
+behind it, and a new backend (memory tier, object store, burst buffer)
+is one adapter file.
+
+All data/metadata operations are DES processes: drive them with
+``data = yield env.process(client.read(path))``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "READ_BLOCK_KWARGS",
+    "StorageClient",
+    "StorageFacade",
+]
+
+#: The unified keyword surface of ``read_block`` across backends; the
+#: protocol-conformance tests hold every registered client to it.
+READ_BLOCK_KWARGS = ("offset", "length", "max_inflight")
+
+
+@runtime_checkable
+class StorageClient(Protocol):
+    """Node-bound timed access to one storage backend.
+
+    Implementations: :class:`repro.hdfs.client.DFSClient`,
+    :class:`repro.pfs.client.PFSClient`,
+    :class:`repro.hdfs.connector.ConnectorClient`.
+
+    Conventions:
+
+    - every method is a DES process (generator);
+    - ``stat`` returns a backend handle exposing at least ``.size``;
+    - ``read_extents`` takes logical ``(offset, length)`` ranges and
+      returns the requested bytes in file order;
+    - ``read_block`` accepts the unified ``(block, offset, length,
+      max_inflight)`` signature (:data:`READ_BLOCK_KWARGS`);
+    - ``max_inflight`` follows the datapath convention: ``None`` =
+      the client's default window, ``1`` = serial, ``0`` = unbounded.
+    """
+
+    env: object
+    node: object
+    bytes_read: float
+
+    def stat(self, path: str): ...
+
+    def listdir(self, path: str): ...
+
+    def exists(self, path: str): ...
+
+    def delete(self, path: str): ...
+
+    def read(self, path: str, offset: int = 0,
+             length: Optional[int] = None): ...
+
+    def read_extents(self, path, extents,
+                     max_inflight: Optional[int] = None): ...
+
+    def write(self, path: str, data: bytes): ...
+
+
+@runtime_checkable
+class StorageFacade(Protocol):
+    """A mounted backend: mints node-bound clients and offers the
+    zero-time setup/verification surface the experiment harnesses use.
+
+    Implementations: :class:`repro.hdfs.filesystem.HDFS`,
+    :class:`repro.pfs.filesystem.PFS`,
+    :class:`repro.hdfs.connector.PFSConnector`.
+    """
+
+    def client(self, node) -> StorageClient: ...
+
+    def store_file_sync(self, path: str, data: bytes, **kwargs) -> None: ...
+
+    def read_file_sync(self, path: str) -> bytes: ...

@@ -1,0 +1,133 @@
+"""Scheme-based storage registry: open any backend by path.
+
+A :class:`StorageRegistry` maps URL schemes (``hdfs://``, ``pfs://``,
+``scidp://``) to mounted backend facades, so any layer can resolve a
+path to a node-bound :class:`~repro.io.protocol.StorageClient` without
+importing concrete client classes — the integration point the paper's
+``FileInputFormat.addInputPath`` prefix interception (§IV-E.1) implies.
+
+``scidp://<block_id>`` URLs name synthesized virtual blocks; they
+resolve through the registered backend's ``resolve_block`` (the
+:class:`~repro.hdfs.connector.PFSConnector` registry) back to a
+``(source path, offset)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "SchemeAlreadyRegisteredError",
+    "StorageRegistry",
+    "UnknownSchemeError",
+    "join_url",
+    "split_url",
+]
+
+
+class UnknownSchemeError(KeyError):
+    """No backend is registered for the URL's scheme."""
+
+
+class SchemeAlreadyRegisteredError(ValueError):
+    """A backend is already registered for this scheme."""
+
+
+def split_url(url: str) -> tuple[str, str]:
+    """``"pfs://data/a.nc"`` → ``("pfs", "/data/a.nc")``.
+
+    Scheme-less paths come back as ``("", path)`` untouched. The path
+    part always gains a leading slash, matching every backend's
+    normalized namespace.
+    """
+    if "://" not in url:
+        return "", url
+    scheme, _sep, rest = url.partition("://")
+    if not rest.startswith("/"):
+        rest = "/" + rest
+    return scheme, rest
+
+
+def join_url(scheme: str, path: str) -> str:
+    """Inverse of :func:`split_url` (``("pfs", "/a")`` → ``"pfs:///a"``
+    normalized to ``"pfs://a"`` conventions: one scheme, one path)."""
+    if not scheme:
+        return path
+    return f"{scheme}://{path.lstrip('/')}"
+
+
+class StorageRegistry:
+    """Scheme → backend facade map with clear failure modes.
+
+    Backends are anything implementing the
+    :class:`~repro.io.protocol.StorageFacade` shape (``client(node)``
+    plus the sync setup surface). Double registration is rejected —
+    replacing a mounted backend silently is how layering erodes.
+    """
+
+    def __init__(self, default_scheme: str = ""):
+        self._backends: dict[str, object] = {}
+        #: scheme assumed for scheme-less paths ("" = refuse them)
+        self.default_scheme = default_scheme
+
+    # -- registration ------------------------------------------------------
+    def register(self, scheme: str, backend) -> None:
+        if not scheme:
+            raise ValueError("scheme must be non-empty")
+        if scheme in self._backends:
+            raise SchemeAlreadyRegisteredError(
+                f"scheme {scheme!r} already registered "
+                f"(to {type(self._backends[scheme]).__name__})")
+        self._backends[scheme] = backend
+
+    @property
+    def schemes(self) -> list[str]:
+        return sorted(self._backends)
+
+    def backend(self, scheme: str):
+        try:
+            return self._backends[scheme]
+        except KeyError:
+            raise UnknownSchemeError(
+                f"no backend registered for scheme {scheme!r}; "
+                f"known schemes: {self.schemes or '(none)'}") from None
+
+    # -- resolution --------------------------------------------------------
+    def resolve(self, url: str) -> tuple[object, str]:
+        """``url`` → ``(backend facade, backend-local path)``."""
+        scheme, path = split_url(url)
+        if not scheme:
+            if not self.default_scheme:
+                raise UnknownSchemeError(
+                    f"path {url!r} carries no scheme and the registry "
+                    f"has no default; known schemes: "
+                    f"{self.schemes or '(none)'}")
+            scheme = self.default_scheme
+        return self.backend(scheme), path
+
+    def open(self, url: str, node) -> tuple[object, str]:
+        """``url`` + compute node → ``(StorageClient, local path)``."""
+        backend, path = self.resolve(url)
+        return backend.client(node), path
+
+    def resolve_virtual(self, url: str) -> tuple[str, int]:
+        """``scidp://<block_id>`` → the backing ``(path, offset)``.
+
+        Round-trips the registered backend's ``resolve_block`` — the
+        synthesized-block registry a :class:`PFSConnector` keeps.
+        """
+        scheme, rest = split_url(url)
+        backend = self.backend(scheme)
+        resolver = getattr(backend, "resolve_block", None)
+        if resolver is None:
+            raise UnknownSchemeError(
+                f"backend for scheme {scheme!r} cannot resolve virtual "
+                f"blocks (no resolve_block)")
+        block_id = rest.lstrip("/")
+        try:
+            block_id = int(block_id)
+        except ValueError:
+            raise UnknownSchemeError(
+                f"virtual block URL {url!r} does not name a block id"
+            ) from None
+        return resolver(block_id)

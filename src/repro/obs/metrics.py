@@ -240,6 +240,31 @@ class MetricsRegistry:
             })
         return rows
 
+    def scheme_read_rows(self) -> list[dict]:
+        """Per-backend datapath read summary, one row per URL scheme.
+
+        Aggregates the ``io.read.<scheme>.{bytes,requests,cache_hits}``
+        counters every :class:`repro.io.planner.ReadPlanner` maintains.
+        Layered paths count at each layer they cross (a connector read
+        also shows up as ``pfs`` OST traffic) — the rows answer "what did
+        each entry point move", not "what did the disks move once".
+        """
+        per_scheme: dict[str, dict[str, float]] = {}
+        for name, counter in self._counters.items():
+            parts = name.split(".")
+            if len(parts) != 4 or parts[0] != "io" or parts[1] != "read":
+                continue
+            per_scheme.setdefault(parts[2], {})[parts[3]] = counter.value
+        return [
+            {
+                "scheme": scheme,
+                "bytes": per_scheme[scheme].get("bytes", 0.0),
+                "requests": per_scheme[scheme].get("requests", 0.0),
+                "cache_hits": per_scheme[scheme].get("cache_hits", 0.0),
+            }
+            for scheme in sorted(per_scheme)
+        ]
+
     def as_dict(self) -> dict:
         """Snapshot of every named metric plus the device table."""
         return {
@@ -255,6 +280,7 @@ class MetricsRegistry:
                            if len(h)},
             "devices": self.device_rows(),
             "caches": self.cache_rows(),
+            "reads": self.scheme_read_rows(),
         }
 
 

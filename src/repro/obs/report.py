@@ -135,9 +135,31 @@ def _device_table(devices: list[dict]) -> str:
              "joined an in-flight prefetch")
 
 
+def _scheme_read_table(reads: list[dict]) -> str:
+    from repro.bench.reporting import format_table
+
+    columns = ["run", "scheme", "MB read", "requests", "cache hits"]
+    rows = [
+        [
+            row.get("run", "-"),
+            row.get("scheme", "?"),
+            row.get("bytes_moved", 0.0) / 1e6,
+            row.get("read_requests", 0.0),
+            row.get("read_cache_hits", 0.0),
+        ]
+        for row in reads
+    ]
+    return format_table(
+        "reads by scheme", columns, rows,
+        note="one row per storage backend entry point; layered paths "
+             "count at each layer they cross (a connector read also "
+             "moves pfs bytes)")
+
+
 def render_report(path: str, width: int = 72,
                   run_filter: Optional[str] = None) -> str:
-    """The full report: per-run timelines plus the device table."""
+    """The full report: per-run timelines, the device table, and the
+    per-scheme read table."""
     doc = load_trace(path)
     runs = _runs(doc["traceEvents"])
     sections = []
@@ -147,12 +169,15 @@ def render_report(path: str, width: int = 72,
             continue
         header = f"== run: {run['name']} ({len(run['spans'])} spans) =="
         sections.append(f"{header}\n{render_timeline(run, width=width)}")
-    devices = doc["deviceMetrics"]
+    rows = doc["deviceMetrics"]
     if run_filter is not None:
-        devices = [d for d in devices
-                   if run_filter in str(d.get("run", ""))]
+        rows = [d for d in rows if run_filter in str(d.get("run", ""))]
+    devices = [d for d in rows if "scheme" not in d]
+    reads = [d for d in rows if "scheme" in d]
     if devices:
         sections.append(_device_table(devices))
+    if reads:
+        sections.append(_scheme_read_table(reads))
     if not sections:
         return f"no matching runs or devices in {path}"
     return "\n\n".join(sections)

@@ -372,6 +372,18 @@ class TraceSession:
                 devices.append({"run": label, **row})
             for row in registry.cache_rows():
                 devices.append({"run": label, **row})
+            # Per-scheme read rows ride along in the device-row shape so
+            # every exporter/loader carries them without a schema change.
+            for row in registry.scheme_read_rows():
+                devices.append({
+                    "run": label,
+                    "device": f"io.read.{row['scheme']}",
+                    "scheme": row["scheme"],
+                    "utilization": 0.0,
+                    "bytes_moved": row["bytes"],
+                    "read_requests": row["requests"],
+                    "read_cache_hits": row["cache_hits"],
+                })
         return events, devices
 
     def save(self) -> Optional[str]:

@@ -1,4 +1,10 @@
-"""Compute-node PFS client with timed, striped reads and writes."""
+"""Compute-node PFS client with timed, striped reads and writes.
+
+Implements the :class:`repro.io.protocol.StorageClient` protocol; all
+planning (per-OST run coalescing, bounded fan-out) is delegated to the
+shared :class:`repro.io.planner.ReadPlanner`. ``coalesce_extents`` is
+kept as a delegating shim for the legacy import path.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +12,14 @@ from typing import Optional
 
 from repro import costs
 from repro.cluster.node import Node
+from repro.io.plan import Extent
+from repro.io.planner import ReadPlanner
+from repro.io.planner import coalesce_extents as _coalesce_extents
 from repro.obs.trace import tracer_of
 from repro.pfs.filesystem import PFS
-from repro.pfs.layout import Extent, StripeLayout
+from repro.pfs.layout import StripeLayout
 from repro.pfs.server import Inode, PFSError
 from repro.sim import AllOf
-from repro.sim.pipeline import bounded_fanout
 
 __all__ = ["PFSClient", "coalesce_extents"]
 
@@ -19,24 +27,10 @@ __all__ = ["PFSClient", "coalesce_extents"]
 def coalesce_extents(extents: list[Extent]) -> dict[int, list[Extent]]:
     """Group extents by OST and merge object-adjacent runs into one RPC.
 
-    Real clients build one bulk RPC per OST per contiguous object range;
-    this is what makes large aligned reads cheap (one seek) and scattered
-    small reads expensive (a seek each) — the asymmetry behind Fig. 6.
+    Delegating shim: the implementation lives in
+    :func:`repro.io.planner.coalesce_extents` (the unified data plane).
     """
-    per_ost: dict[int, list[Extent]] = {}
-    for ext in sorted(extents, key=lambda e: (e.ost_index, e.object_offset)):
-        runs = per_ost.setdefault(ext.ost_index, [])
-        if runs:
-            last = runs[-1]
-            if last.object_offset + last.length == ext.object_offset:
-                runs[-1] = Extent(
-                    ost_index=last.ost_index,
-                    object_offset=last.object_offset,
-                    file_offset=last.file_offset,
-                    length=last.length + ext.length)
-                continue
-        runs.append(ext)
-    return per_ost
+    return _coalesce_extents(extents)
 
 
 class PFSClient:
@@ -57,6 +51,9 @@ class PFSClient:
                              if max_inflight is None else max_inflight)
         if self.max_inflight < 0:
             raise ValueError("max_inflight must be >= 0 (0 = unbounded)")
+        #: the shared read planner (per-OST coalescing + run fan-out)
+        self.planner = ReadPlanner(self.env, scheme="pfs",
+                                   max_inflight=self.max_inflight)
         #: trace swimlane for this client's spans
         self.track = f"{node.name}.pfs"
         #: Total payload bytes this client has read (bandwidth accounting).
@@ -72,6 +69,16 @@ class PFSClient:
         """List a directory (one metadata RPC). DES process."""
         yield from self.pfs.mds.rpc()
         return self.pfs.mds.listdir(path)
+
+    def exists(self, path: str):
+        """Existence check (one metadata RPC). DES process."""
+        yield from self.pfs.mds.rpc()
+        return self.pfs.mds.exists(path)
+
+    def delete(self, path: str):
+        """Remove a file and its objects (one metadata RPC). DES process."""
+        yield from self.pfs.mds.rpc()
+        self.pfs.unlink(path)
 
     # -- data -------------------------------------------------------------
     def _fetch_run(self, inode: Inode, ext: Extent, results: dict):
@@ -90,38 +97,53 @@ class PFSClient:
         net_leg = self.pfs.network.transfer(
             self.pfs.ost_node(ost_global), self.node, ext.length)
         yield AllOf(self.env, [disk_leg, net_leg])
+        self.planner.account(ext.length)
         results[(ext.ost_index, ext.object_offset)] = (ext, data)
 
-    def read_extents(self, inode: Inode, extents: list[Extent],
+    @staticmethod
+    def _map_extents(inode: Inode, extents) -> list[Extent]:
+        """Normalize protocol input: logical ``(offset, length)`` ranges
+        are mapped through the stripe layout; pre-mapped extents pass
+        through untouched."""
+        mapped: list[Extent] = []
+        for item in extents:
+            if isinstance(item, Extent):
+                mapped.append(item)
+            else:
+                offset, length = item
+                mapped.extend(inode.layout.map_range(offset, length))
+        return mapped
+
+    def read_extents(self, target, extents,
                      max_inflight: Optional[int] = None):
         """Fetch arbitrary extents in parallel across OSTs. DES process.
 
-        Coalesced runs merge object-adjacent stripes that interleave in the
-        logical file, so reassembly scatters each original extent back out
-        of its containing run rather than concatenating runs.
+        ``target`` is a path (one metadata RPC to resolve) or a
+        pre-resolved :class:`Inode` (no RPC — the MPI-IO collective
+        path). ``extents`` are logical ``(offset, length)`` ranges or
+        pre-mapped :class:`Extent` records.
+
+        Coalesced runs merge object-adjacent stripes that interleave in
+        the logical file, so reassembly scatters each original extent
+        back out of its containing run rather than concatenating runs.
 
         ``max_inflight`` bounds how many coalesced runs are in flight at
         once (default: the client's window; 0 = all at once).
 
         Returns the requested bytes ordered by file offset.
         """
-        window = self.max_inflight if max_inflight is None else max_inflight
-        per_ost = coalesce_extents(extents)
+        if isinstance(target, Inode):
+            inode = target
+        else:
+            inode = yield self.env.process(self.stat(target))
+        extents = self._map_extents(inode, extents)
+        per_ost = self.planner.plan_runs(extents)
         results: dict = {}
         all_runs = [run for runs in per_ost.values() for run in runs]
-        if 0 < window < len(all_runs):
-            yield from bounded_fanout(
-                self.env,
-                [lambda run=run: self._fetch_run(inode, run, results)
-                 for run in all_runs],
-                window)
-        else:
-            fetchers = [
-                self.env.process(self._fetch_run(inode, run, results))
-                for run in all_runs
-            ]
-            if fetchers:
-                yield AllOf(self.env, fetchers)
+        yield from self.planner.fan_out_runs(
+            [lambda run=run: self._fetch_run(inode, run, results)
+             for run in all_runs],
+            max_inflight)
         run_data: dict[int, list[tuple[Extent, bytes]]] = {}
         for run, data in results.values():
             run_data.setdefault(run.ost_index, []).append((run, data))
@@ -163,6 +185,34 @@ class PFSClient:
             # here.
             assert len(data) == length, (len(data), length)
             return data
+
+    def read_block(self, block, offset: int = 0, length: int = -1,
+                   max_inflight: Optional[int] = None):
+        """Read one virtual (dummy) block's flat PFS bytes. DES process.
+
+        The protocol's unified ``read_block`` surface: a PFS has no
+        native blocks, but it can serve a :class:`BlockInfo` whose
+        ``virtual`` payload names a flat file segment — the ``scidp://``
+        resolution path. Hyperslab blocks need a
+        :class:`~repro.core.reader.PFSReader` (decompression and
+        reassembly live there).
+        """
+        virtual = getattr(block, "virtual", None)
+        if virtual is None:
+            raise PFSError(
+                "PFS has no native blocks; read_block needs a virtual "
+                "(dummy) BlockInfo")
+        if virtual.hyperslab is not None:
+            raise PFSError(
+                "hyperslab dummy blocks decompress through "
+                "repro.core.reader.PFSReader, not the raw PFS client")
+        if length < 0:
+            length = virtual.length - offset
+        if offset + length > virtual.length:
+            raise PFSError("read past end of block")
+        data = yield self.env.process(
+            self.read(virtual.source_path, virtual.offset + offset, length))
+        return data
 
     def _push_run(self, inode: Inode, ext: Extent, data: bytes):
         ost_global = inode.osts[ext.ost_index]

@@ -52,6 +52,12 @@ class PFS:
     def ost_node(self, global_index: int) -> Node:
         return self._ost_node[global_index]
 
+    def client(self, node: Node, max_inflight: Optional[int] = None):
+        """A node-bound :class:`~repro.pfs.client.PFSClient` — the
+        :class:`~repro.io.protocol.StorageFacade` surface."""
+        from repro.pfs.client import PFSClient
+        return PFSClient(self, node, max_inflight=max_inflight)
+
     def _allocate_osts(self, stripe_count: int) -> list[int]:
         if stripe_count > self.n_osts:
             raise PFSError(
@@ -78,6 +84,13 @@ class PFS:
                 data[ext.file_offset:ext.file_offset + ext.length])
         inode.size = len(data)
         return inode
+
+    def store_file_sync(self, path: str, data: bytes,
+                        layout: Optional[StripeLayout] = None,
+                        **_kwargs) -> Inode:
+        """:class:`~repro.io.protocol.StorageFacade` spelling of
+        :meth:`store_file` (extra facade kwargs are ignored)."""
+        return self.store_file(path, data, layout)
 
     def read_range_sync(self, inode: Inode, offset: int,
                         length: int) -> bytes:

@@ -4,27 +4,19 @@ A file striped with ``stripe_size`` S over ``stripe_count`` N OSTs places
 byte ``b`` on OST ``(b // S) % N`` (relative to the file's starting OST),
 at object offset ``(b // (S*N)) * S + b % S`` — standard Lustre RAID-0
 round-robin placement.
+
+:class:`Extent` is re-exported from its canonical home in
+:mod:`repro.io.plan` (the unified data plane shares one extent model
+across backends).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.io.plan import Extent
+
 __all__ = ["Extent", "StripeLayout"]
-
-
-@dataclass(frozen=True)
-class Extent:
-    """A contiguous run of bytes of one file on one OST's object."""
-
-    ost_index: int      # index into the file's OST list
-    object_offset: int  # offset within the per-OST object
-    file_offset: int    # offset within the logical file
-    length: int
-
-    def __post_init__(self):
-        if self.length <= 0:
-            raise ValueError("extent length must be > 0")
 
 
 @dataclass(frozen=True)

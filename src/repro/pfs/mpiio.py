@@ -216,12 +216,11 @@ class MPIFile:
     # -- collective -------------------------------------------------------
     def _aggregate(self, rank: int, domain: list[Range], out: dict):
         inode = self.inode
-        extents = []
-        for off, length in domain:
-            extents.extend(inode.layout.map_range(off, length))
+        # read_extents maps logical ranges through the stripe layout
+        # itself (the unified data plane), so the domain passes through.
         data = yield self.env.process(
             self.clients[rank].read_extents(
-                inode, extents, max_inflight=self.max_inflight))
+                inode, domain, max_inflight=self.max_inflight))
         # Slice the aggregator's contiguous haul back into its ranges.
         pieces = {}
         cursor = 0

@@ -20,6 +20,17 @@ class RHDFS:
         self.client = storage.client(node)
         self.env = self.client.env
 
+    @classmethod
+    def open(cls, registry, url: str, node) -> "RHDFS":
+        """Bind to whatever backend a URL's scheme names.
+
+        ``registry`` is a :class:`repro.io.registry.StorageRegistry`;
+        ``url`` can be scheme-only (``"hdfs://"``) — rhdfs calls take
+        backend-local paths as usual.
+        """
+        backend, _path = registry.resolve(url)
+        return cls(backend, node)
+
     def hdfs_put(self, path: str, data: bytes):
         """Write ``data`` to ``path`` (timed). DES process."""
         yield self.env.process(self.client.write(path, data))

@@ -77,10 +77,12 @@ class _TextFileRDD(RDD):
     """
 
     def __init__(self, ctx, path: str):
-        nn = ctx.storage.namenode
+        # Facade-neutral sync metadata (listdir/get_blocks): works over
+        # native HDFS and the PFS connector alike.
+        storage = ctx.storage
         partitions = []  # (file_blocks, position within file)
-        for file_path in (nn.listdir(path) or [path]):
-            file_blocks = nn.get_block_locations(file_path)
+        for file_path in (storage.listdir(path) or [path]):
+            file_blocks = storage.get_blocks(file_path)
             for i in range(len(file_blocks)):
                 partitions.append((file_blocks, i))
         if not partitions:

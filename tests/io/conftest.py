@@ -1,0 +1,66 @@
+"""Shared fixtures for the unified data plane tests.
+
+The equivalence tests need *twin worlds*: two identically-constructed
+simulations, one driving the legacy frozen read path, one the new
+planner, whose event sequences must produce bit-identical timings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, DiskSpec, LinkSpec, NodeSpec
+from repro.hdfs import HDFS
+from repro.pfs import PFS, PFSClient, StripeLayout
+from repro.sim import Environment
+
+
+def small_spec(disk_bw=1000.0, n_disks=1, nic_bw=10_000.0):
+    return NodeSpec(
+        cpus=4,
+        memory=10**9,
+        disks=tuple(DiskSpec(bandwidth=disk_bw, seek_latency=0.0)
+                    for _ in range(n_disks)),
+        nic=LinkSpec(bandwidth=nic_bw, latency=0.0),
+    )
+
+
+def make_pfs_world(stripe_size=100, stripe_count=4):
+    """One compute node + MDS + 2 OSS x 2 OSTs; returns (env, pfs, client)."""
+    env = Environment()
+    cluster = Cluster(env)
+    c0 = cluster.add_node("c0", small_spec(), role="compute")
+    mds = cluster.add_node("mds", small_spec(), role="storage")
+    oss0 = cluster.add_node("oss0", small_spec(n_disks=2), role="storage")
+    oss1 = cluster.add_node("oss1", small_spec(n_disks=2), role="storage")
+    pfs = PFS(env, cluster.network, mds, [oss0, oss1],
+              default_layout=StripeLayout(stripe_size=stripe_size,
+                                          stripe_count=stripe_count))
+    return env, pfs, PFSClient(pfs, c0)
+
+
+@pytest.fixture
+def combined_world():
+    """PFS + HDFS sharing one cluster (registry / protocol tests)."""
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(2)]
+    mds = cluster.add_node("mds", small_spec(), role="storage")
+    oss = cluster.add_node("oss", small_spec(n_disks=2), role="storage")
+    pfs = PFS(env, cluster.network, mds, [oss],
+              default_layout=StripeLayout(stripe_size=100, stripe_count=2))
+    hdfs = HDFS(env, cluster.network, block_size=100, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    return env, cluster, pfs, hdfs, nodes
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+def payload(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()

@@ -1,0 +1,101 @@
+"""Layering lint: the data plane stays in repro.io + backend adapters.
+
+AST-walks every module under ``src/repro`` and fails if code outside the
+allowlisted layers imports storage internals (OST/OSS/MDS transfer
+machinery, DataNode streams) or the raw fan-out primitive directly.
+New backends go through :class:`repro.io.protocol.StorageClient` and the
+:class:`repro.io.planner.ReadPlanner` — not a fourth private copy of the
+read path. CI runs this as part of the test suite.
+"""
+
+import ast
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+#: packages allowed to touch storage internals: the unified data plane
+#: itself, the two backend packages (adapters + servers), and the DES
+#: substrate that defines the primitives.
+ALLOWED_PREFIXES = (
+    "repro.io",
+    "repro.pfs",
+    "repro.hdfs",
+    "repro.sim",
+)
+
+#: modules whose contents are storage/fan-out internals
+FORBIDDEN_MODULES = {
+    "repro.pfs.server",
+    "repro.hdfs.datanode",
+    "repro.sim.pipeline",
+}
+
+#: internal names that must not be imported from repro packages outside
+#: the allowlist, wherever they are re-exported from
+FORBIDDEN_NAMES = {"OST", "OSS", "MDS", "DataNode", "bounded_fanout"}
+
+
+def module_name(path: Path) -> str:
+    rel = path.relative_to(SRC_ROOT.parent)
+    parts = list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def violations_in(path: Path) -> list[str]:
+    module = module_name(path)
+    if module.startswith(ALLOWED_PREFIXES):
+        return []
+    return violations_in_source(module, path.read_text())
+
+
+def violations_in_source(module: str, source: str) -> list[str]:
+    tree = ast.parse(source, filename=module)
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in FORBIDDEN_MODULES:
+                    problems.append(
+                        f"{module}:{node.lineno}: imports internal "
+                        f"module {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or not node.module.startswith("repro"):
+                continue
+            if node.module in FORBIDDEN_MODULES:
+                problems.append(
+                    f"{module}:{node.lineno}: imports from internal "
+                    f"module {node.module}")
+                continue
+            for alias in node.names:
+                if alias.name in FORBIDDEN_NAMES:
+                    problems.append(
+                        f"{module}:{node.lineno}: imports internal name "
+                        f"{alias.name!r} from {node.module}")
+    return problems
+
+
+def test_no_storage_internals_outside_data_plane():
+    problems = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        problems.extend(violations_in(path))
+    assert not problems, (
+        "storage internals reached from outside repro.io + backend "
+        "adapters; route through StorageClient / ReadPlanner instead:\n"
+        + "\n".join(problems))
+
+
+def test_lint_catches_violations():
+    """The lint itself works: synthetic offenders are flagged."""
+    assert violations_in_source(
+        "repro.core.offender", "from repro.pfs.server import OST\n")
+    assert violations_in_source(
+        "repro.mapreduce.offender", "import repro.hdfs.datanode\n")
+    assert violations_in_source(
+        "repro.sparklike.offender",
+        "from repro.sim import bounded_fanout\n")
+    assert not violations_in_source(
+        "repro.core.fine", "from repro.io import ReadPlanner\n")

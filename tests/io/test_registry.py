@@ -1,0 +1,113 @@
+"""Scheme registry: resolution, failure modes, scidp:// round-trips."""
+
+import pytest
+
+from repro.hdfs.connector import PFSConnector
+from repro.io import (
+    SchemeAlreadyRegisteredError,
+    StorageRegistry,
+    UnknownSchemeError,
+    join_url,
+    split_url,
+)
+
+from tests.io.conftest import combined_world, payload  # noqa: F401
+
+
+# ------------------------------------------------------------- URL algebra
+@pytest.mark.parametrize("url,expected", [
+    ("pfs://data/a.nc", ("pfs", "/data/a.nc")),
+    ("hdfs:///x", ("hdfs", "/x")),
+    ("scidp://-3", ("scidp", "/-3")),
+    ("/plain/path", ("", "/plain/path")),
+    ("relative", ("", "relative")),
+])
+def test_split_url(url, expected):
+    assert split_url(url) == expected
+
+
+def test_join_url_round_trips():
+    for url in ["pfs://data/a.nc", "hdfs://x", "/plain/path"]:
+        scheme, path = split_url(url)
+        assert split_url(join_url(scheme, path)) == (scheme, path)
+
+
+# ------------------------------------------------------------ registration
+def test_unknown_scheme_raises_clear_error():
+    registry = StorageRegistry()
+    with pytest.raises(UnknownSchemeError) as excinfo:
+        registry.resolve("gluster://x")
+    message = str(excinfo.value)
+    assert "gluster" in message
+    assert "known schemes" in message
+
+
+def test_scheme_less_path_without_default_raises():
+    registry = StorageRegistry()
+    registry.register("pfs", object())
+    with pytest.raises(UnknownSchemeError):
+        registry.resolve("/no/scheme")
+
+
+def test_scheme_less_path_uses_default_scheme():
+    backend = object()
+    registry = StorageRegistry(default_scheme="hdfs")
+    registry.register("hdfs", backend)
+    resolved, path = registry.resolve("/data/file")
+    assert resolved is backend
+    assert path == "/data/file"
+
+
+def test_double_registration_rejected():
+    registry = StorageRegistry()
+    registry.register("pfs", object())
+    with pytest.raises(SchemeAlreadyRegisteredError):
+        registry.register("pfs", object())
+
+
+def test_empty_scheme_rejected():
+    with pytest.raises(ValueError):
+        StorageRegistry().register("", object())
+
+
+# -------------------------------------------------------------- resolution
+def test_open_returns_node_bound_client(combined_world):
+    env, _cluster, pfs, hdfs, nodes = combined_world
+    registry = StorageRegistry()
+    registry.register("pfs", pfs)
+    registry.register("hdfs", hdfs)
+    for url, backend in [("pfs://a/b", pfs), ("hdfs://a/b", hdfs)]:
+        client, path = registry.open(url, nodes[0])
+        assert client.node is nodes[0]
+        assert client.env is env
+        assert path == "/a/b"
+
+
+def test_scidp_url_round_trips_connector_blocks(combined_world):
+    """scidp://<block_id> resolves through PFSConnector.resolve_block."""
+    _env, _cluster, pfs, _hdfs, _nodes = combined_world
+    pfs.store_file("/data/big", payload(350))
+    connector = PFSConnector(pfs, block_size=100)
+    registry = StorageRegistry()
+    registry.register("scidp", connector)
+    blocks = connector.get_blocks("/data/big")
+    assert len(blocks) == 4
+    for i, block in enumerate(blocks):
+        resolved = registry.resolve_virtual(f"scidp://{block.block_id}")
+        assert resolved == connector.resolve_block(block.block_id)
+        assert resolved == ("/data/big", i * 100)
+
+
+def test_resolve_virtual_rejects_non_resolving_backend():
+    registry = StorageRegistry()
+    registry.register("pfs", object())  # no resolve_block
+    with pytest.raises(UnknownSchemeError):
+        registry.resolve_virtual("pfs://-1")
+
+
+def test_resolve_virtual_rejects_non_numeric_id(combined_world):
+    _env, _cluster, pfs, _hdfs, _nodes = combined_world
+    registry = StorageRegistry()
+    registry.register("scidp", PFSConnector(pfs))
+    with pytest.raises(UnknownSchemeError):
+        registry.resolve_virtual("scidp://not-a-block")

@@ -1,0 +1,70 @@
+"""Per-scheme read accounting: planner counters → registry rows → report."""
+
+from repro.hdfs.connector import PFSConnector
+from repro.obs.metrics import attach_metrics
+from repro.obs.report import render_report, validate_trace
+from repro.obs.trace import write_chrome_trace
+
+from tests.io.conftest import combined_world, payload, run  # noqa: F401
+
+
+def rows_by_scheme(registry):
+    return {row["scheme"]: row for row in registry.scheme_read_rows()}
+
+
+def test_reads_tagged_by_scheme(combined_world):
+    env, _cluster, pfs, hdfs, nodes = combined_world
+    registry = attach_metrics(env)
+    data = payload(250)
+    hdfs.store_file_sync("/h/f", data)
+    pfs.store_file("/p/f", data)
+    connector = PFSConnector(pfs, block_size=100)
+
+    assert run(env, hdfs.client(nodes[0]).read("/h/f")) == data
+    assert run(env, pfs.client(nodes[0]).read("/p/f")) == data
+    assert run(env, connector.client(nodes[0]).read("/p/f")) == data
+
+    rows = rows_by_scheme(registry)
+    assert rows["hdfs"]["bytes"] == 250
+    assert rows["hdfs"]["requests"] == 3  # one per 100-byte block
+    # pfs counts its own read plus the connector's PFS leg (layered
+    # paths count at each layer they cross)
+    assert rows["pfs"]["bytes"] == 500
+    assert rows["connector"]["bytes"] == 250
+    assert rows["connector"]["requests"] == 1  # 250 B < 1 MiB RPC size
+    for row in rows.values():
+        assert row["cache_hits"] == 0
+
+
+def test_scheme_rows_survive_as_dict_and_empty_registry(combined_world):
+    env, _cluster, _pfs, _hdfs, _nodes = combined_world
+    registry = attach_metrics(env)
+    assert registry.scheme_read_rows() == []
+    registry.counter("io.read.pfs.bytes").inc(10)
+    registry.counter("io.read.pfs.requests").inc(2)
+    snapshot = registry.as_dict()
+    assert snapshot["reads"] == [
+        {"scheme": "pfs", "bytes": 10.0, "requests": 2.0,
+         "cache_hits": 0.0}]
+    # unrelated counters never leak into the read table
+    registry.counter("io.read.malformed").inc()
+    registry.counter("scidp.blocks").inc()
+    assert len(registry.scheme_read_rows()) == 1
+
+
+def test_report_renders_reads_by_scheme(tmp_path):
+    trace = tmp_path / "trace.json"
+    write_chrome_trace(str(trace), events=[], device_metrics=[
+        {"run": "base", "device": "ost0", "bytes_moved": 1e6,
+         "busy_seconds": 1.0, "utilization": 0.5, "mean_in_flight": 1.0},
+        {"run": "base", "device": "io.read.pfs", "scheme": "pfs",
+         "bytes_moved": 1e6, "read_requests": 4.0,
+         "read_cache_hits": 1.0},
+    ])
+    assert validate_trace(str(trace)) == []
+    report = render_report(str(trace))
+    assert "reads by scheme" in report
+    assert "pfs" in report
+    assert "device utilisation" in report
+    # the scheme row stays out of the device table
+    assert "io.read.pfs" not in report.split("reads by scheme")[0]
