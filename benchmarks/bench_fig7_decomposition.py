@@ -19,8 +19,15 @@ def test_fig7_task_decomposition(benchmark, record_table):
         fig7_rows, rounds=1, iterations=1, kwargs={"n_timesteps": 48})
     record_table("fig7_task_decomposition", columns, rows, note)
 
-    phases = {row[0]: {"read": row[1], "convert": row[2], "plot": row[3]}
+    phases = {row[0]: {"read": row[1], "convert": row[2], "plot": row[3],
+                       "shuffle": row[4]}
               for row in rows}
+
+    # Every Hadoop-path solution waits on the shuffle; naive has no
+    # reduce side at all.
+    assert phases["naive"]["shuffle"] == 0.0
+    for name in ("vanilla", "porthadoop", "scidp"):
+        assert phases[name]["shuffle"] > 0.0
 
     # Convert dominates every read.table solution.
     for name in ("naive", "vanilla", "porthadoop"):

@@ -16,11 +16,13 @@ def test_fig9_sql_analysis(benchmark, record_table):
         fig9_rows, rounds=1, iterations=1, kwargs={"sizes": SIZES})
     record_table("fig9_sql_analysis", columns, rows, note)
 
-    for size, base, highlight, top1pct in rows:
+    for size, base, highlight, top1pct, shuffle_mb in rows:
         # highlight ~= no analysis (paper: "almost the same time").
         assert highlight < 1.25 * base
         # top 1% costs visibly more than highlight.
         assert top1pct > highlight
+        # ... because its result rows ride the shuffle to the reducers.
+        assert shuffle_mb > 0
     # And the top-1% overhead grows with input size (result volume is
     # proportional to input, §V-F).
     overheads = [row[3] - row[1] for row in rows]

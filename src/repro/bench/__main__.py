@@ -32,6 +32,7 @@ EXPERIMENTS = {
     "fig8": (harness.fig8_rows, {}, {"node_counts": (4, 8),
                                      "n_timesteps": 8}),
     "fig9": (harness.fig9_rows, {}, {"sizes": (3,)}),
+    "shuffle": (harness.shuffle_overlap_rows, {}, {"n_timesteps": 4}),
     "abl-align": (harness.abl_chunk_alignment_rows, {},
                   {"n_timesteps": 3}),
     "abl-gran": (harness.abl_read_granularity_rows, {},
@@ -45,7 +46,7 @@ EXPERIMENTS = {
 }
 
 #: experiments whose runner accepts ``trace=`` (figure benches)
-TRACEABLE = {"fig2", "fig5", "fig6", "fig7", "fig8", "fig9"}
+TRACEABLE = {"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "shuffle"}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -28,12 +28,18 @@ class Network:
             if core_bandwidth else None)
         #: Total bytes that crossed the fabric (excludes node-local moves).
         self.bytes_moved = 0.0
+        #: Fabric bytes by traffic class (e.g. "shuffle"); untagged
+        #: transfers are not broken out here.
+        self.bytes_by_tag: dict[str, float] = {}
 
-    def transfer(self, src: Node, dst: Node, nbytes: float) -> Event:
+    def transfer(self, src: Node, dst: Node, nbytes: float,
+                 tag: Optional[str] = None) -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``; returns completion event.
 
         Node-local transfers complete immediately (memory copy — its cost
-        is accounted as CPU time by callers that care).
+        is accounted as CPU time by callers that care). ``tag`` labels
+        the traffic class for :attr:`bytes_by_tag` accounting only; it
+        never affects scheduling.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
@@ -42,6 +48,9 @@ class Network:
             done.succeed()
             return done
         self.bytes_moved += nbytes
+        if tag is not None:
+            self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0.0) \
+                + nbytes
         latency = max(src.spec.nic.latency, dst.spec.nic.latency)
         legs = [
             src.tx.transfer(nbytes, latency=latency),

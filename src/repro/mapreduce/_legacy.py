@@ -1,0 +1,188 @@
+"""Frozen pre-overlap shuffle path, kept only for equivalence tests.
+
+The mirror of :mod:`repro.sim._legacy` and :mod:`repro.io._legacy`: when
+the shuffle subsystem grew the event-driven copy phase, parallel
+fetchers, and the streaming merge, the exact pre-refactor shapes of the
+reduce-side data path were preserved here so twin-world tests can pin
+the production code — run with every shuffle knob at its default — to
+the legacy event sequences (identical simulated timings to 1e-9 *and*
+identical byte streams / partition assignments).
+
+Do not use these from production code.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = [
+    "LegacyReduceTask",
+    "legacy_estimate_size",
+    "legacy_hash_partition",
+    "legacy_merge_sorted_runs",
+]
+
+
+def legacy_hash_partition(key: Any, n_partitions: int) -> int:
+    """The original byte-at-a-time 31-fold partitioner (reference)."""
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    if isinstance(key, bytes):
+        h = 0
+        for b in key:
+            h = (h * 31 + b) & 0x7FFFFFFF
+    elif isinstance(key, str):
+        h = 0
+        for ch in key.encode():
+            h = (h * 31 + ch) & 0x7FFFFFFF
+    elif isinstance(key, (int, np.integer)):
+        h = int(key) & 0x7FFFFFFF
+    elif isinstance(key, tuple):
+        h = 0
+        for item in key:
+            h = (h * 1000003 + legacy_hash_partition(item, 0x7FFFFFFF)) \
+                & 0x7FFFFFFF
+    else:
+        h = legacy_hash_partition(repr(key), 0x7FFFFFFF)
+    return h % n_partitions
+
+
+def legacy_merge_sorted_runs(
+        runs: list[list[tuple[Any, Any]]]) -> list[tuple[Any, Any]]:
+    """The original materializing k-way merge (reference)."""
+    import heapq
+
+    from repro.mapreduce.shuffle import _key_order
+    heap: list[tuple[Any, int, int]] = []
+    for run_idx, run in enumerate(runs):
+        if run:
+            heap.append((_key_order(run[0][0]), run_idx, 0))
+    heapq.heapify(heap)
+    out: list[tuple[Any, Any]] = []
+    while heap:
+        _order, run_idx, pos = heapq.heappop(heap)
+        out.append(runs[run_idx][pos])
+        if pos + 1 < len(runs[run_idx]):
+            heapq.heappush(
+                heap, (_key_order(runs[run_idx][pos + 1][0]),
+                       run_idx, pos + 1))
+    return out
+
+
+def legacy_estimate_size(obj: Any) -> int:
+    """The original unguarded recursive size estimate (reference)."""
+    if obj is None:
+        return 1
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, np.integer)):
+        return 8
+    if isinstance(obj, (float, np.floating)):
+        return 8
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(legacy_estimate_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(
+            legacy_estimate_size(k) + legacy_estimate_size(v)
+            for k, v in obj.items())
+    return len(repr(obj))
+
+
+class LegacyReduceTask:
+    """The pre-overlap reduce task: serial-barrier shuffle (one AllOf
+    over every map output), materializing merge, no retry, no spill
+    accounting. Kept verbatim as an executable specification."""
+
+    def __init__(self, env, job, partition: int, node,
+                 storage_client, map_outputs: list,
+                 network, task_id: str, track: Optional[str] = None,
+                 feed=None):
+        self.env = env
+        self.job = job
+        self.partition = partition
+        self.node = node
+        self.client = storage_client
+        self.map_outputs = map_outputs
+        self.network = network
+        self.task_id = task_id
+        self.track = track
+
+    #: shuffle servlet round trip per fetch
+    FETCH_RPC_LATENCY = 0.0005
+
+    def _fetch(self, output, ctx):
+        """Pull one map's partition slice to this node. DES process."""
+        size = output.sizes[self.partition]
+        if size == 0:
+            return output.partitions[self.partition]
+        yield self.env.timeout(self.FETCH_RPC_LATENCY)
+        yield self.network.transfer(output.node, self.node, size)
+        ctx.counters.increment("shuffle", "bytes", size)
+        return output.partitions[self.partition]
+
+    def run(self):
+        """DES process returning (records, TaskStats, Counters)."""
+        from repro.mapreduce.shuffle import group_sorted
+        from repro.mapreduce.task import TaskContext, TaskStats
+
+        env = self.env
+        job = self.job
+        stats = TaskStats(self.task_id, "reduce", self.node.name, env.now)
+        ctx = TaskContext(env, self.node, job, self.task_id, self.client,
+                          track=self.track)
+        task_span = ctx.tracer.span(
+            "reduce", cat="task.reduce", track=ctx.track,
+            task_id=self.task_id, node=self.node.name,
+            partition=self.partition)
+        with task_span:
+            yield env.timeout(job.task_startup)
+
+            with ctx.phase("shuffle"):
+                runs = []
+                fetchers = [
+                    env.process(self._fetch(mo, ctx))
+                    for mo in self.map_outputs
+                ]
+                from repro.sim import AllOf
+                if fetchers:
+                    done = yield AllOf(env, fetchers)
+                    runs = [done[proc] for proc in fetchers]
+
+            merged = legacy_merge_sorted_runs([run for run in runs if run])
+            for key, values in group_sorted(merged):
+                job.reducer(ctx, key, values)
+            ctx.counters.increment("reduce", "groups", len(
+                list(group_sorted(merged))))
+
+            for phase, seconds in sorted(ctx.take_charges().items()):
+                with ctx.phase(phase):
+                    yield env.timeout(seconds)
+
+            records = ctx.take_output()
+            output_path: Optional[str] = None
+            if job.output_path is not None:
+                output_path = (
+                    f"{job.output_path}/part-r-{self.partition:05d}")
+                payload = pickle.dumps(records)
+                with ctx.phase("write"):
+                    # Idempotent commit: a retried attempt replaces
+                    # whatever a failed predecessor left behind.
+                    if (yield env.process(self.client.exists(output_path))):
+                        yield env.process(self.client.delete(output_path))
+                    yield env.process(
+                        self.client.write(output_path, payload))
+                ctx.counters.increment("io", "bytes_written", len(payload))
+
+        stats.end = env.now
+        stats.spans = list(ctx.spans)
+        stats.phases = stats.phase_totals()
+        return records, output_path, stats, ctx.counters

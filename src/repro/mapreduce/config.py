@@ -60,6 +60,21 @@ class JobConf:
     #: falls back to costs.READAHEAD_CACHE_BYTES. Setting it without
     #: prefetch still caches demand reads (overlapping hyperslabs).
     readahead_cache_bytes: int = 0
+    #: event-driven copy phase: reducers launch with the job and fetch
+    #: each map output as it commits, instead of waiting for the map
+    #: barrier (Hadoop's slowstart at 0). Off = legacy serial barrier.
+    shuffle_overlap: bool = False
+    #: concurrent fetch streams per reducer (Hadoop's
+    #: mapreduce.reduce.shuffle.parallelcopies). 0 = legacy unbounded
+    #: fan-out: every fetch in flight at once.
+    shuffle_parallel_copies: int = 0
+    #: attempts per map-output fetch before the reduce attempt fails;
+    #: retries back off by task_retry_backoff like task attempts do
+    shuffle_fetch_attempts: int = 1
+    #: reduce-side merge width (Hadoop's io.sort.factor): more runs
+    #: than this are merged to intermediate spills on local disk first.
+    #: 0 = single unbounded streaming merge pass.
+    shuffle_merge_factor: int = 0
     params: dict[str, Any] = field(default_factory=dict)
 
     def add_input_path(self, path: str) -> "JobConf":
@@ -86,3 +101,10 @@ class JobConf:
             raise MapReduceError("max_task_attempts must be >= 1")
         if self.readahead_cache_bytes < 0:
             raise MapReduceError("readahead_cache_bytes must be >= 0")
+        if self.shuffle_parallel_copies < 0:
+            raise MapReduceError("shuffle_parallel_copies must be >= 0")
+        if self.shuffle_fetch_attempts < 1:
+            raise MapReduceError("shuffle_fetch_attempts must be >= 1")
+        if self.shuffle_merge_factor < 0 or self.shuffle_merge_factor == 1:
+            raise MapReduceError(
+                "shuffle_merge_factor must be 0 (unbounded) or >= 2")

@@ -31,5 +31,11 @@ class Counters:
     def as_dict(self) -> dict[str, dict[str, int]]:
         return {g: dict(names) for g, names in self._groups.items()}
 
+    def publish(self, metrics, group: str, prefix: str) -> None:
+        """Mirror one counter group into a MetricsRegistry as flat
+        ``<prefix>.<name>`` counters (how job counters reach traces)."""
+        for name, amount in sorted(self.group(group).items()):
+            metrics.counter(f"{prefix}.{name}").inc(amount)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Counters({self.as_dict()!r})"

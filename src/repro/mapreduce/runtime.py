@@ -2,20 +2,74 @@
 
 from __future__ import annotations
 
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from repro import costs
 from repro.mapreduce.config import JobConf, MapReduceError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.input_format import InputSplit
-from repro.mapreduce.task import MapOutput, MapTask, ReduceTask, TaskStats
+from repro.mapreduce.task import (
+    MapOutput,
+    MapOutputFeed,
+    MapTask,
+    ReduceTask,
+    TaskStats,
+)
 from repro.obs.history import FAILED, KILLED, SUCCEEDED, JobHistory, TaskAttempt
 from repro.obs.metrics import metrics_of
 from repro.obs.trace import tracer_of
 from repro.sim import AllOf, CacheStats, ReadAheadCache, Resource
 
-__all__ = ["JobResult", "JobRunner"]
+__all__ = ["JobResult", "JobRunner", "PendingSplits"]
+
+
+class PendingSplits:
+    """Host-indexed pending-split queue.
+
+    Claim semantics are identical to the legacy list scan (the claim
+    order decides DES event order, so it is pinned by a regression
+    test): the *oldest* pending split with a replica on the claiming
+    host wins, else the oldest pending split overall, and requeued
+    splits go to the back. The difference is cost — per-host deques of
+    insertion sequence numbers with lazy invalidation make the
+    node-local lookup O(1) amortized instead of an O(pending) scan
+    per slot claim.
+    """
+
+    def __init__(self, splits: Iterable[InputSplit] = ()):
+        self._seq = 0
+        #: insertion-ordered {seq: split}; dict order is arrival order
+        self._by_seq: dict[int, InputSplit] = {}
+        self._by_host: dict[str, deque] = defaultdict(deque)
+        for split in splits:
+            self.add(split)
+
+    def __len__(self) -> int:
+        return len(self._by_seq)
+
+    def add(self, split: InputSplit) -> None:
+        """Queue a split (new work or a retry requeue) at the back."""
+        seq = self._seq
+        self._seq += 1
+        self._by_seq[seq] = split
+        for host in split.locations:
+            self._by_host[host].append(seq)
+
+    def take(self, node_name: str) -> Optional[InputSplit]:
+        """Claim the oldest node-local split, else the oldest overall."""
+        queue = self._by_host.get(node_name)
+        if queue:
+            while queue:
+                seq = queue.popleft()
+                split = self._by_seq.pop(seq, None)
+                if split is not None:  # stale seqs were claimed elsewhere
+                    return split
+        if self._by_seq:
+            seq = next(iter(self._by_seq))
+            return self._by_seq.pop(seq)
+        return None
 
 
 @dataclass
@@ -87,12 +141,9 @@ class JobRunner:
         self._task_seq += 1
         return f"{self.job.name}-{kind}-{self._task_seq:04d}"
 
-    def _pick_split(self, pending: list[InputSplit],
+    def _pick_split(self, pending: PendingSplits,
                     node_name: str) -> Optional[InputSplit]:
-        for i, split in enumerate(pending):
-            if node_name in split.locations:
-                return pending.pop(i)
-        return pending.pop(0) if pending else None
+        return pending.take(node_name)
 
     def _speculation_candidate(self, node_name, tracker):
         """A straggling running split this node could back up, or None."""
@@ -143,7 +194,7 @@ class JobRunner:
             counters.increment("datapath", "prefetches_failed", 1)
 
     def _map_worker(self, node, slot, pending, outputs, stats, counters,
-                    attempts, tracker, history, cache=None):
+                    attempts, tracker, history, cache=None, feed=None):
         """One map slot's pull loop with retry + speculation. DES process.
 
         A failed attempt requeues the split (another slot — possibly on
@@ -219,7 +270,7 @@ class JobRunner:
                         f"{attempts[key]} times; last error: {exc!r}"
                     ) from exc
                 yield self.env.timeout(self.job.task_retry_backoff)
-                pending.append(split)
+                pending.add(split)
                 continue
 
             attempt.end = self.env.now
@@ -236,10 +287,17 @@ class JobRunner:
             outputs.append(output)
             stats.append(task_stats)
             counters.merge(task_counters)
+            if feed is not None:
+                feed.commit(output)
 
     def _reduce_worker(self, partition, node, slots: Resource,
-                       map_outputs, results, stats, counters, history):
-        """One reduce task wrapped in its slot, with retry. DES process."""
+                       map_outputs, results, stats, counters, history,
+                       feed=None):
+        """One reduce task wrapped in its slot, with retry. DES process.
+
+        A retried attempt re-reads the (append-only) map-output feed
+        from the start, so overlap mode survives reduce failures.
+        """
         req = slots.request()
         yield req
         try:
@@ -251,7 +309,7 @@ class JobRunner:
                 task = ReduceTask(
                     self.env, self.job, partition, node, client,
                     map_outputs, self.network, self._next_task_id("r"),
-                    track=track)
+                    track=track, feed=feed)
                 record = history.record(TaskAttempt(
                     attempt_id=task.task_id, kind="reduce", node=node.name,
                     start=self.env.now, partition=partition))
@@ -289,7 +347,9 @@ class JobRunner:
         start = env.now
         counters = Counters()
         stats: list[TaskStats] = []
-        history = JobHistory(job.name, start)
+        #: kept on the runner so post-mortems of failed jobs (which
+        #: never produce a JobResult) can still read the attempt log
+        history = self.history = JobHistory(job.name, start)
         tracer = tracer_of(env)
 
         with tracer.span("job", cat="job", track="job", job=job.name):
@@ -299,18 +359,33 @@ class JobRunner:
                     job, self.storage, master_client))
             counters.increment("job", "splits", len(splits))
 
-            pending = list(splits)
+            pending = PendingSplits(splits)
             map_outputs: list[MapOutput] = []
             attempts: dict = {}
             tracker = {"running": {}, "done": set(), "durations": []}
             cache_stats, caches = self._build_caches()
+
+            results: dict[int, tuple[list, Optional[str]]] = {}
+            feed: Optional[MapOutputFeed] = None
+            reduce_barrier = None
+            if job.reducer is not None and job.shuffle_overlap:
+                # Event-driven copy phase: reducers launch with the job
+                # and fetch map outputs as they commit to the feed. The
+                # barrier condition is built *now* so a reducer failing
+                # while we still wait on the map wave stays watched
+                # (an unwatched process failure escapes env.step).
+                feed = MapOutputFeed(env, expected=len(splits))
+                reducers = self._launch_reducers(
+                    map_outputs, results, stats, counters, history, feed)
+                reduce_barrier = AllOf(env, reducers)
+
             workers = []
             for node in self.nodes:
                 for slot in range(job.map_slots_per_node):
                     workers.append(env.process(self._map_worker(
                         node, slot, pending, map_outputs, stats, counters,
                         attempts, tracker, history,
-                        cache=caches.get(node.name))))
+                        cache=caches.get(node.name), feed=feed)))
             yield AllOf(env, workers)
             if cache_stats is not None:
                 for name, value in sorted(cache_stats.as_dict().items()):
@@ -327,21 +402,14 @@ class JobRunner:
                         result.map_records.extend(partition)
                 result.end = env.now
                 history.finish(result.end)
+                self._publish_shuffle(counters)
                 return result
 
-            slots = {
-                node.name: Resource(env, job.reduce_slots_per_node,
-                                    f"{node.name}.reduce")
-                for node in self.nodes
-            }
-            results: dict[int, tuple[list, Optional[str]]] = {}
-            reducers = []
-            for partition in range(job.n_reducers):
-                node = self.nodes[partition % len(self.nodes)]
-                reducers.append(env.process(self._reduce_worker(
-                    partition, node, slots[node.name], map_outputs,
-                    results, stats, counters, history)))
-            yield AllOf(env, reducers)
+            if reduce_barrier is None:
+                reducers = self._launch_reducers(
+                    map_outputs, results, stats, counters, history, None)
+                reduce_barrier = AllOf(env, reducers)
+            yield reduce_barrier
 
             for partition, (records, output_path) in sorted(results.items()):
                 result.outputs[partition] = records
@@ -350,4 +418,32 @@ class JobRunner:
             result.end = env.now
             result.task_stats = stats
             history.finish(result.end)
+            self._publish_shuffle(counters)
             return result
+
+    def _launch_reducers(self, map_outputs, results, stats, counters,
+                         history, feed):
+        """Create per-node reduce slots and one reduce worker per
+        partition (round-robin over nodes); returns the processes."""
+        env = self.env
+        job = self.job
+        slots = {
+            node.name: Resource(env, job.reduce_slots_per_node,
+                                f"{node.name}.reduce")
+            for node in self.nodes
+        }
+        reducers = []
+        for partition in range(job.n_reducers):
+            node = self.nodes[partition % len(self.nodes)]
+            reducers.append(env.process(self._reduce_worker(
+                partition, node, slots[node.name], map_outputs,
+                results, stats, counters, history, feed=feed)))
+        return reducers
+
+    def _publish_shuffle(self, counters: Counters) -> None:
+        """Mirror the job's shuffle counter group into the metrics
+        registry (one ``shuffle.<job>.<name>`` counter each) so traces
+        and reports can aggregate shuffle activity per job."""
+        registry = metrics_of(self.env)
+        if registry is not None and counters.group("shuffle"):
+            counters.publish(registry, "shuffle", f"shuffle.{self.job.name}")

@@ -1,18 +1,81 @@
-"""Partitioning, sorting, merging, and payload size estimation."""
+"""Partitioning, sorting, merging, and payload size estimation.
+
+The partition fold and the merge order are part of the golden numbers
+(they decide which reducer owns a key and in what order equal keys are
+reduced), so both are specified by the frozen reference copies in
+:mod:`repro.mapreduce._legacy` and held bit-identical by
+``tests/mapreduce/test_legacy_equivalence.py``.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+import functools
+import heapq
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
 __all__ = [
     "estimate_size",
     "group_sorted",
+    "group_sorted_stream",
     "hash_partition",
     "merge_sorted_runs",
+    "merge_sorted_streams",
     "sort_run",
 ]
+
+#: ``& _FOLD_MASK`` == ``% 2**31`` for non-negative values — the fold's
+#: modulus. Because 2**31 divides 2**64, uint64 wraparound in the
+#: vectorized path is congruent to the byte loop's per-step masking.
+_FOLD_MASK = 0x7FFFFFFF
+#: below this key length the plain byte loop beats numpy call overhead
+_VECTOR_MIN_BYTES = 32
+
+#: growing cache of [31**0, 31**1, ...] mod 2**64 (natural uint64 wrap)
+_POW31 = np.ones(1, dtype=np.uint64)
+
+
+def _powers31(n: int) -> np.ndarray:
+    """First ``n`` powers of 31 as uint64 (cached, grown geometrically)."""
+    global _POW31
+    if len(_POW31) < n:
+        m = len(_POW31)
+        grown = np.empty(max(n, 2 * m), dtype=np.uint64)
+        grown[:m] = _POW31
+        thirty_one = np.uint64(31)
+        with np.errstate(over="ignore"):  # uint64 wrap is the point
+            for i in range(m, len(grown)):
+                grown[i] = grown[i - 1] * thirty_one
+        _POW31 = grown
+    return _POW31[:n]
+
+
+def _fold31(data: bytes) -> int:
+    """``h = (h * 31 + b) & 0x7FFFFFFF`` over ``data``, vectorized.
+
+    The loop computes ``sum(b_i * 31**(n-1-i)) mod 2**31``; the numpy
+    path evaluates the same polynomial in uint64 (wraparound mod 2**64
+    is congruent mod 2**31) and masks once — bit-identical to the
+    reference fold without per-byte Python iteration.
+    """
+    n = len(data)
+    if n < _VECTOR_MIN_BYTES:
+        h = 0
+        for b in data:
+            h = (h * 31 + b) & _FOLD_MASK
+        return h
+    arr = np.frombuffer(data, dtype=np.uint8)
+    total = np.multiply(
+        arr, _powers31(n)[::-1], dtype=np.uint64).sum(dtype=np.uint64)
+    return int(total) & _FOLD_MASK
+
+
+@functools.lru_cache(maxsize=8192)
+def _str_fold(key: str) -> int:
+    """Memoized encode + fold for str keys (hot in wordcount-shaped
+    jobs, where the same few thousand words repeat per split)."""
+    return _fold31(key.encode())
 
 
 def hash_partition(key: Any, n_partitions: int) -> int:
@@ -21,13 +84,9 @@ def hash_partition(key: Any, n_partitions: int) -> int:
     if n_partitions < 1:
         raise ValueError("n_partitions must be >= 1")
     if isinstance(key, bytes):
-        h = 0
-        for b in key:
-            h = (h * 31 + b) & 0x7FFFFFFF
+        h = _fold31(key)
     elif isinstance(key, str):
-        h = 0
-        for ch in key.encode():
-            h = (h * 31 + ch) & 0x7FFFFFFF
+        h = _str_fold(key)
     elif isinstance(key, (int, np.integer)):
         h = int(key) & 0x7FFFFFFF
     elif isinstance(key, tuple):
@@ -50,24 +109,24 @@ def sort_run(records: Iterable[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
     return sorted(records, key=lambda kv: _key_order(kv[0]))
 
 
+def merge_sorted_streams(
+        runs: Sequence[Iterable[tuple[Any, Any]]]
+) -> Iterator[tuple[Any, Any]]:
+    """Streaming k-way merge of key-sorted runs (reduce-side merge).
+
+    ``heapq.merge`` is stable across runs (equal keys come out in run
+    order, then record order), which is exactly the order the legacy
+    materializing merge produced — so the streamed sequence is
+    record-for-record identical while holding one record per run in
+    memory instead of every record at once.
+    """
+    return heapq.merge(*runs, key=lambda kv: _key_order(kv[0]))
+
+
 def merge_sorted_runs(
         runs: list[list[tuple[Any, Any]]]) -> list[tuple[Any, Any]]:
-    """K-way merge of key-sorted runs (reduce-side merge)."""
-    import heapq
-    heap: list[tuple[Any, int, int]] = []
-    for run_idx, run in enumerate(runs):
-        if run:
-            heap.append((_key_order(run[0][0]), run_idx, 0))
-    heapq.heapify(heap)
-    out: list[tuple[Any, Any]] = []
-    while heap:
-        _order, run_idx, pos = heapq.heappop(heap)
-        out.append(runs[run_idx][pos])
-        if pos + 1 < len(runs[run_idx]):
-            heapq.heappush(
-                heap, (_key_order(runs[run_idx][pos + 1][0]),
-                       run_idx, pos + 1))
-    return out
+    """Materialized k-way merge (compat shim over the streaming merge)."""
+    return list(merge_sorted_streams(runs))
 
 
 def group_sorted(
@@ -86,8 +145,45 @@ def group_sorted(
         yield key, values
 
 
+def group_sorted_stream(
+        records: Iterable[tuple[Any, Any]]
+) -> Iterator[tuple[Any, list[Any]]]:
+    """Group a key-sorted record *iterable* into (key, [values]).
+
+    The streaming counterpart of :func:`group_sorted`: consumes a lazy
+    merge without materializing the merged record list first.
+    """
+    it = iter(records)
+    try:
+        key, value = next(it)
+    except StopIteration:
+        return
+    values = [value]
+    for k, v in it:
+        if k == key:
+            values.append(v)
+        else:
+            yield key, values
+            key, values = k, [v]
+    yield key, values
+
+
+#: bytes charged for a container reached through a reference cycle
+_CYCLE_COST = 8
+
+
 def estimate_size(obj: Any) -> int:
-    """Serialized-size estimate for shuffle/spill accounting (bytes)."""
+    """Serialized-size estimate for shuffle/spill accounting (bytes).
+
+    Container recursion is cycle-guarded: a container reached again on
+    its *own* recursion path charges a fixed :data:`_CYCLE_COST` instead
+    of recursing forever. Shared (acyclic) substructure is still counted
+    at every appearance, matching the reference estimate.
+    """
+    return _estimate_size(obj, None)
+
+
+def _estimate_size(obj: Any, path) -> int:
     if obj is None:
         return 1
     if isinstance(obj, (bytes, bytearray)):
@@ -102,10 +198,22 @@ def estimate_size(obj: Any) -> int:
         return 8
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return 8 + sum(estimate_size(item) for item in obj)
-    if isinstance(obj, dict):
-        return 8 + sum(
-            estimate_size(k) + estimate_size(v) for k, v in obj.items())
+    is_seq = isinstance(obj, (list, tuple, set, frozenset))
+    if is_seq or isinstance(obj, dict):
+        oid = id(obj)
+        if path is None:
+            path = {oid}
+        elif oid in path:
+            return _CYCLE_COST
+        else:
+            path.add(oid)
+        try:
+            if is_seq:
+                return 8 + sum(_estimate_size(item, path) for item in obj)
+            return 8 + sum(
+                _estimate_size(k, path) + _estimate_size(v, path)
+                for k, v in obj.items())
+        finally:
+            path.discard(oid)
     # Fallback: repr length is a tolerable proxy for odd objects.
     return len(repr(obj))

@@ -18,14 +18,17 @@ from repro.mapreduce.input_format import InputSplit
 from repro.mapreduce.shuffle import (
     estimate_size,
     group_sorted,
+    group_sorted_stream,
     hash_partition,
-    merge_sorted_runs,
+    merge_sorted_streams,
     sort_run,
 )
 from repro.obs.trace import tracer_of
+from repro.sim import Event, FanoutWindow
 from repro.sim.stats import IntervalTimer
 
-__all__ = ["MapOutput", "MapTask", "ReduceTask", "TaskContext", "TaskStats"]
+__all__ = ["MapOutput", "MapOutputFeed", "MapTask", "ReduceTask",
+           "TaskContext", "TaskStats"]
 
 
 @dataclass
@@ -160,6 +163,38 @@ class MapOutput:
     sizes: list[int]                # estimated bytes per partition
 
 
+class MapOutputFeed:
+    """Event-driven map-output board (the JobTracker's completed-map
+    list): winning map attempts :meth:`commit` their outputs as they
+    finish, and overlapped reducers consume :attr:`outputs` as it
+    grows instead of waiting for the map barrier.
+
+    Only attempt *winners* commit, so speculation never double-feeds a
+    reducer; ``expected`` is the split count, letting consumers know
+    when the copy phase can close.
+    """
+
+    def __init__(self, env, expected: int):
+        self.env = env
+        self.expected = expected
+        self.outputs: list[MapOutput] = []
+        self._arrival = Event(env)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.outputs) >= self.expected
+
+    def commit(self, output: MapOutput) -> None:
+        """Publish one finished map's output and wake the waiters."""
+        self.outputs.append(output)
+        arrival, self._arrival = self._arrival, Event(self.env)
+        arrival.succeed(output)
+
+    def wait(self) -> Event:
+        """Event triggered at the next commit (rotates per commit)."""
+        return self._arrival
+
+
 class MapTask:
     """Executes one split: read → map → partition/sort(/combine) → spill."""
 
@@ -273,15 +308,36 @@ class MapTask:
         # Combiner compute is charged with the map's other charges.
         for phase, seconds in combined.take_charges().items():
             ctx.charge(seconds, phase)
-        return sort_run(combined.take_output())
+        out = sort_run(combined.take_output())
+        ctx.counters.increment("shuffle", "combine_input_records", len(run))
+        ctx.counters.increment("shuffle", "combine_output_records", len(out))
+        return out
 
 
 class ReduceTask:
-    """Fetch one partition from all maps, merge, reduce, write output."""
+    """Fetch one partition from every map, merge, reduce, write output.
+
+    Two copy-phase strategies share the rest of the task:
+
+    * **barrier** (all shuffle knobs at defaults, no feed): the
+      pre-overlap shape — one fetcher per map output, all in flight at
+      once, one ``AllOf`` barrier. Pinned event-for-event against
+      :class:`repro.mapreduce._legacy.LegacyReduceTask`.
+    * **overlapped** (a :class:`MapOutputFeed` and/or
+      ``shuffle_parallel_copies``/``shuffle_fetch_attempts`` set): fetch
+      factories go through a :class:`FanoutWindow` — submitted as map
+      outputs commit, at most ``shuffle_parallel_copies`` in flight,
+      each with per-source retry/backoff.
+
+    The merge is always the streaming k-way merge;
+    ``shuffle_merge_factor`` bounds its width with intermediate spill
+    passes charged to the local disk, Hadoop's ``io.sort.factor``.
+    """
 
     def __init__(self, env, job: JobConf, partition: int, node,
                  storage_client, map_outputs: list[MapOutput],
-                 network, task_id: str, track: Optional[str] = None):
+                 network, task_id: str, track: Optional[str] = None,
+                 feed: Optional[MapOutputFeed] = None):
         self.env = env
         self.job = job
         self.partition = partition
@@ -291,6 +347,7 @@ class ReduceTask:
         self.network = network
         self.task_id = task_id
         self.track = track
+        self.feed = feed
 
     #: shuffle servlet round trip per fetch
     FETCH_RPC_LATENCY = 0.0005
@@ -305,10 +362,78 @@ class ReduceTask:
         size = output.sizes[self.partition]
         if size == 0:
             return output.partitions[self.partition]
+        ctx.counters.increment("shuffle", "fetches")
         yield self.env.timeout(self.FETCH_RPC_LATENCY)
-        yield self.network.transfer(output.node, self.node, size)
+        yield self.network.transfer(
+            output.node, self.node, size, tag="shuffle")
         ctx.counters.increment("shuffle", "bytes", size)
         return output.partitions[self.partition]
+
+    def _fetch_with_retry(self, output: MapOutput, ctx: TaskContext):
+        """One map output through ``shuffle_fetch_attempts`` tries, with
+        the task-attempt backoff between them. DES generator."""
+        attempts = self.job.shuffle_fetch_attempts
+        for attempt in range(attempts):
+            try:
+                result = yield from self._fetch(output, ctx)
+                return result
+            except Exception:
+                if attempt + 1 >= attempts:
+                    raise
+                ctx.counters.increment("shuffle", "fetch_retries")
+                yield self.env.timeout(
+                    self.job.task_retry_backoff * (attempt + 1))
+
+    def _copy_phase(self, ctx: TaskContext):
+        """Overlapped copy: submit a fetch per committed map output —
+        as they arrive when a feed is present — through a bounded
+        window. DES generator returning the fetched runs."""
+        window = FanoutWindow(self.env, self.job.shuffle_parallel_copies)
+        if self.feed is None:
+            for output in self.map_outputs:
+                window.submit(
+                    lambda mo=output: self._fetch_with_retry(mo, ctx))
+        else:
+            seen = 0
+            while True:
+                outputs = self.feed.outputs
+                while seen < len(outputs):
+                    output = outputs[seen]
+                    seen += 1
+                    window.submit(
+                        lambda mo=output: self._fetch_with_retry(mo, ctx))
+                if seen >= self.feed.expected:
+                    break
+                yield self.feed.wait()
+        window.close()
+        runs = yield from window.drain()
+        return runs
+
+    def _merge_spills(self, ctx: TaskContext, runs: list):
+        """Bound the final merge width to ``shuffle_merge_factor`` by
+        merging excess runs into intermediate on-disk spill runs first
+        (Hadoop's multi-pass merge). DES generator returning the
+        narrowed run list."""
+        job = self.job
+        factor = job.shuffle_merge_factor
+        runs = list(runs)
+        with ctx.phase("merge"):
+            while len(runs) > factor:
+                batch, runs = runs[:factor], runs[factor:]
+                merged = list(merge_sorted_streams(batch))
+                spill = sum(
+                    estimate_size(k) + estimate_size(v)
+                    for k, v in merged)
+                if spill:
+                    if job.diskless_spill:
+                        yield self.env.process(self.client.write(
+                            f"/_spill/{self.task_id}", bytes(spill)))
+                    else:
+                        yield self.node.disk.write(spill)
+                ctx.counters.increment("shuffle", "merge_passes")
+                ctx.counters.increment("shuffle", "spilled_bytes", spill)
+                runs.append(merged)
+        return runs
 
     def run(self):
         """DES process returning (records, TaskStats, Counters)."""
@@ -324,22 +449,35 @@ class ReduceTask:
         with task_span:
             yield env.timeout(job.task_startup)
 
-            with ctx.phase("shuffle"):
-                runs = []
-                fetchers = [
-                    env.process(self._fetch(mo, ctx))
-                    for mo in self.map_outputs
-                ]
-                from repro.sim import AllOf
-                if fetchers:
-                    done = yield AllOf(env, fetchers)
-                    runs = [done[proc] for proc in fetchers]
+            overlapped = (self.feed is not None
+                          or job.shuffle_parallel_copies > 0
+                          or job.shuffle_fetch_attempts > 1)
+            if overlapped:
+                with ctx.phase("copy"):
+                    runs = yield from self._copy_phase(ctx)
+            else:
+                with ctx.phase("shuffle"):
+                    runs = []
+                    fetchers = [
+                        env.process(self._fetch(mo, ctx))
+                        for mo in self.map_outputs
+                    ]
+                    from repro.sim import AllOf
+                    if fetchers:
+                        done = yield AllOf(env, fetchers)
+                        runs = [done[proc] for proc in fetchers]
 
-            merged = merge_sorted_runs([run for run in runs if run])
-            for key, values in group_sorted(merged):
+            runs = [run for run in runs if run]
+            if job.shuffle_merge_factor >= 2 \
+                    and len(runs) > job.shuffle_merge_factor:
+                runs = yield from self._merge_spills(ctx, runs)
+
+            n_groups = 0
+            for key, values in group_sorted_stream(
+                    merge_sorted_streams(runs)):
+                n_groups += 1
                 job.reducer(ctx, key, values)
-            ctx.counters.increment("reduce", "groups", len(
-                list(group_sorted(merged))))
+            ctx.counters.increment("reduce", "groups", n_groups)
 
             for phase, seconds in sorted(ctx.take_charges().items()):
                 with ctx.phase(phase):

@@ -265,6 +265,39 @@ class MetricsRegistry:
             for scheme in sorted(per_scheme)
         ]
 
+    def shuffle_rows(self) -> list[dict]:
+        """Per-job shuffle summary, one row per job name.
+
+        Aggregates the flat ``shuffle.<job>.<name>`` counters each
+        :class:`repro.mapreduce.runtime.JobRunner` publishes from its
+        job's ``shuffle`` counter group when the job finishes (bytes
+        fetched, fetches/retries, combiner record folds, merge spill
+        passes).
+        """
+        per_job: dict[str, dict[str, float]] = {}
+        for name, counter in self._counters.items():
+            parts = name.split(".")
+            if len(parts) < 3 or parts[0] != "shuffle":
+                continue
+            # job names may themselves contain dots
+            job, field = ".".join(parts[1:-1]), parts[-1]
+            per_job.setdefault(job, {})[field] = counter.value
+        return [
+            {
+                "job": job,
+                "bytes": per_job[job].get("bytes", 0.0),
+                "fetches": per_job[job].get("fetches", 0.0),
+                "fetch_retries": per_job[job].get("fetch_retries", 0.0),
+                "combine_input_records": per_job[job].get(
+                    "combine_input_records", 0.0),
+                "combine_output_records": per_job[job].get(
+                    "combine_output_records", 0.0),
+                "merge_passes": per_job[job].get("merge_passes", 0.0),
+                "spilled_bytes": per_job[job].get("spilled_bytes", 0.0),
+            }
+            for job in sorted(per_job)
+        ]
+
     def as_dict(self) -> dict:
         """Snapshot of every named metric plus the device table."""
         return {
@@ -281,6 +314,7 @@ class MetricsRegistry:
             "devices": self.device_rows(),
             "caches": self.cache_rows(),
             "reads": self.scheme_read_rows(),
+            "shuffles": self.shuffle_rows(),
         }
 
 

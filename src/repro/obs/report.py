@@ -156,10 +156,37 @@ def _scheme_read_table(reads: list[dict]) -> str:
              "moves pfs bytes)")
 
 
+def _shuffle_table(shuffles: list[dict]) -> str:
+    from repro.bench.reporting import format_table
+
+    columns = ["run", "job", "MB shuffled", "fetches", "retries",
+               "combine in/out", "merge passes", "MB spilled"]
+    rows = []
+    for row in shuffles:
+        c_in = row.get("combine_input_records", 0.0)
+        c_out = row.get("combine_output_records", 0.0)
+        combine = f"{c_in:.0f}/{c_out:.0f}" if c_in or c_out else "-"
+        rows.append([
+            row.get("run", "-"),
+            row.get("shuffle_job", "?"),
+            row.get("bytes_moved", 0.0) / 1e6,
+            row.get("shuffle_fetches", 0.0),
+            row.get("shuffle_fetch_retries", 0.0),
+            combine,
+            row.get("merge_passes", 0.0),
+            row.get("spilled_bytes", 0.0) / 1e6,
+        ])
+    return format_table(
+        "shuffle", columns, rows,
+        note="per-job shuffle counters: bytes pulled by reducers, fetch "
+             "attempts/retries, map-side combiner record fold, and "
+             "reduce-side merge spill passes")
+
+
 def render_report(path: str, width: int = 72,
                   run_filter: Optional[str] = None) -> str:
-    """The full report: per-run timelines, the device table, and the
-    per-scheme read table."""
+    """The full report: per-run timelines, the device table, the
+    per-scheme read table, and the per-job shuffle table."""
     doc = load_trace(path)
     runs = _runs(doc["traceEvents"])
     sections = []
@@ -172,12 +199,16 @@ def render_report(path: str, width: int = 72,
     rows = doc["deviceMetrics"]
     if run_filter is not None:
         rows = [d for d in rows if run_filter in str(d.get("run", ""))]
-    devices = [d for d in rows if "scheme" not in d]
+    devices = [d for d in rows
+               if "scheme" not in d and "shuffle_job" not in d]
     reads = [d for d in rows if "scheme" in d]
+    shuffles = [d for d in rows if "shuffle_job" in d]
     if devices:
         sections.append(_device_table(devices))
     if reads:
         sections.append(_scheme_read_table(reads))
+    if shuffles:
+        sections.append(_shuffle_table(shuffles))
     if not sections:
         return f"no matching runs or devices in {path}"
     return "\n\n".join(sections)

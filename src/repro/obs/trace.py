@@ -384,6 +384,22 @@ class TraceSession:
                     "read_requests": row["requests"],
                     "read_cache_hits": row["cache_hits"],
                 })
+            # Per-job shuffle rows, same trick: the "shuffle_job" key is
+            # the marker the report renderer partitions on.
+            for row in registry.shuffle_rows():
+                devices.append({
+                    "run": label,
+                    "device": f"shuffle.{row['job']}",
+                    "shuffle_job": row["job"],
+                    "utilization": 0.0,
+                    "bytes_moved": row["bytes"],
+                    "shuffle_fetches": row["fetches"],
+                    "shuffle_fetch_retries": row["fetch_retries"],
+                    "combine_input_records": row["combine_input_records"],
+                    "combine_output_records": row["combine_output_records"],
+                    "merge_passes": row["merge_passes"],
+                    "spilled_bytes": row["spilled_bytes"],
+                })
         return events, devices
 
     def save(self) -> Optional[str]:

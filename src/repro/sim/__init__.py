@@ -21,7 +21,7 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.cache import CacheStats, ReadAheadCache
-from repro.sim.pipeline import bounded_fanout
+from repro.sim.pipeline import FanoutWindow, bounded_fanout
 from repro.sim.resources import Container, Resource, SharedBandwidth, Store
 from repro.sim.stats import IntervalTimer, Monitor
 
@@ -42,5 +42,6 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "FanoutWindow",
     "bounded_fanout",
 ]

@@ -89,6 +89,8 @@ class SolutionResult:
     process_time: float
     conversion_time_not_counted: float
     phase_means: dict[str, float] = field(default_factory=dict)
+    #: mean per-reduce-task phase durations (shuffle/copy, merge, reduce)
+    reduce_phase_means: dict[str, float] = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     frames: int = 0
     #: makespan of the map (image plotting) phase alone — what Fig. 8's
@@ -278,6 +280,8 @@ def _summarize(world, solution, workload, copy_time, job_result,
             ("naive", "vanilla", "porthadoop") else 0.0),
         phase_means=(job_result.phase_means("map")
                      if job_result is not None else {}),
+        reduce_phase_means=(job_result.phase_means("reduce")
+                            if job_result is not None else {}),
         counters=(job_result.counters.as_dict()
                   if job_result is not None else {}),
         frames=(job_result.counters.value("pipeline", "levels_plotted")

@@ -66,8 +66,19 @@ def test_fig8_miniature():
 def test_fig9_miniature():
     columns, rows, note = harness.fig9_rows(
         sizes=(2,), analyses=("none", "top1pct"))
-    (size, base, top), = rows
+    (size, base, top, shuffle_mb), = rows
     assert top > base
+    assert shuffle_mb > 0
+
+
+def test_shuffle_overlap_miniature():
+    columns, rows, note = harness.shuffle_overlap_rows(n_timesteps=2)
+    labels = [r[0] for r in rows]
+    assert labels[0] == "legacy barrier"
+    legacy, overlap, combined, bounded = rows
+    assert overlap[1] < legacy[1]
+    assert combined[3] < legacy[3]
+    assert bounded[5] > 0
 
 
 def test_ablation_runners_miniature():

@@ -13,7 +13,12 @@ pipeline must actually be faster than the serial path.
 import pytest
 
 from repro import costs
-from repro.bench.harness import datapath_rows, fig2_rows, fig5_table3_rows
+from repro.bench.harness import (
+    datapath_rows,
+    fig2_rows,
+    fig5_table3_rows,
+    shuffle_overlap_rows,
+)
 
 #: fig5 totals at sizes=(3,), captured before the pipelined data path
 GOLDEN_FIG5 = {
@@ -43,6 +48,14 @@ GOLDEN_FIG2 = {
                    2.73162493570645),
 }
 GOLDEN_FIG2_GEOMEAN = 2.145005869724353
+
+#: shuffle ablation, quick size (n_timesteps=4). The legacy-barrier
+#: timing is the bit-exactness pin for the default knob path; the
+#: volumes/counter strings are exact for every configuration.
+GOLDEN_SHUFFLE_LEGACY_TOTAL = 0.8014997687187184
+GOLDEN_SHUFFLE_MB = 0.421875
+GOLDEN_SHUFFLE_COMBINED_MB = 0.052734375
+GOLDEN_SHUFFLE_COMBINE = "9216/1152"
 
 REL = 1e-9
 
@@ -74,6 +87,21 @@ def test_fig2_reproduces_golden_quick_numbers():
         assert row[3] == pytest.approx(ratio, rel=REL), workload
     assert got["geo-mean"][3] == pytest.approx(GOLDEN_FIG2_GEOMEAN,
                                                rel=REL)
+
+
+def test_shuffle_overlap_goldens_and_ordering():
+    _columns, rows, _note = shuffle_overlap_rows(n_timesteps=4)
+    legacy, overlap, combined, bounded = rows
+    # default knobs take the exact legacy code path — equality pin
+    assert legacy[1] == pytest.approx(GOLDEN_SHUFFLE_LEGACY_TOTAL,
+                                      rel=REL)
+    assert legacy[3] == overlap[3] == GOLDEN_SHUFFLE_MB
+    assert combined[3] == bounded[3] == GOLDEN_SHUFFLE_COMBINED_MB
+    assert combined[4] == bounded[4] == GOLDEN_SHUFFLE_COMBINE
+    # the perf trajectory itself: each mechanism must keep paying off
+    assert overlap[1] < legacy[1]
+    assert combined[1] < overlap[1]
+    assert bounded[5] > 0
 
 
 def test_pipelined_datapath_beats_serial():

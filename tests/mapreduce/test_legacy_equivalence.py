@@ -1,0 +1,195 @@
+"""Twin-world tests: production shuffle vs the frozen legacy copies.
+
+With every shuffle knob at its default (overlap off, no parallel
+copies, single-attempt fetches, unbounded merge) the refactored data
+path must be *invisible*: identical partition assignments, identical
+merged byte streams, and job/task timings pinned to 1e-9 against
+:mod:`repro.mapreduce._legacy` — the same twin-world discipline as
+``sim/_legacy.py`` and ``io/_legacy.py``.
+"""
+
+import random
+
+import pytest
+
+import repro.mapreduce.runtime as runtime_mod
+from repro.mapreduce import JobConf, JobRunner, TextInputFormat
+from repro.mapreduce._legacy import (
+    LegacyReduceTask,
+    legacy_estimate_size,
+    legacy_hash_partition,
+    legacy_merge_sorted_runs,
+)
+from repro.mapreduce.shuffle import (
+    estimate_size,
+    hash_partition,
+    merge_sorted_runs,
+    sort_run,
+)
+
+from tests.mapreduce.conftest import run, world  # noqa: F401 (fixture)
+
+
+# ------------------------------------------------------ pure functions
+
+def random_key(rng):
+    kind = rng.randrange(6)
+    if kind == 0:   # bytes across the vectorization threshold
+        return bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(0, 200)))
+    if kind == 1:   # str (memoized encode path)
+        return "".join(chr(rng.randrange(32, 0x2FF))
+                       for _ in range(rng.randrange(0, 120)))
+    if kind == 2:
+        return rng.randrange(-2**40, 2**40)
+    if kind == 3:   # tuple (mixed-modulus fold)
+        return tuple(random_key(rng) for _ in range(rng.randrange(0, 4))
+                     ) or ("empty",)
+    if kind == 4:
+        return rng.random() * 1e6   # repr fallback
+    return rng.choice([True, False, None])
+
+
+@pytest.mark.parametrize("seed", [3, 71, 20240806])
+def test_hash_partition_matches_legacy_fold(seed):
+    rng = random.Random(seed)
+    for _ in range(500):
+        key = random_key(rng)
+        n = rng.choice([1, 2, 7, 64, 1009])
+        assert hash_partition(key, n) == legacy_hash_partition(key, n), key
+
+
+def test_hash_partition_vector_path_exact_on_long_keys():
+    # Long keys exercise the uint64-wraparound congruence argument.
+    for n in [31, 32, 33, 1000, 65536]:
+        key = bytes((i * 37 + 11) % 256 for i in range(n))
+        assert hash_partition(key, 0x7FFFFFFF) == \
+            legacy_hash_partition(key, 0x7FFFFFFF)
+
+
+@pytest.mark.parametrize("seed", [5, 13])
+def test_streaming_merge_matches_legacy_merge(seed):
+    rng = random.Random(seed)
+    for _ in range(50):
+        runs = [
+            sort_run([(rng.choice("abcde"), rng.randrange(10))
+                      for _ in range(rng.randrange(0, 12))])
+            for _ in range(rng.randrange(0, 6))
+        ]
+        assert merge_sorted_runs(runs) == legacy_merge_sorted_runs(runs)
+
+
+def test_streaming_merge_equal_key_order_matches_legacy():
+    # Equal keys must come out in run order then record order.
+    runs = [[("k", 0), ("k", 1)], [("k", 2)], [("a", 9), ("k", 3)]]
+    assert merge_sorted_runs(runs) == legacy_merge_sorted_runs(runs)
+
+
+def test_estimate_size_matches_legacy_on_acyclic_structures():
+    rng = random.Random(42)
+
+    def random_obj(depth=0):
+        if depth > 3 or rng.random() < 0.4:
+            return rng.choice([
+                None, True, b"xy", "s", 7, 1.5,
+                bytes(rng.randrange(20))])
+        kind = rng.randrange(3)
+        children = [random_obj(depth + 1)
+                    for _ in range(rng.randrange(0, 4))]
+        if kind == 0:
+            return children
+        if kind == 1:
+            return tuple(children)
+        return {i: c for i, c in enumerate(children)}
+
+    for _ in range(200):
+        obj = random_obj()
+        assert estimate_size(obj) == legacy_estimate_size(obj)
+
+
+def test_estimate_size_shared_substructure_counted_like_legacy():
+    shared = [b"payload"]
+    obj = [shared, shared]  # a DAG, not a cycle: both copies count
+    assert estimate_size(obj) == legacy_estimate_size(obj)
+
+
+# ------------------------------------------------- twin-world job runs
+
+TEXT = (b"the quick brown fox\njumps over the lazy dog\n"
+        b"the dog barks\nfox and dog\n") * 25
+
+
+def wc_map(ctx, _offset, line):
+    for word in line.split():
+        ctx.emit(word, 1)
+    ctx.charge(1e-6 * len(line))
+
+
+def wc_reduce(ctx, key, values):
+    ctx.emit(key, sum(values))
+    ctx.charge(1e-7 * len(values))
+
+
+def run_wordcount(world_factory, reduce_task_cls, monkeypatch, **conf):
+    env, cluster, hdfs, nodes = world_factory()
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    with monkeypatch.context() as patch:
+        patch.setattr(runtime_mod, "ReduceTask", reduce_task_cls)
+        settings = dict(
+            name="twin", mapper=wc_map, reducer=wc_reduce,
+            input_format=TextInputFormat(), n_reducers=3,
+            input_paths=["/in"], map_slots_per_node=2,
+            task_startup=0.01, output_path="/out")
+        settings.update(conf)
+        job = JobConf(**settings)
+        runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+        result = run(env, runner.run())
+    return result
+
+
+def fresh_world():
+    from repro.cluster import Cluster
+    from repro.hdfs import HDFS
+    from repro.sim import Environment
+    from tests.mapreduce.conftest import small_spec
+
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(4)]
+    hdfs = HDFS(env, cluster.network, block_size=200, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    return env, cluster, hdfs, nodes
+
+
+@pytest.mark.parametrize("conf", [
+    {},                                    # plain wordcount
+    {"combiner": wc_reduce},               # map-side combiner (shared code)
+    {"n_reducers": 1},                     # single fat partition
+])
+def test_default_knobs_pin_legacy_reduce_timings(monkeypatch, conf):
+    new = run_wordcount(fresh_world, runtime_mod.ReduceTask,
+                        monkeypatch, **conf)
+    old = run_wordcount(fresh_world, LegacyReduceTask, monkeypatch, **conf)
+
+    # Job end-to-end timing pinned to 1e-9.
+    assert new.duration == pytest.approx(old.duration, abs=1e-9)
+    assert new.end == pytest.approx(old.end, abs=1e-9)
+
+    # Per-reduce-task start/end pinned to 1e-9, pairwise.
+    new_r = sorted(new.stats_for("reduce"), key=lambda s: s.task_id)
+    old_r = sorted(old.stats_for("reduce"), key=lambda s: s.task_id)
+    assert len(new_r) == len(old_r) > 0
+    for s_new, s_old in zip(new_r, old_r):
+        assert s_new.start == pytest.approx(s_old.start, abs=1e-9)
+        assert s_new.end == pytest.approx(s_old.end, abs=1e-9)
+
+    # Identical byte streams: same partition assignment, same merged
+    # record order, same persisted outputs.
+    assert new.outputs == old.outputs
+    assert new.output_paths == old.output_paths
+    assert new.counters.value("shuffle", "bytes") == \
+        old.counters.value("shuffle", "bytes")
+    assert new.counters.value("reduce", "groups") == \
+        old.counters.value("reduce", "groups")

@@ -1,0 +1,88 @@
+"""PendingSplits vs the legacy O(pending) list scan.
+
+The claim order decides which node runs which split and therefore the
+whole DES event order, so the host-indexed queue must reproduce the
+legacy semantics *exactly*: oldest node-local split first, else oldest
+overall, requeues at the back.
+"""
+
+import random
+
+from repro.mapreduce.input_format import InputSplit
+from repro.mapreduce.runtime import PendingSplits
+
+
+def legacy_pick(pending, node_name):
+    """The pre-index claim loop, verbatim."""
+    for i, split in enumerate(pending):
+        if node_name in split.locations:
+            return pending.pop(i)
+    return pending.pop(0) if pending else None
+
+
+def make_splits(rng, n, hosts):
+    return [
+        InputSplit(
+            path=f"/f{i}", index=i, length=100,
+            locations=rng.sample(hosts, rng.randrange(0, 3)))
+        for i in range(n)
+    ]
+
+
+def test_local_split_claimed_before_remote():
+    splits = [
+        InputSplit(path="/a", index=0, length=1, locations=["n1"]),
+        InputSplit(path="/b", index=0, length=1, locations=["n0"]),
+    ]
+    queue = PendingSplits(splits)
+    assert queue.take("n0") is splits[1]   # skips the older remote split
+    assert queue.take("n0") is splits[0]   # then falls back to it
+    assert queue.take("n0") is None
+
+
+def test_requeue_goes_to_the_back():
+    splits = [
+        InputSplit(path="/a", index=0, length=1, locations=[]),
+        InputSplit(path="/b", index=0, length=1, locations=[]),
+    ]
+    queue = PendingSplits(splits)
+    first = queue.take("n0")
+    queue.add(first)                        # retry requeue
+    assert queue.take("n0") is splits[1]
+    assert queue.take("n0") is first
+
+
+def test_randomized_claim_order_matches_legacy_scan():
+    hosts = [f"n{i}" for i in range(4)]
+    for seed in [2, 17, 4040]:
+        rng = random.Random(seed)
+        splits = make_splits(rng, 60, hosts)
+        legacy = list(splits)
+        queue = PendingSplits(splits)
+        taken = []  # indexed claims available for requeue
+        # Interleave claims and requeues exactly the way _map_worker
+        # does (claim from a random node; occasionally requeue a fail).
+        for _ in range(400):
+            op = rng.random()
+            if op < 0.25 and taken:
+                split = taken.pop(rng.randrange(len(taken)))
+                legacy.append(split)
+                queue.add(split)
+                continue
+            node = rng.choice(hosts)
+            want = legacy_pick(legacy, node)
+            got = queue.take(node)
+            assert got is want
+            if got is not None and rng.random() < 0.5:
+                taken.append(got)
+        assert len(legacy) == len(queue)
+
+
+def test_len_tracks_outstanding_splits():
+    rng = random.Random(1)
+    splits = make_splits(rng, 10, ["n0", "n1"])
+    queue = PendingSplits(splits)
+    assert len(queue) == 10
+    queue.take("n0")
+    queue.take("missing-host")
+    assert len(queue) == 8

@@ -64,6 +64,66 @@ def test_estimate_size_basics():
     assert estimate_size({"k": 1}) == 8 + 1 + 8
 
 
+def test_estimate_size_self_referencing_list_terminates():
+    cyclic = [b"head"]
+    cyclic.append(cyclic)
+    # 8 (outer) + 4 (b"head") + fixed cycle cost for the back-reference
+    assert estimate_size(cyclic) == 8 + 4 + 8
+
+
+def test_estimate_size_dict_cycle_terminates():
+    outer = {}
+    outer["self"] = outer
+    outer["n"] = 1
+    assert estimate_size(outer) == 8 + len("self") + 8 + len("n") + 8
+
+
+def test_estimate_size_mutual_cycle_terminates():
+    a, b = [], []
+    a.append(b)
+    b.append(a)
+    # a -> (b -> cycle(a))
+    assert estimate_size(a) == 8 + (8 + 8)
+
+
+def test_estimate_size_deep_nesting():
+    obj = 1
+    for _ in range(50):
+        obj = [obj]
+    assert estimate_size(obj) == 50 * 8 + 8
+
+
+def test_estimate_size_shared_substructure_is_not_a_cycle():
+    shared = [1, 2]                  # 8 + 16 = 24
+    assert estimate_size([shared, shared]) == 8 + 24 + 24
+
+
+def test_group_sorted_stream_matches_list_grouping():
+    from repro.mapreduce.shuffle import group_sorted_stream
+
+    records = [("a", 1), ("a", 2), ("b", 3)]
+    assert list(group_sorted_stream(iter(records))) == \
+        list(group_sorted(records))
+    assert list(group_sorted_stream(iter([]))) == []
+
+
+def test_merge_sorted_streams_is_lazy():
+    from repro.mapreduce.shuffle import merge_sorted_streams
+
+    pulled = []
+
+    def probe(run):
+        for kv in run:
+            pulled.append(kv)
+            yield kv
+
+    stream = merge_sorted_streams([probe([("a", 1), ("z", 2)]),
+                                   probe([("b", 3)])])
+    next(stream)
+    # Only the heads (plus one successor) were pulled, not everything.
+    assert len(pulled) < 3
+
+
 @given(st.lists(st.tuples(
     st.one_of(st.integers(), st.text(max_size=8)),
     st.integers())))

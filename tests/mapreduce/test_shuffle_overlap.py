@@ -1,0 +1,232 @@
+"""End-to-end tests for the overlapped shuffle data path."""
+
+import pytest
+
+from repro.mapreduce import JobConf, JobRunner, MapReduceError, \
+    TextInputFormat
+
+from tests.mapreduce.conftest import run, world  # noqa: F401 (fixture)
+
+TEXT = b"the quick brown fox\njumps over the lazy dog\n" \
+       b"the dog barks\nfox and dog\n" * 20
+
+
+def wc_map(ctx, _offset, line):
+    for word in line.split():
+        ctx.emit(word, 1)
+    ctx.charge(1e-5 * len(line))
+
+
+def wc_reduce(ctx, key, values):
+    ctx.emit(key, sum(values))
+
+
+def expected_counts(text=TEXT):
+    counts = {}
+    for word in text.split():
+        counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def make_job(**kw):
+    defaults = dict(
+        name="wc-overlap",
+        mapper=wc_map,
+        reducer=wc_reduce,
+        input_format=TextInputFormat(),
+        n_reducers=3,
+        input_paths=["/in"],
+        map_slots_per_node=2,
+        task_startup=0.01,
+    )
+    defaults.update(kw)
+    return JobConf(**defaults)
+
+
+def run_job(world_tuple, **conf):
+    env, cluster, hdfs, nodes = world_tuple
+    job = make_job(**conf)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    t0 = env.now
+    result = run(env, runner.run())
+    return result, env.now - t0
+
+
+def flat(result):
+    return {k: v for recs in result.outputs.values() for k, v in recs}
+
+
+class FlakyShuffleNetwork:
+    """Delegates to a real Network, failing the first ``n_failures``
+    shuffle-tagged transfers."""
+
+    def __init__(self, network, n_failures):
+        self._network = network
+        self.remaining = n_failures
+        self.shuffle_calls = 0
+
+    def transfer(self, src, dst, nbytes, tag=None):
+        if tag == "shuffle":
+            self.shuffle_calls += 1
+            if self.remaining > 0:
+                self.remaining -= 1
+                raise RuntimeError("shuffle servlet connection reset")
+        return self._network.transfer(src, dst, nbytes, tag=tag)
+
+    def __getattr__(self, name):
+        return getattr(self._network, name)
+
+
+def test_overlap_identical_outputs_and_strictly_faster(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    legacy, t_legacy = run_job((env, cluster, hdfs, nodes))
+    overlap, t_overlap = run_job(
+        (env, cluster, hdfs, nodes),
+        name="wc-overlap-on", shuffle_overlap=True,
+        shuffle_parallel_copies=4)
+    assert flat(overlap) == flat(legacy) == expected_counts()
+    # Reducer startup + early fetches overlap the map wave.
+    assert t_overlap < t_legacy
+    # Copy-phase spans replace the barrier-mode "shuffle" phase.
+    phases = overlap.stats_for("reduce")[0].phases
+    assert "copy" in phases and "shuffle" not in phases
+
+
+def test_parallel_copies_window_preserves_results(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    serial, _t1 = run_job(
+        (env, cluster, hdfs, nodes),
+        name="wc-serial-copy", shuffle_overlap=True,
+        shuffle_parallel_copies=1)
+    wide, _t2 = run_job(
+        (env, cluster, hdfs, nodes),
+        name="wc-wide-copy", shuffle_overlap=True,
+        shuffle_parallel_copies=8)
+    assert flat(serial) == flat(wide) == expected_counts()
+    assert serial.counters.value("shuffle", "bytes") == \
+        wide.counters.value("shuffle", "bytes")
+
+
+def test_fetch_retry_recovers_from_transient_failures(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    flaky = FlakyShuffleNetwork(cluster.network, n_failures=2)
+    job = make_job(shuffle_overlap=True, shuffle_fetch_attempts=3,
+                   task_retry_backoff=0.05)
+    runner = JobRunner(env, nodes, hdfs, flaky, job)
+    result = run(env, runner.run())
+    assert flat(result) == expected_counts()
+    # Both failures were absorbed at the fetch level, not as whole
+    # reduce-attempt retries.
+    assert result.counters.value("shuffle", "fetch_retries") == 2
+    assert result.counters.value("job", "failed_reduce_attempts") == 0
+
+
+def test_fetch_attempts_exhausted_fails_reduce_attempts(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    flaky = FlakyShuffleNetwork(cluster.network, n_failures=10**9)
+    job = make_job(shuffle_overlap=True, shuffle_fetch_attempts=2,
+                   max_task_attempts=2, task_retry_backoff=0.05)
+    runner = JobRunner(env, nodes, hdfs, flaky, job)
+
+    def proc():
+        yield from runner.run()
+
+    with pytest.raises(MapReduceError, match="reduce partition"):
+        run(env, proc())
+
+
+def test_merge_factor_spills_and_preserves_results(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    baseline, _t = run_job((env, cluster, hdfs, nodes), n_reducers=1)
+    spilled, _t = run_job(
+        (env, cluster, hdfs, nodes),
+        name="wc-merge-bound", n_reducers=1, shuffle_merge_factor=2)
+    assert flat(spilled) == flat(baseline) == expected_counts()
+    assert spilled.counters.value("shuffle", "merge_passes") >= 1
+    assert spilled.counters.value("shuffle", "spilled_bytes") > 0
+    assert "merge" in spilled.stats_for("reduce")[0].phases
+    assert baseline.counters.value("shuffle", "merge_passes") == 0
+
+
+def test_merge_factor_validation():
+    with pytest.raises(MapReduceError, match="shuffle_merge_factor"):
+        make_job(shuffle_merge_factor=1).validate()
+    with pytest.raises(MapReduceError, match="shuffle_fetch_attempts"):
+        make_job(shuffle_fetch_attempts=0).validate()
+    with pytest.raises(MapReduceError, match="shuffle_parallel_copies"):
+        make_job(shuffle_parallel_copies=-1).validate()
+
+
+def test_combiner_shrinks_shuffled_bytes(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    plain, _t = run_job((env, cluster, hdfs, nodes))
+    combined, _t = run_job(
+        (env, cluster, hdfs, nodes),
+        name="wc-combined", combiner=wc_reduce, shuffle_overlap=True)
+    assert flat(combined) == flat(plain) == expected_counts()
+    assert combined.counters.value("shuffle", "bytes") < \
+        plain.counters.value("shuffle", "bytes")
+    c_in = combined.counters.value("shuffle", "combine_input_records")
+    c_out = combined.counters.value("shuffle", "combine_output_records")
+    assert c_in > c_out > 0
+
+
+def test_overlap_survives_map_retries(world):  # noqa: F811
+    """Only winning map attempts commit to the feed, so retried maps
+    neither double-feed nor starve the overlapped reducers."""
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    state = {"failures_left": 2}
+
+    def flaky_map(ctx, _offset, line):
+        if state["failures_left"] > 0:
+            state["failures_left"] -= 1
+            raise RuntimeError("transient map failure")
+        wc_map(ctx, _offset, line)
+
+    result, _t = run_job(
+        (env, cluster, hdfs, nodes),
+        name="wc-flaky-maps", mapper=flaky_map, shuffle_overlap=True,
+        task_retry_backoff=0.05)
+    assert flat(result) == expected_counts()
+    assert result.counters.value("job", "failed_map_attempts") == 2
+
+
+def test_overlap_survives_reduce_retry(world):  # noqa: F811
+    """A retried reduce attempt re-reads the append-only feed from the
+    start and still sees every map output."""
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    state = {"failures_left": 2}
+
+    def flaky_reduce(ctx, key, values):
+        if state["failures_left"] > 0:
+            state["failures_left"] -= 1
+            raise RuntimeError("transient reduce failure")
+        wc_reduce(ctx, key, values)
+
+    result, _t = run_job(
+        (env, cluster, hdfs, nodes),
+        name="wc-flaky-reduce", reducer=flaky_reduce,
+        shuffle_overlap=True, task_retry_backoff=0.05)
+    assert flat(result) == expected_counts()
+    assert result.counters.value("job", "failed_reduce_attempts") == 2
+
+
+def test_overlap_with_speculation_results_exact(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/text.txt", TEXT)
+    result, _t = run_job(
+        (env, cluster, hdfs, nodes),
+        name="wc-overlap-spec", shuffle_overlap=True, speculative=True,
+        shuffle_parallel_copies=2)
+    assert flat(result) == expected_counts()
+    # One committed output per split even if backups ran.
+    assert len(result.stats_for("map")) == \
+        result.counters.value("job", "splits")

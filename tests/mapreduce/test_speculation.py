@@ -108,3 +108,102 @@ def test_speculation_on_uniform_cluster_rarely_fires():
     # Uniform tasks: nothing exceeds 1.5x the mean by much, so backups
     # are rare (tolerate boundary effects of the last wave).
     assert result.counters.value("job", "speculative_attempts") <= 2
+
+
+def test_backup_wins_and_original_is_killed():
+    """A 20x straggler's backup finishes first: the speculative attempt
+    SUCCEEDs, the original is recorded KILLED, and the job counts one
+    speculative loss for the dropped original."""
+    from repro.obs.history import KILLED, SUCCEEDED
+
+    env, cluster, hdfs, nodes = straggler_world(slow_factor=20.0)
+    hdfs.store_file_sync("/in/a.txt", TEXT)
+    result, _t = run_wc(env, cluster, hdfs, nodes, True)
+
+    attempts = result.history.attempts_for("map")
+    winners = [a for a in attempts
+               if a.speculative and a.outcome == SUCCEEDED]
+    losers = [a for a in attempts
+              if not a.speculative and a.outcome == KILLED]
+    assert winners, "no backup attempt won against a 20x straggler"
+    assert losers, "the straggling original was never killed"
+    # Every winner displaced exactly one original on the slow node.
+    assert {a.node for a in losers} == {"slow"}
+    assert result.counters.value("job", "speculative_losses") == \
+        len(losers) + len(
+            [a for a in attempts
+             if a.speculative and a.outcome == KILLED])
+
+
+def test_backup_loses_when_original_finishes_first():
+    """With an absurdly low slowdown threshold on a uniform cluster,
+    backups launch against healthy tasks and lose: the speculative
+    attempt is KILLED, counted under speculative_losses, and results
+    stay exact."""
+    from repro.obs.history import KILLED
+
+    env, cluster, hdfs, nodes = straggler_world(slow_factor=1.0)
+    hdfs.store_file_sync("/in/a.txt", TEXT)
+    job = JobConf(
+        name="wc-eager-backup",
+        mapper=wc_map,
+        reducer=wc_reduce,
+        input_format=TextInputFormat(),
+        n_reducers=1,
+        input_paths=["/in"],
+        map_slots_per_node=1,
+        task_startup=0.0,
+        speculative=True,
+        speculative_slowdown=0.01,   # everything looks like a straggler
+    )
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    result = run(env, runner.run())
+
+    got = {k: v for recs in result.outputs.values() for k, v in recs}
+    assert got == {b"alpha": 2000, b"beta": 2000, b"gamma": 2000}
+    killed_backups = [a for a in result.history.attempts_for("map")
+                      if a.speculative and a.outcome == KILLED]
+    assert killed_backups, "no backup lost to its healthy original"
+    assert result.counters.value("job", "speculative_losses") >= \
+        len(killed_backups)
+    # Exactly one surviving output per split despite the duplicates.
+    assert len(result.stats_for("map")) == \
+        result.counters.value("job", "splits")
+
+
+def test_reduce_retry_exhausts_max_task_attempts():
+    """A permanently failing reducer burns exactly max_task_attempts
+    attempts, each recorded FAILED in the history, then fails the job."""
+    import pytest
+
+    from repro.mapreduce import MapReduceError
+    from repro.obs.history import FAILED
+
+    env, cluster, hdfs, nodes = straggler_world(slow_factor=1.0)
+    hdfs.store_file_sync("/in/a.txt", b"alpha beta\n")
+
+    def bad_reduce(ctx, key, values):
+        raise RuntimeError("reduce is broken")
+
+    job = JobConf(
+        name="wc-bad-reduce",
+        mapper=wc_map,
+        reducer=bad_reduce,
+        input_format=TextInputFormat(),
+        n_reducers=1,
+        input_paths=["/in"],
+        task_startup=0.0,
+        max_task_attempts=3,
+        task_retry_backoff=0.1,
+    )
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+
+    def proc():
+        yield from runner.run()
+
+    with pytest.raises(MapReduceError,
+                       match="reduce partition 0 failed 3 times"):
+        run(env, proc())
+    failed = [a for a in runner.history.attempts_for("reduce")
+              if a.outcome == FAILED]
+    assert len(failed) == 3

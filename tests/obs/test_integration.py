@@ -133,6 +133,44 @@ def test_scidp_world_trace_end_to_end(tmp_path):
     assert "ost0" in out
 
 
+def test_shuffle_counters_in_trace_and_report(world, tmp_path):
+    """A shuffled job surfaces per-job shuffle rows in the trace file,
+    copy-phase spans on the timeline, and a shuffle table in the report."""
+    env, cluster, hdfs, nodes = world
+    path = tmp_path / "shuffle.json"
+    session = TraceSession(str(path))
+    session.observe(env, "shuffle@demo", nodes=nodes, hdfs=hdfs,
+                    network=cluster.network)
+    hdfs.store_file_sync("/in/text.txt", b"one two three two one\n" * 80)
+    # A dotted job name exercises the counter-key round trip.
+    job = _job(name="wc.shuffle", combiner=_reducer, shuffle_overlap=True,
+               shuffle_parallel_copies=4)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    result = run(env, runner.run())
+    session.save()
+
+    assert validate_trace(str(path)) == []
+    doc = load_trace(str(path))
+    (row,) = [d for d in doc["deviceMetrics"] if "shuffle_job" in d]
+    assert row["shuffle_job"] == "wc.shuffle"
+    assert row["bytes_moved"] == result.counters.value("shuffle", "bytes")
+    assert row["shuffle_fetches"] == \
+        result.counters.value("shuffle", "fetches")
+    assert row["combine_input_records"] > row["combine_output_records"] > 0
+
+    # one copy-phase span per reducer replaces the barrier-mode shuffle
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    phase_names = [e["name"] for e in spans
+                   if e.get("cat") == "task.phase"]
+    assert phase_names.count("copy") == 2
+    assert "shuffle" not in phase_names
+
+    out = render_report(str(path), width=48)
+    assert "shuffle" in out
+    assert "wc.shuffle" in out
+    assert "combine in/out" in out
+
+
 def test_scidp_world_trace_is_deterministic(tmp_path):
     a = tmp_path / "a.json"
     b = tmp_path / "b.json"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, bounded_fanout
+from repro.sim import Environment, FanoutWindow, bounded_fanout
 
 
 def run_fanout(env, factories, window):
@@ -100,3 +100,130 @@ def test_negative_window_treated_as_unbounded():
     factories = [make_factory(env, 1, i, events) for i in range(3)]
     assert run_fanout(env, factories, -1) == [0, 1, 2]
     assert env.now == 1.0
+
+
+# ---------------------------------------------------------- FanoutWindow
+
+def drain_window(env, window):
+    def consumer():
+        result = yield from window.drain()
+        return result
+    proc = env.process(consumer())
+    env.run()
+    return proc.value
+
+
+def test_window_drain_returns_submission_order():
+    env = Environment()
+    events = []
+    window = FanoutWindow(env, max_inflight=2)
+    for i, delay in enumerate([5, 3, 1]):
+        window.submit(make_factory(env, delay, i, events))
+    window.close()
+    assert drain_window(env, window) == [0, 1, 2]
+
+
+def test_window_bounds_dynamic_concurrency():
+    env = Environment()
+    events = []
+    window = FanoutWindow(env, max_inflight=2)
+    for i in range(6):
+        window.submit(make_factory(env, 2, i, events))
+    window.close()
+    assert drain_window(env, window) == list(range(6))
+    active = peak = 0
+    for kind, _value, _t in events:
+        active += 1 if kind == "start" else -1
+        peak = max(peak, active)
+    assert peak == 2
+
+
+def test_window_accepts_submissions_while_draining():
+    """Work discovered mid-flight (the overlapped-shuffle shape):
+    a producer keeps submitting while the consumer already drains."""
+    env = Environment()
+    events = []
+    window = FanoutWindow(env, max_inflight=1)
+    window.submit(make_factory(env, 1, 0, events))
+
+    def producer():
+        yield env.timeout(0.5)
+        window.submit(make_factory(env, 1, 1, events))
+        yield env.timeout(2.0)
+        window.submit(make_factory(env, 1, 2, events))
+        window.close()
+
+    env.process(producer())
+    assert drain_window(env, window) == [0, 1, 2]
+    assert env.now == 3.5  # third submit at 2.5 runs serially after it
+
+
+def test_window_unbounded_runs_all_submissions_at_once():
+    env = Environment()
+    events = []
+    window = FanoutWindow(env, max_inflight=0)
+    for i in range(4):
+        window.submit(make_factory(env, 2, i, events))
+    window.close()
+    assert drain_window(env, window) == [0, 1, 2, 3]
+    assert env.now == 2.0
+
+
+def test_window_empty_close_drains_immediately():
+    env = Environment()
+    window = FanoutWindow(env)
+    window.close()
+    assert drain_window(env, window) == []
+    assert env.now == 0.0
+
+
+def test_window_submit_after_close_raises():
+    env = Environment()
+    window = FanoutWindow(env)
+    window.close()
+    with pytest.raises(RuntimeError, match="close"):
+        window.submit(lambda: iter(()))
+
+
+def test_window_failure_reraised_from_drain():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("boom")
+
+    window = FanoutWindow(env, max_inflight=2)
+    window.submit(bad)
+    window.submit(make_factory(env, 5, "ok", []))
+    window.close()
+
+    def consumer():
+        yield from window.drain()
+
+    proc = env.process(consumer())
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+    assert not proc.ok
+
+
+def test_window_failure_while_consumer_waits_elsewhere():
+    """A constituent failing while nobody waits on the window must not
+    escape env.step(); drain() reports it later."""
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("late boom")
+
+    window = FanoutWindow(env)
+    window.submit(bad)
+
+    def consumer():
+        yield env.timeout(10)  # busy elsewhere while the failure lands
+        window.close()
+        yield from window.drain()
+
+    proc = env.process(consumer())
+    with pytest.raises(RuntimeError, match="late boom"):
+        env.run()
+    assert not proc.ok
