@@ -33,6 +33,8 @@ EXPERIMENTS = {
                                      "n_timesteps": 8}),
     "fig9": (harness.fig9_rows, {}, {"sizes": (3,)}),
     "shuffle": (harness.shuffle_overlap_rows, {}, {"n_timesteps": 4}),
+    "write": (harness.write_path_rows, {},
+              {"n_files": 2, "blocks_per_file": 2}),
     "abl-align": (harness.abl_chunk_alignment_rows, {},
                   {"n_timesteps": 3}),
     "abl-gran": (harness.abl_read_granularity_rows, {},
@@ -46,7 +48,8 @@ EXPERIMENTS = {
 }
 
 #: experiments whose runner accepts ``trace=`` (figure benches)
-TRACEABLE = {"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "shuffle"}
+TRACEABLE = {"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "shuffle",
+             "write"}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -76,6 +76,26 @@ PFS_CLIENT_MAX_INFLIGHT = 0
 #: prefetch without sizing ``readahead_cache_bytes`` itself.
 READAHEAD_CACHE_BYTES = 256 * 1024 * 1024
 
+#: HDFS write-pipeline packet size (real DataNode pipelines stream
+#: 64 KB packets down the replication chain, so hop N→N+1 overlaps hop
+#: N−1→N). Clients default to ``None`` = legacy whole-block
+#: store-and-forward; this is the size to use when enabling it.
+HDFS_PACKET_BYTES = 64 * 1024
+
+#: Default window of concurrent in-flight blocks in ``DFSClient.write``.
+#: 1 = strictly sequential blocks (the stock output-stream behaviour);
+#: >1 or 0 pushes that many block pipelines at once.
+HDFS_WRITE_PARALLEL_BLOCKS = 1
+
+#: Default bounded fan-out window for ``PFSClient.write`` stripe pushes.
+#: 0 = unbounded (every extent pushed at once), the historical shape.
+PFS_WRITE_MAX_INFLIGHT = 0
+
+#: Chunk granularity for PFS write pushes when chunking is enabled
+#: (Lustre's native 1 MB bulk RPC). Clients default to ``None`` =
+#: legacy whole-extent pushes.
+PFS_WRITE_CHUNK_BYTES = 1024 * 1024
+
 
 # --------------------------------------------------------------------------
 # Experiment scaling

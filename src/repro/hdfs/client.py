@@ -2,8 +2,25 @@
 
 Implements the :class:`repro.io.protocol.StorageClient` protocol; block
 fan-out is delegated to the shared :class:`repro.io.planner.ReadPlanner`
-(``hdfs`` scheme), which also rolls this client's reads into the
-per-scheme datapath metrics.
+and writes to the :class:`repro.io.write.WritePlanner` (``hdfs``
+scheme), which roll this client's traffic into the per-scheme datapath
+metrics.
+
+The write path has two replication disciplines:
+
+- **store-and-forward** (``packet_bytes=None``, the default): each
+  block is shipped whole to replica N, written, then shipped on to
+  replica N+1 — the frozen legacy shape
+  (:func:`repro.io._legacy.legacy_hdfs_write`).
+- **packet pipeline** (``packet_bytes`` set, e.g.
+  ``costs.HDFS_PACKET_BYTES``): the block is split into packets that
+  stream down the replica chain like a real DataNode pipeline, so hop
+  N→N+1 overlaps hop N−1→N and each replica's disk writes overlap the
+  network streams.
+
+Independently, ``write_parallel_blocks`` bounds how many block
+pipelines of one file are in flight at once (1 = legacy sequential
+output stream).
 """
 
 from __future__ import annotations
@@ -13,8 +30,10 @@ from typing import Optional
 from repro.cluster.node import Node
 from repro.hdfs.block import BlockInfo
 from repro.hdfs.namenode import HDFSError
-from repro.io.planner import ReadPlanner
+from repro.io.planner import ReadPlanner, chop_range
+from repro.io.write import WritePlanner
 from repro.obs.trace import tracer_of
+from repro.sim import AllOf, Event
 
 __all__ = ["DFSClient"]
 
@@ -28,12 +47,25 @@ class DFSClient:
     and interference by maximizing local access".
     """
 
-    def __init__(self, hdfs, node: Node):
+    def __init__(self, hdfs, node: Node,
+                 packet_bytes: Optional[int] = None,
+                 write_parallel_blocks: Optional[int] = None):
         self.hdfs = hdfs
         self.node = node
         self.env = hdfs.env
         #: the shared read planner (block fan-out + per-scheme metrics)
         self.planner = ReadPlanner(self.env, scheme="hdfs")
+        #: the shared write planner (block fan-out + per-scheme metrics)
+        self.write_planner = WritePlanner(self.env, scheme="hdfs")
+        #: replication pipeline packet size; None = whole-block
+        #: store-and-forward (the legacy shape)
+        self.packet_bytes = (
+            getattr(hdfs, "packet_bytes", None)
+            if packet_bytes is None else packet_bytes)
+        #: concurrent block pipelines per write; 1 = sequential stream
+        self.write_parallel_blocks = (
+            getattr(hdfs, "write_parallel_blocks", 1)
+            if write_parallel_blocks is None else write_parallel_blocks)
         #: trace swimlane for this client's spans
         self.track = f"{node.name}.hdfs"
         #: payload bytes read/written by this client
@@ -46,6 +78,21 @@ class DFSClient:
         namenode = self.hdfs.namenode
         yield from namenode.rpc()
         block = namenode.add_block(path, len(chunk), writer=self.node.name)
+        yield from self._push_block(block, chunk)
+        return block
+
+    def _push_block(self, block: BlockInfo, chunk: bytes):
+        """Push one allocated block's bytes down the replica chain. DES
+        generator; dispatches on the configured replication discipline."""
+        if self.packet_bytes is None or not block.locations:
+            yield from self._store_and_forward(block, chunk)
+        else:
+            yield from self._push_block_pipelined(block, chunk)
+        self.write_planner.account(len(chunk))
+
+    def _store_and_forward(self, block: BlockInfo, chunk: bytes):
+        """Whole-block replication: ship to replica N, write, ship on to
+        replica N+1 — the frozen legacy discipline. DES generator."""
         prev_node = self.node
         for target_name in block.locations:
             datanode = self.hdfs.datanode(target_name)
@@ -53,14 +100,54 @@ class DFSClient:
                 prev_node, datanode.node, len(chunk))
             yield self.env.process(datanode.write(block.block_id, chunk))
             prev_node = datanode.node
-        return block
+
+    def _push_block_pipelined(self, block: BlockInfo, chunk: bytes):
+        """Packet-pipelined replication: the block streams down the
+        replica chain in ``packet_bytes`` packets, so hop N→N+1 overlaps
+        hop N−1→N and replica disks overlap the network streams. DES
+        generator.
+
+        One link process per hop; ``ready[h][k]`` fires when packet k
+        has fully arrived at replica h, releasing hop h+1's send of that
+        packet. Each arrival also forks the replica's packet disk write;
+        the block is sealed on every replica once all links and disk
+        writes have landed.
+        """
+        env = self.env
+        pieces = chop_range(0, len(chunk), self.packet_bytes)
+        targets = [self.hdfs.datanode(name) for name in block.locations]
+        ready = [[Event(env) for _ in pieces] for _ in targets]
+        disk_writes: list = []
+
+        def link(h):
+            src = self.node if h == 0 else targets[h - 1].node
+            dst = targets[h]
+            for k, (off, n) in enumerate(pieces):
+                if h > 0:
+                    yield ready[h - 1][k]
+                yield self.hdfs.network.transfer(src, dst.node, n)
+                ready[h][k].succeed()
+                disk_writes.append(env.process(dst.write_packet(
+                    block.block_id, chunk[off:off + n], off)))
+
+        links = [env.process(link(h)) for h in range(len(targets))]
+        yield AllOf(env, links)
+        if disk_writes:
+            yield AllOf(env, disk_writes)
+        for dst in targets:
+            dst.commit_block(block.block_id)
 
     def write(self, path: str, data: bytes,
               block_size: Optional[int] = None,
               replication: Optional[int] = None):
         """Create ``path`` and write ``data`` through the pipeline.
 
-        Blocks are written sequentially, as a real output stream does.
+        With ``write_parallel_blocks == 1`` (the default) blocks are
+        written sequentially, as a real output stream does. A larger (or
+        0 = unbounded) window allocates every block up front — namenode
+        placement stays in file order — and keeps that many block
+        pipelines in flight at once.
+
         DES process; returns the FileEntry.
         """
         with tracer_of(self.env).span(
@@ -69,11 +156,28 @@ class DFSClient:
             namenode = self.hdfs.namenode
             yield from namenode.rpc()
             entry = namenode.create_file(path, block_size, replication)
+            window = self.write_parallel_blocks
             pos = 0
-            while pos < len(data):
-                chunk = data[pos:pos + entry.block_size]
-                yield self.env.process(self._write_block(entry.path, chunk))
-                pos += len(chunk)
+            if window == 1:
+                while pos < len(data):
+                    chunk = data[pos:pos + entry.block_size]
+                    yield self.env.process(
+                        self._write_block(entry.path, chunk))
+                    pos += len(chunk)
+            else:
+                allocated: list[tuple[BlockInfo, bytes]] = []
+                while pos < len(data):
+                    chunk = data[pos:pos + entry.block_size]
+                    yield from namenode.rpc()
+                    allocated.append((
+                        namenode.add_block(
+                            entry.path, len(chunk), writer=self.node.name),
+                        chunk))
+                    pos += len(chunk)
+                yield from self.write_planner.fan_out_blocks(
+                    [lambda b=b, c=c: self._push_block(b, c)
+                     for b, c in allocated],
+                    window)
             namenode.complete_file(entry.path)
             self.bytes_written += len(data)
             return entry

@@ -17,6 +17,7 @@ from repro.cluster.node import Node
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE, BlockInfo
 from repro.hdfs.namenode import HDFSError
 from repro.io.planner import ReadPlanner
+from repro.io.write import WritePlanner
 from repro.pfs.client import PFSClient
 from repro.pfs.filesystem import PFS
 from repro.pfs.server import PFSError
@@ -35,13 +36,19 @@ class PFSConnector:
     def __init__(self, pfs: PFS,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  rpc_size: int = CONNECTOR_RPC_SIZE,
-                 lock_latency: float = CONNECTOR_LOCK_LATENCY):
+                 lock_latency: float = CONNECTOR_LOCK_LATENCY,
+                 write_max_inflight: Optional[int] = None,
+                 write_chunk: Optional[int] = None):
         self.pfs = pfs
         self.env = pfs.env
         self.network = pfs.network
         self.block_size = block_size
         self.rpc_size = rpc_size
         self.lock_latency = lock_latency
+        #: stripe-push window/granularity for the backing PFS clients
+        #: (None/None = the legacy PFS write shape)
+        self.write_max_inflight = write_max_inflight
+        self.write_chunk = write_chunk
         # Synthetic block ids must be resolvable by ANY client of this
         # connector (the scheduler enumerates splits with one client,
         # map tasks read with others), so the registry lives here.
@@ -110,13 +117,20 @@ class ConnectorClient:
         self.connector = connector
         self.node = node
         self.env = connector.env
-        self._pfs_client = PFSClient(connector.pfs, node)
+        self._pfs_client = PFSClient(
+            connector.pfs, node,
+            write_max_inflight=connector.write_max_inflight,
+            write_chunk=connector.write_chunk)
         #: the shared read planner (RPC chopping + lock latency)
         self.planner = ReadPlanner(
             self.env, scheme="connector",
             granularity=connector.rpc_size,
             request_overhead=connector.lock_latency,
             max_inflight=1)
+        #: write accounting under the ``connector`` scheme (the inner
+        #: PFS pushes additionally account under ``pfs``, mirroring the
+        #: read side)
+        self.write_planner = WritePlanner(self.env, scheme="connector")
         self.bytes_read = 0.0
         self.bytes_written = 0.0
 
@@ -183,13 +197,16 @@ class ConnectorClient:
     def write(self, path: str, data: bytes, **_kwargs):
         """Write a file through the connector (RPC-granular). DES process."""
         pos = 0
+        requests = 0
         while pos < len(data):
             chunk = data[pos:pos + self.connector.rpc_size]
             yield self.env.timeout(self.connector.lock_latency)
             yield self.env.process(
                 self._pfs_client.write(path, chunk, offset=pos))
             pos += len(chunk)
+            requests += 1
         self.bytes_written += len(data)
+        self.write_planner.account(len(data), requests=requests)
 
     def listdir(self, path: str):
         """Directory listing (one metadata RPC). DES process."""

@@ -23,6 +23,8 @@ class DataNode:
         self.name = node.name
         self.alive = True
         self._blocks: dict[int, bytes] = {}
+        #: packet-streamed blocks being assembled (pipelined writes)
+        self._partial: dict[int, bytearray] = {}
 
     def kill(self) -> None:
         """Take the datanode down (failure injection). Blocks stay on
@@ -60,6 +62,29 @@ class DataNode:
             raise HDFSError(f"datanode {self.name} is down")
         yield self.node.disk.write(len(data))
         self._blocks[block_id] = bytes(data)
+
+    def write_packet(self, block_id: int, data: bytes, offset: int):
+        """Timed local write of one pipeline packet at ``offset`` within
+        a block under assembly. DES process.
+
+        Packets land at explicit offsets so out-of-order disk-write
+        completions (the pipelined path forks one write per packet)
+        still assemble the exact block bytes.
+        """
+        if not self.alive:
+            raise HDFSError(f"datanode {self.name} is down")
+        yield self.node.disk.write(len(data))
+        buf = self._partial.get(block_id)
+        if buf is None:
+            buf = self._partial[block_id] = bytearray()
+        end = offset + len(data)
+        if len(buf) < end:
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = data
+
+    def commit_block(self, block_id: int) -> None:
+        """Seal a packet-streamed block into the block store (sync)."""
+        self._blocks[block_id] = bytes(self._partial.pop(block_id))
 
     def read(self, block_id: int, offset: int = 0, length: int = -1):
         """Timed local read. DES process."""

@@ -25,10 +25,17 @@ class HDFS:
 
     def __init__(self, env: Environment, network: Network,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 replication: int = 1):
+                 replication: int = 1,
+                 packet_bytes: Optional[int] = None,
+                 write_parallel_blocks: int = 1):
         self.env = env
         self.network = network
         self.namenode = NameNode(env, block_size, replication)
+        #: replication pipeline packet size inherited by clients;
+        #: None = whole-block store-and-forward (legacy)
+        self.packet_bytes = packet_bytes
+        #: concurrent block pipelines per client write; 1 = sequential
+        self.write_parallel_blocks = write_parallel_blocks
         self._datanodes: dict[str, DataNode] = {}
         self._rr = 0
 
@@ -48,8 +55,12 @@ class HDFS:
     def datanodes(self) -> list[DataNode]:
         return list(self._datanodes.values())
 
-    def client(self, node: Node) -> DFSClient:
-        return DFSClient(self, node)
+    def client(self, node: Node,
+               packet_bytes: Optional[int] = None,
+               write_parallel_blocks: Optional[int] = None) -> DFSClient:
+        """A client on ``node``; write knobs default to the filesystem's."""
+        return DFSClient(self, node, packet_bytes=packet_bytes,
+                         write_parallel_blocks=write_parallel_blocks)
 
     # -- sync metadata (StorageFacade surface, shared with the connector)
     def listdir(self, path: str) -> list[str]:

@@ -12,6 +12,10 @@ reads both HDFS blocks and PFS-resident scientific data):
 - :mod:`repro.io.planner` — the single :class:`ReadPlanner` owning
   granularity chopping, per-device extent coalescing, bounded fan-out,
   and read-ahead-cache join-in-flight for all backends.
+- :mod:`repro.io.write` — the write-side twin: the
+  :class:`WritePlanner` owning payload-contiguous coalescing, chunk
+  chopping, bounded push fan-out and per-scheme ``io.write.*``
+  accounting, plus the :class:`WriteBehindFlusher` async output commit.
 
 Backend adapters (``repro.hdfs.client``, ``repro.pfs.client``,
 ``repro.hdfs.connector``, ``repro.core.reader``) keep their historical
@@ -21,9 +25,21 @@ fourth fork of the read path (see DESIGN.md §9 for the layering rules
 and the shim deprecation policy).
 """
 
-from repro.io.plan import Extent, ReadPlan, block_raw_bytes, element_bytes
+from repro.io.plan import (
+    Extent,
+    ReadPlan,
+    WritePlan,
+    block_raw_bytes,
+    element_bytes,
+)
 from repro.io.planner import ReadPlanner, chop_range, coalesce_extents
 from repro.io.protocol import READ_BLOCK_KWARGS, StorageClient, StorageFacade
+from repro.io.write import (
+    WriteBehindFlusher,
+    WritePlanner,
+    chop_extents,
+    coalesce_payload_runs,
+)
 from repro.io.registry import (
     SchemeAlreadyRegisteredError,
     StorageRegistry,
@@ -42,9 +58,14 @@ __all__ = [
     "StorageFacade",
     "StorageRegistry",
     "UnknownSchemeError",
+    "WriteBehindFlusher",
+    "WritePlan",
+    "WritePlanner",
     "block_raw_bytes",
+    "chop_extents",
     "chop_range",
     "coalesce_extents",
+    "coalesce_payload_runs",
     "element_bytes",
     "join_url",
     "split_url",

@@ -1,4 +1,4 @@
-"""Frozen pre-planner read paths, kept only for equivalence tests.
+"""Frozen pre-planner read *and write* paths, kept only for tests.
 
 The mirror of :mod:`repro.sim._legacy`: when the data plane collapsed
 into :mod:`repro.io.planner`, the duplicated chopping/coalescing/fan-out
@@ -8,6 +8,15 @@ modules and their exact shapes preserved here, so
 ``tests/io/test_planner_equivalence.py`` can hold the planner to the
 legacy event sequences (identical simulated timings *and* byte streams)
 on randomized workloads.
+
+The ``legacy_*_write*`` functions are the write-side freeze: the seed
+``DFSClient.write`` (sequential blocks, whole-block store-and-forward
+replication), ``PFSClient.write`` (one push per stripe extent under an
+unbounded ``AllOf``) and ``MPIFile.write_at_all`` (two-phase exchange
+whose aggregators call the legacy PFS write), exactly as they stood
+before the :class:`~repro.io.write.WritePlanner` port.
+``tests/io/test_write_equivalence.py`` holds the default-knob
+production writers to these event sequences.
 
 Do not use these from production code.
 """
@@ -24,7 +33,10 @@ __all__ = [
     "LegacyRangeReader",
     "legacy_chop",
     "legacy_coalesce_extents",
+    "legacy_hdfs_write",
+    "legacy_pfs_write",
     "legacy_read_extents",
+    "legacy_write_at_all",
 ]
 
 
@@ -167,3 +179,132 @@ class LegacyRangeReader:
                  for pos, n in pieces],
                 self.max_inflight)
         return b"".join(parts)
+
+
+def _legacy_hdfs_write_block(client, path: str, chunk: bytes):
+    """``DFSClient._write_block`` as of PR 4: one namenode RPC, block
+    allocation, then the whole-block store-and-forward replication
+    chain. DES generator."""
+    namenode = client.hdfs.namenode
+    yield from namenode.rpc()
+    block = namenode.add_block(path, len(chunk), writer=client.node.name)
+    prev_node = client.node
+    for target_name in block.locations:
+        datanode = client.hdfs.datanode(target_name)
+        yield client.hdfs.network.transfer(
+            prev_node, datanode.node, len(chunk))
+        yield client.env.process(datanode.write(block.block_id, chunk))
+        prev_node = datanode.node
+    return block
+
+
+def legacy_hdfs_write(client, path: str, data: bytes,
+                      block_size: Optional[int] = None,
+                      replication: Optional[int] = None):
+    """``DFSClient.write`` as of PR 4: strictly sequential blocks, each
+    through the whole-block replication chain. DES process.
+
+    ``client`` is a live :class:`~repro.hdfs.client.DFSClient`; only
+    its environment/namenode/datanode handles are reused — the write
+    discipline above them is the frozen legacy copy.
+    """
+    namenode = client.hdfs.namenode
+    yield from namenode.rpc()
+    entry = namenode.create_file(path, block_size, replication)
+    pos = 0
+    while pos < len(data):
+        chunk = data[pos:pos + entry.block_size]
+        yield client.env.process(
+            _legacy_hdfs_write_block(client, entry.path, chunk))
+        pos += len(chunk)
+    namenode.complete_file(entry.path)
+    client.bytes_written += len(data)
+    return entry
+
+
+def legacy_pfs_write(client, path: str, data: bytes, offset: int = 0,
+                     layout=None):
+    """``PFSClient.write`` as of PR 4: one push per stripe extent (no
+    coalescing, no chunking) under an unbounded ``AllOf``. DES process.
+
+    Only the client's ``_push_run`` transfer primitive is reused; the
+    planning above it is the frozen legacy copy.
+    """
+    env = client.env
+    yield from client.pfs.mds.rpc()
+    if client.pfs.mds.exists(path):
+        inode = client.pfs.mds.lookup(path)
+    else:
+        inode = client.pfs.create(path, layout)
+    extents = inode.layout.map_range(offset, len(data))
+    writers = []
+    for ext in extents:
+        chunk = data[ext.file_offset - offset:
+                     ext.file_offset - offset + ext.length]
+        writers.append(
+            env.process(client._push_run(inode, ext, chunk)))
+    if writers:
+        yield AllOf(env, writers)
+    inode.size = max(inode.size, offset + len(data))
+    return inode
+
+
+def legacy_write_at_all(handle, requests):
+    """``MPIFile.write_at_all`` as of PR 4: two-phase collective write
+    whose phase-2 aggregators issue :func:`legacy_pfs_write` calls in
+    parallel. DES process. ``handle`` is a live
+    :class:`~repro.pfs.mpiio.MPIFile`.
+    """
+    from repro.pfs.mpiio import merge_ranges, partition_domains
+    from repro.pfs.server import PFSError
+
+    env = handle.env
+    if len(requests) != handle.nranks:
+        raise PFSError("one request entry per rank required")
+    live = [(rank, off, data) for rank, req in enumerate(requests)
+            if req is not None and len(req[1]) > 0
+            for off, data in [req]]
+    if not live:
+        return
+    spans = sorted((off, off + len(data)) for _r, off, data in live)
+    for (lo_a, hi_a), (lo_b, _hi_b) in zip(spans, spans[1:]):
+        if lo_b < hi_a:
+            raise PFSError("overlapping collective writes")
+
+    merged = merge_ranges([(off, len(data)) for _r, off, data in live])
+    domains = partition_domains(merged, handle.nranks)
+
+    payloads: dict[int, list[tuple[int, bytes]]] = {}
+    shuffles = []
+    for agg_rank, domain in enumerate(domains):
+        for d_off, d_len in domain:
+            d_end = d_off + d_len
+            for w_rank, w_off, w_data in live:
+                lo = max(d_off, w_off)
+                hi = min(d_end, w_off + len(w_data))
+                if lo >= hi:
+                    continue
+                piece = w_data[lo - w_off:hi - w_off]
+                payloads.setdefault(agg_rank, []).append((lo, piece))
+                if w_rank != agg_rank:
+                    shuffles.append(handle.pfs.network.transfer(
+                        handle.clients[w_rank].node,
+                        handle.clients[agg_rank].node, len(piece)))
+    if shuffles:
+        yield AllOf(env, shuffles)
+
+    writers = []
+    for agg_rank, pieces in payloads.items():
+        pieces.sort()
+        runs: list[tuple[int, bytes]] = []
+        for off, piece in pieces:
+            if runs and runs[-1][0] + len(runs[-1][1]) == off:
+                runs[-1] = (runs[-1][0], runs[-1][1] + piece)
+            else:
+                runs.append((off, piece))
+        for off, blob in runs:
+            writers.append(env.process(legacy_pfs_write(
+                handle.clients[agg_rank], handle.path, blob, offset=off)))
+    if writers:
+        yield AllOf(env, writers)
+    handle._inode = handle.pfs.mds.lookup(handle.path)

@@ -24,6 +24,7 @@ from typing import Any, Optional, Sequence
 __all__ = [
     "Extent",
     "ReadPlan",
+    "WritePlan",
     "block_raw_bytes",
     "element_bytes",
 ]
@@ -72,6 +73,34 @@ class ReadPlan:
 
     def __len__(self) -> int:
         return len(self.pieces)
+
+
+@dataclass(frozen=True)
+class WritePlan:
+    """The push requests one logical write decomposes into.
+
+    The write-side twin of :class:`ReadPlan`: ``extents`` are the
+    per-device runs a backend will actually push, in payload order,
+    after payload-contiguous coalescing and chunk chopping. ``chunk``
+    records the chop size used (None = whole-extent single pushes).
+    """
+
+    extents: tuple[Extent, ...]
+    chunk: Optional[int] = None
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.extents)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(ext.length for ext in self.extents)
+
+    def __iter__(self):
+        return iter(self.extents)
+
+    def __len__(self) -> int:
+        return len(self.extents)
 
 
 def element_bytes(dtype: Any, count: Sequence[int], *,

@@ -75,6 +75,15 @@ class JobConf:
     #: than this are merged to intermediate spills on local disk first.
     #: 0 = single unbounded streaming merge pass.
     shuffle_merge_factor: int = 0
+    #: write-behind output commit: task output writes (reduce parts,
+    #: mapper ctx.write files, diskless spills) are handed to an async
+    #: flusher that overlaps the next split's compute; the job holds a
+    #: hard barrier at commit (drain before history/JobResult), and
+    #: per-path flushes stay idempotent-exactly-once under speculation
+    #: and retry. Off = legacy synchronous writes.
+    write_behind: bool = False
+    #: concurrent write-behind flushes in flight; 0 = unbounded
+    write_behind_max_inflight: int = 0
     params: dict[str, Any] = field(default_factory=dict)
 
     def add_input_path(self, path: str) -> "JobConf":
@@ -108,3 +117,6 @@ class JobConf:
         if self.shuffle_merge_factor < 0 or self.shuffle_merge_factor == 1:
             raise MapReduceError(
                 "shuffle_merge_factor must be 0 (unbounded) or >= 2")
+        if self.write_behind_max_inflight < 0:
+            raise MapReduceError(
+                "write_behind_max_inflight must be >= 0 (0 = unbounded)")

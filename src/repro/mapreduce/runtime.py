@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from repro import costs
+from repro.io.write import WriteBehindFlusher
 from repro.mapreduce.config import JobConf, MapReduceError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.input_format import InputSplit
@@ -194,7 +195,8 @@ class JobRunner:
             counters.increment("datapath", "prefetches_failed", 1)
 
     def _map_worker(self, node, slot, pending, outputs, stats, counters,
-                    attempts, tracker, history, cache=None, feed=None):
+                    attempts, tracker, history, cache=None, feed=None,
+                    flusher=None):
         """One map slot's pull loop with retry + speculation. DES process.
 
         A failed attempt requeues the split (another slot — possibly on
@@ -244,9 +246,12 @@ class JobRunner:
                     self.env.process(self._prefetch_split(
                         prefetcher, staged, node, cache, counters))
 
+            # flusher passes as a kwarg only when write-behind is on, so
+            # frozen legacy task classes (test twins) stay constructible.
+            extra = {"flusher": flusher} if flusher is not None else {}
             task = MapTask(self.env, self.job, split, node, client,
                            self._next_task_id("m"), track=track,
-                           cache=cache)
+                           cache=cache, **extra)
             attempt = history.record(TaskAttempt(
                 attempt_id=task.task_id, kind="map", node=node.name,
                 start=self.env.now,
@@ -292,7 +297,7 @@ class JobRunner:
 
     def _reduce_worker(self, partition, node, slots: Resource,
                        map_outputs, results, stats, counters, history,
-                       feed=None):
+                       feed=None, flusher=None):
         """One reduce task wrapped in its slot, with retry. DES process.
 
         A retried attempt re-reads the (append-only) map-output feed
@@ -306,10 +311,11 @@ class JobRunner:
             attempt = 0
             while True:
                 attempt += 1
+                extra = {"flusher": flusher} if flusher is not None else {}
                 task = ReduceTask(
                     self.env, self.job, partition, node, client,
                     map_outputs, self.network, self._next_task_id("r"),
-                    track=track, feed=feed)
+                    track=track, feed=feed, **extra)
                 record = history.record(TaskAttempt(
                     attempt_id=task.task_id, kind="reduce", node=node.name,
                     start=self.env.now, partition=partition))
@@ -364,6 +370,9 @@ class JobRunner:
             attempts: dict = {}
             tracker = {"running": {}, "done": set(), "durations": []}
             cache_stats, caches = self._build_caches()
+            flusher = (WriteBehindFlusher(
+                env, job.write_behind_max_inflight)
+                if job.write_behind else None)
 
             results: dict[int, tuple[list, Optional[str]]] = {}
             feed: Optional[MapOutputFeed] = None
@@ -376,7 +385,8 @@ class JobRunner:
                 # (an unwatched process failure escapes env.step).
                 feed = MapOutputFeed(env, expected=len(splits))
                 reducers = self._launch_reducers(
-                    map_outputs, results, stats, counters, history, feed)
+                    map_outputs, results, stats, counters, history, feed,
+                    flusher=flusher)
                 reduce_barrier = AllOf(env, reducers)
 
             workers = []
@@ -385,7 +395,8 @@ class JobRunner:
                     workers.append(env.process(self._map_worker(
                         node, slot, pending, map_outputs, stats, counters,
                         attempts, tracker, history,
-                        cache=caches.get(node.name), feed=feed)))
+                        cache=caches.get(node.name), feed=feed,
+                        flusher=flusher)))
             yield AllOf(env, workers)
             if cache_stats is not None:
                 for name, value in sorted(cache_stats.as_dict().items()):
@@ -400,6 +411,7 @@ class JobRunner:
                 for output in map_outputs:
                     for partition in output.partitions:
                         result.map_records.extend(partition)
+                yield from self._commit_writes(flusher, counters)
                 result.end = env.now
                 history.finish(result.end)
                 self._publish_shuffle(counters)
@@ -407,7 +419,8 @@ class JobRunner:
 
             if reduce_barrier is None:
                 reducers = self._launch_reducers(
-                    map_outputs, results, stats, counters, history, None)
+                    map_outputs, results, stats, counters, history, None,
+                    flusher=flusher)
                 reduce_barrier = AllOf(env, reducers)
             yield reduce_barrier
 
@@ -415,14 +428,27 @@ class JobRunner:
                 result.outputs[partition] = records
                 if output_path is not None:
                     result.output_paths.append(output_path)
+            yield from self._commit_writes(flusher, counters)
             result.end = env.now
             result.task_stats = stats
             history.finish(result.end)
             self._publish_shuffle(counters)
             return result
 
+    def _commit_writes(self, flusher, counters: Counters):
+        """The write-behind commit barrier: nothing finishes — no job
+        history, no ``JobResult`` — until every deferred flush has
+        landed. DES generator; a no-op for synchronous jobs."""
+        if flusher is None:
+            return
+        yield from flusher.drain()
+        counters.increment(
+            "datapath", "write_behind_flushes", flusher.submitted)
+        counters.increment(
+            "datapath", "write_behind_bytes", flusher.bytes_submitted)
+
     def _launch_reducers(self, map_outputs, results, stats, counters,
-                         history, feed):
+                         history, feed, flusher=None):
         """Create per-node reduce slots and one reduce worker per
         partition (round-robin over nodes); returns the processes."""
         env = self.env
@@ -437,7 +463,8 @@ class JobRunner:
             node = self.nodes[partition % len(self.nodes)]
             reducers.append(env.process(self._reduce_worker(
                 partition, node, slots[node.name], map_outputs,
-                results, stats, counters, history, feed=feed)))
+                results, stats, counters, history, feed=feed,
+                flusher=flusher)))
         return reducers
 
     def _publish_shuffle(self, counters: Counters) -> None:

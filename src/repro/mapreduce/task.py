@@ -200,7 +200,7 @@ class MapTask:
 
     def __init__(self, env, job: JobConf, split: InputSplit, node,
                  storage_client, task_id: str, track: Optional[str] = None,
-                 cache=None):
+                 cache=None, flusher=None):
         self.env = env
         self.job = job
         self.split = split
@@ -209,6 +209,8 @@ class MapTask:
         self.task_id = task_id
         self.track = track
         self.cache = cache
+        #: job-level WriteBehindFlusher when write_behind is on
+        self.flusher = flusher
 
     @property
     def locality(self) -> str:
@@ -246,7 +248,16 @@ class MapTask:
             for op, path, payload in ctx.take_io_actions():
                 with ctx.phase("user_io"):
                     if op == "write":
-                        yield env.process(self.client.write(path, payload))
+                        if self.flusher is not None:
+                            # Write-behind: hand off (pure Python) and
+                            # overlap the flush with this task's compute;
+                            # the job drains before committing.
+                            self.flusher.submit(self.client, path, payload)
+                            ctx.counters.increment(
+                                "io", "write_behind_writes")
+                        else:
+                            yield env.process(
+                                self.client.write(path, payload))
                         ctx.counters.increment(
                             "io", "bytes_written", len(payload))
                     else:
@@ -287,8 +298,15 @@ class MapTask:
                     if job.diskless_spill:
                         # No local disks: the spill crosses to the storage
                         # system under test (e.g. the Lustre connector).
-                        yield env.process(self.client.write(
-                            f"/_spill/{self.task_id}", bytes(spill)))
+                        if self.flusher is not None:
+                            self.flusher.submit(
+                                self.client, f"/_spill/{self.task_id}",
+                                bytes(spill))
+                            ctx.counters.increment(
+                                "io", "write_behind_writes")
+                        else:
+                            yield env.process(self.client.write(
+                                f"/_spill/{self.task_id}", bytes(spill)))
                     else:
                         yield self.node.disk.write(spill)
 
@@ -337,7 +355,7 @@ class ReduceTask:
     def __init__(self, env, job: JobConf, partition: int, node,
                  storage_client, map_outputs: list[MapOutput],
                  network, task_id: str, track: Optional[str] = None,
-                 feed: Optional[MapOutputFeed] = None):
+                 feed: Optional[MapOutputFeed] = None, flusher=None):
         self.env = env
         self.job = job
         self.partition = partition
@@ -348,6 +366,8 @@ class ReduceTask:
         self.task_id = task_id
         self.track = track
         self.feed = feed
+        #: job-level WriteBehindFlusher when write_behind is on
+        self.flusher = flusher
 
     #: shuffle servlet round trip per fetch
     FETCH_RPC_LATENCY = 0.0005
@@ -490,12 +510,23 @@ class ReduceTask:
                     f"{job.output_path}/part-r-{self.partition:05d}")
                 payload = pickle.dumps(records)
                 with ctx.phase("write"):
-                    # Idempotent commit: a retried attempt replaces
-                    # whatever a failed predecessor left behind.
-                    if (yield env.process(self.client.exists(output_path))):
-                        yield env.process(self.client.delete(output_path))
-                    yield env.process(
-                        self.client.write(output_path, payload))
+                    if self.flusher is not None:
+                        # Write-behind: the flusher performs the same
+                        # idempotent replace-write asynchronously and the
+                        # job drains before committing, so exactly-once
+                        # holds under speculation and retry.
+                        self.flusher.submit(
+                            self.client, output_path, payload)
+                        ctx.counters.increment("io", "write_behind_writes")
+                    else:
+                        # Idempotent commit: a retried attempt replaces
+                        # whatever a failed predecessor left behind.
+                        if (yield env.process(
+                                self.client.exists(output_path))):
+                            yield env.process(
+                                self.client.delete(output_path))
+                        yield env.process(
+                            self.client.write(output_path, payload))
                 ctx.counters.increment("io", "bytes_written", len(payload))
 
         stats.end = env.now

@@ -265,6 +265,30 @@ class MetricsRegistry:
             for scheme in sorted(per_scheme)
         ]
 
+    def scheme_write_rows(self) -> list[dict]:
+        """Per-backend datapath write summary, one row per URL scheme.
+
+        Aggregates the ``io.write.<scheme>.{bytes,requests}`` counters
+        every :class:`repro.io.write.WritePlanner` maintains — the
+        write-side mirror of :meth:`scheme_read_rows`, with the same
+        per-layer counting rule (a connector write also shows up as
+        ``pfs`` push traffic).
+        """
+        per_scheme: dict[str, dict[str, float]] = {}
+        for name, counter in self._counters.items():
+            parts = name.split(".")
+            if len(parts) != 4 or parts[0] != "io" or parts[1] != "write":
+                continue
+            per_scheme.setdefault(parts[2], {})[parts[3]] = counter.value
+        return [
+            {
+                "scheme": scheme,
+                "bytes": per_scheme[scheme].get("bytes", 0.0),
+                "requests": per_scheme[scheme].get("requests", 0.0),
+            }
+            for scheme in sorted(per_scheme)
+        ]
+
     def shuffle_rows(self) -> list[dict]:
         """Per-job shuffle summary, one row per job name.
 
@@ -314,6 +338,7 @@ class MetricsRegistry:
             "devices": self.device_rows(),
             "caches": self.cache_rows(),
             "reads": self.scheme_read_rows(),
+            "writes": self.scheme_write_rows(),
             "shuffles": self.shuffle_rows(),
         }
 

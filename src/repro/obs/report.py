@@ -156,6 +156,26 @@ def _scheme_read_table(reads: list[dict]) -> str:
              "moves pfs bytes)")
 
 
+def _scheme_write_table(writes: list[dict]) -> str:
+    from repro.bench.reporting import format_table
+
+    columns = ["run", "scheme", "MB written", "requests"]
+    rows = [
+        [
+            row.get("run", "-"),
+            row.get("write_scheme", "?"),
+            row.get("bytes_moved", 0.0) / 1e6,
+            row.get("write_requests", 0.0),
+        ]
+        for row in writes
+    ]
+    return format_table(
+        "writes by scheme", columns, rows,
+        note="one row per storage backend entry point; layered paths "
+             "count at each layer they cross (a connector write also "
+             "pushes pfs bytes)")
+
+
 def _shuffle_table(shuffles: list[dict]) -> str:
     from repro.bench.reporting import format_table
 
@@ -186,7 +206,7 @@ def _shuffle_table(shuffles: list[dict]) -> str:
 def render_report(path: str, width: int = 72,
                   run_filter: Optional[str] = None) -> str:
     """The full report: per-run timelines, the device table, the
-    per-scheme read table, and the per-job shuffle table."""
+    per-scheme read and write tables, and the per-job shuffle table."""
     doc = load_trace(path)
     runs = _runs(doc["traceEvents"])
     sections = []
@@ -200,13 +220,17 @@ def render_report(path: str, width: int = 72,
     if run_filter is not None:
         rows = [d for d in rows if run_filter in str(d.get("run", ""))]
     devices = [d for d in rows
-               if "scheme" not in d and "shuffle_job" not in d]
+               if "scheme" not in d and "write_scheme" not in d
+               and "shuffle_job" not in d]
     reads = [d for d in rows if "scheme" in d]
+    writes = [d for d in rows if "write_scheme" in d]
     shuffles = [d for d in rows if "shuffle_job" in d]
     if devices:
         sections.append(_device_table(devices))
     if reads:
         sections.append(_scheme_read_table(reads))
+    if writes:
+        sections.append(_scheme_write_table(writes))
     if shuffles:
         sections.append(_shuffle_table(shuffles))
     if not sections:

@@ -384,6 +384,17 @@ class TraceSession:
                     "read_requests": row["requests"],
                     "read_cache_hits": row["cache_hits"],
                 })
+            # Per-scheme write rows, same trick: the "write_scheme" key
+            # is the marker the report renderer partitions on.
+            for row in registry.scheme_write_rows():
+                devices.append({
+                    "run": label,
+                    "device": f"io.write.{row['scheme']}",
+                    "write_scheme": row["scheme"],
+                    "utilization": 0.0,
+                    "bytes_moved": row["bytes"],
+                    "write_requests": row["requests"],
+                })
             # Per-job shuffle rows, same trick: the "shuffle_job" key is
             # the marker the report renderer partitions on.
             for row in registry.shuffle_rows():

@@ -15,6 +15,7 @@ from repro.cluster.node import Node
 from repro.io.plan import Extent
 from repro.io.planner import ReadPlanner
 from repro.io.planner import coalesce_extents as _coalesce_extents
+from repro.io.write import WritePlanner
 from repro.obs.trace import tracer_of
 from repro.pfs.filesystem import PFS
 from repro.pfs.layout import StripeLayout
@@ -41,7 +42,9 @@ class PFSClient:
     """
 
     def __init__(self, pfs: PFS, node: Node,
-                 max_inflight: Optional[int] = None):
+                 max_inflight: Optional[int] = None,
+                 write_max_inflight: Optional[int] = None,
+                 write_chunk: Optional[int] = None):
         self.pfs = pfs
         self.node = node
         self.env = pfs.env
@@ -54,10 +57,23 @@ class PFSClient:
         #: the shared read planner (per-OST coalescing + run fan-out)
         self.planner = ReadPlanner(self.env, scheme="pfs",
                                    max_inflight=self.max_inflight)
+        #: bounded window for stripe pushes; 0 = unbounded (the legacy
+        #: one-AllOf-over-everything shape)
+        self.write_max_inflight = (costs.PFS_WRITE_MAX_INFLIGHT
+                                   if write_max_inflight is None
+                                   else write_max_inflight)
+        #: push-request granularity; None = whole-extent pushes (legacy)
+        self.write_chunk = write_chunk
+        #: the shared write planner (chunking + push fan-out + metrics)
+        self.write_planner = WritePlanner(
+            self.env, scheme="pfs", chunk=self.write_chunk,
+            max_inflight=self.write_max_inflight)
         #: trace swimlane for this client's spans
         self.track = f"{node.name}.pfs"
         #: Total payload bytes this client has read (bandwidth accounting).
         self.bytes_read = 0.0
+        #: Total payload bytes this client has written.
+        self.bytes_written = 0.0
 
     # -- metadata ---------------------------------------------------------
     def stat(self, path: str):
@@ -223,8 +239,19 @@ class PFSClient:
             ost.write(inode.inode_id, ext.object_offset, data))
 
     def write(self, path: str, data: bytes, offset: int = 0,
-              layout: Optional[StripeLayout] = None):
-        """Timed write; creates the file if missing. DES process."""
+              layout: Optional[StripeLayout] = None,
+              max_inflight: Optional[int] = None):
+        """Timed write; creates the file if missing. DES process.
+
+        The push plan comes from the shared
+        :class:`~repro.io.write.WritePlanner`: at the defaults
+        (``write_chunk=None``, ``write_max_inflight=0``) that is exactly
+        the legacy shape — one RPC per stripe extent, all pushes issued
+        up front under one ``AllOf``. A chunk size chops pushes to a
+        granularity (payload-contiguous runs coalesce first) and
+        ``max_inflight`` (default: the client's window) bounds how many
+        pushes are in flight at once.
+        """
         with tracer_of(self.env).span(
                 "pfs.write", cat="storage", track=self.track,
                 path=path, bytes=len(data)):
@@ -233,16 +260,17 @@ class PFSClient:
                 inode = self.pfs.mds.lookup(path)
             else:
                 inode = self.pfs.create(path, layout)
-            # Writes go out one RPC per stripe extent (no coalescing: a run
-            # merged in object space is discontiguous in the payload).
             extents = inode.layout.map_range(offset, len(data))
-            writers = []
-            for ext in extents:
+            plan = self.write_planner.plan_extents(extents)
+            factories = []
+            for ext in plan:
                 chunk = data[ext.file_offset - offset:
                              ext.file_offset - offset + ext.length]
-                writers.append(
-                    self.env.process(self._push_run(inode, ext, chunk)))
-            if writers:
-                yield AllOf(self.env, writers)
+                factories.append(
+                    lambda e=ext, c=chunk: self._push_run(inode, e, c))
+            yield from self.write_planner.fan_out_stripes(
+                factories, max_inflight)
             inode.size = max(inode.size, offset + len(data))
+            self.bytes_written += len(data)
+            self.write_planner.account(len(data), requests=plan.n_requests)
             return inode

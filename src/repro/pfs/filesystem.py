@@ -52,11 +52,15 @@ class PFS:
     def ost_node(self, global_index: int) -> Node:
         return self._ost_node[global_index]
 
-    def client(self, node: Node, max_inflight: Optional[int] = None):
+    def client(self, node: Node, max_inflight: Optional[int] = None,
+               write_max_inflight: Optional[int] = None,
+               write_chunk: Optional[int] = None):
         """A node-bound :class:`~repro.pfs.client.PFSClient` — the
         :class:`~repro.io.protocol.StorageFacade` surface."""
         from repro.pfs.client import PFSClient
-        return PFSClient(self, node, max_inflight=max_inflight)
+        return PFSClient(self, node, max_inflight=max_inflight,
+                         write_max_inflight=write_max_inflight,
+                         write_chunk=write_chunk)
 
     def _allocate_osts(self, stripe_count: int) -> list[int]:
         if stripe_count > self.n_osts:

@@ -207,7 +207,8 @@ class MPIFile:
             for off, blob in runs:
                 writers.append(self.env.process(
                     self.clients[agg_rank].write(
-                        self.path, blob, offset=off)))
+                        self.path, blob, offset=off,
+                        max_inflight=self.max_inflight)))
         if writers:
             yield AllOf(self.env, writers)
         self._inode = self.pfs.mds.lookup(self.path)

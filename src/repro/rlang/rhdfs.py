@@ -12,16 +12,23 @@ __all__ = ["RHDFS"]
 
 
 class RHDFS:
-    """R-facing storage handle bound to one node's client."""
+    """R-facing storage handle bound to one node's client.
 
-    def __init__(self, storage, node):
+    ``flusher`` (a :class:`repro.io.write.WriteBehindFlusher`) makes
+    :meth:`hdfs_put` hand its payload off asynchronously — the reduce
+    task's plot store overlaps the next group's rendering — with the
+    job's drain barrier guaranteeing everything lands before commit.
+    """
+
+    def __init__(self, storage, node, flusher=None):
         self.storage = storage
         self.node = node
         self.client = storage.client(node)
         self.env = self.client.env
+        self.flusher = flusher
 
     @classmethod
-    def open(cls, registry, url: str, node) -> "RHDFS":
+    def open(cls, registry, url: str, node, flusher=None) -> "RHDFS":
         """Bind to whatever backend a URL's scheme names.
 
         ``registry`` is a :class:`repro.io.registry.StorageRegistry`;
@@ -29,10 +36,18 @@ class RHDFS:
         backend-local paths as usual.
         """
         backend, _path = registry.resolve(url)
-        return cls(backend, node)
+        return cls(backend, node, flusher=flusher)
 
     def hdfs_put(self, path: str, data: bytes):
-        """Write ``data`` to ``path`` (timed). DES process."""
+        """Write ``data`` to ``path`` (timed). DES process.
+
+        With a write-behind flusher attached the put returns
+        immediately (the flush overlaps later compute); synchronously
+        otherwise.
+        """
+        if self.flusher is not None:
+            self.flusher.submit(self.client, path, data)
+            return
         yield self.env.process(self.client.write(path, data))
 
     def hdfs_get(self, path: str):

@@ -31,8 +31,14 @@ def _payload(bytes_per_file: int, index: int) -> bytes:
 
 def run_dfsio_write(env, nodes, storage, network, n_files: int,
                     bytes_per_file: int,
-                    control_path: str = "/dfsio-control-write"):
-    """DES process returning (JobResult, elapsed, aggregate_bytes_per_sec)."""
+                    control_path: str = "/dfsio-control-write",
+                    **job_knobs):
+    """DES process returning (JobResult, elapsed, aggregate_bytes_per_sec).
+
+    Extra keyword arguments become :class:`JobConf` fields (e.g.
+    ``write_behind=True``), so bench configs can flip job knobs without
+    a bespoke wrapper.
+    """
     _control_file(storage, control_path, n_files, bytes_per_file)
     job = JobConf(
         name="dfsio-write",
@@ -41,6 +47,7 @@ def run_dfsio_write(env, nodes, storage, network, n_files: int,
         n_reducers=0,
         input_paths=[control_path],
         map_slots_per_node=2,
+        **job_knobs,
     )
     t0 = env.now
     runner = JobRunner(env, nodes, storage, network, job)
@@ -52,10 +59,12 @@ def run_dfsio_write(env, nodes, storage, network, n_files: int,
 
 def run_dfsio_read(env, nodes, storage, network, n_files: int,
                    bytes_per_file: int,
-                   control_path: str = "/dfsio-control-read"):
+                   control_path: str = "/dfsio-control-read",
+                   **job_knobs):
     """DES process returning (JobResult, elapsed, aggregate_bytes_per_sec).
 
     Requires a prior :func:`run_dfsio_write` against the same storage.
+    Extra keyword arguments become :class:`JobConf` fields.
     """
     _control_file(storage, control_path, n_files, bytes_per_file)
     job = JobConf(
@@ -65,6 +74,7 @@ def run_dfsio_read(env, nodes, storage, network, n_files: int,
         n_reducers=0,
         input_paths=[control_path],
         map_slots_per_node=2,
+        **job_knobs,
     )
     t0 = env.now
     runner = JobRunner(env, nodes, storage, network, job)

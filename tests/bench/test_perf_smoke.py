@@ -18,6 +18,7 @@ from repro.bench.harness import (
     fig2_rows,
     fig5_table3_rows,
     shuffle_overlap_rows,
+    write_path_rows,
 )
 
 #: fig5 totals at sizes=(3,), captured before the pipelined data path
@@ -56,6 +57,21 @@ GOLDEN_SHUFFLE_LEGACY_TOTAL = 0.8014997687187184
 GOLDEN_SHUFFLE_MB = 0.421875
 GOLDEN_SHUFFLE_COMBINED_MB = 0.052734375
 GOLDEN_SHUFFLE_COMBINE = "9216/1152"
+
+#: write bench, quick size (n_files=2, blocks_per_file=2): {label:
+#: seconds}. The two "legacy" rows are the bit-exactness pins for the
+#: default-knob write path (they drive the frozen store-and-forward /
+#: unbounded-stripe-push event sequences); the rest pin the pipelined
+#: disciplines' determinism.
+GOLDEN_WRITE = {
+    ("legacy store-and-forward", "hdfs://"): 7.034744019759548,
+    ("packet pipeline", "hdfs://"): 2.2343153050928817,
+    ("packet + parallel blocks", "hdfs://"): 2.210058764648437,
+    ("packet + parallel + write-behind", "hdfs://"): 2.2014587646484376,
+    ("legacy stripe pushes", "pfs://"): 7.327828367708432,
+    ("windowed stripe pushes", "pfs://"): 7.327828367708432,
+    ("windowed + write-behind", "pfs://"): 3.814728367708541,
+}
 
 REL = 1e-9
 
@@ -102,6 +118,22 @@ def test_shuffle_overlap_goldens_and_ordering():
     assert overlap[1] < legacy[1]
     assert combined[1] < overlap[1]
     assert bounded[5] > 0
+
+
+def test_write_path_goldens_and_ordering():
+    _columns, rows, _note = write_path_rows(n_files=2, blocks_per_file=2)
+    got = {(row[0], row[1]): row for row in rows}
+    for key, golden in GOLDEN_WRITE.items():
+        assert got[key][2] == pytest.approx(golden, rel=REL), key
+    # the perf trajectory: the packet pipeline is the big win at
+    # replication 3, parallel blocks and write-behind keep paying off
+    assert got[("packet pipeline", "hdfs://")][3] >= 1.3  # the CI gate
+    assert got[("packet + parallel blocks", "hdfs://")][2] \
+        <= got[("packet pipeline", "hdfs://")][2]
+    assert got[("packet + parallel + write-behind", "hdfs://")][2] \
+        <= got[("packet + parallel blocks", "hdfs://")][2]
+    assert got[("windowed + write-behind", "pfs://")][2] \
+        < got[("legacy stripe pushes", "pfs://")][2]
 
 
 def test_pipelined_datapath_beats_serial():

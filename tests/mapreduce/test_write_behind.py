@@ -1,0 +1,153 @@
+"""Write-behind output commit: overlap, exactly-once, drain barrier."""
+
+import pickle
+
+import pytest
+
+from repro.mapreduce import JobConf, JobRunner, MapReduceError, \
+    TextInputFormat
+from repro.workloads.dfsio import run_dfsio_write
+
+from tests.mapreduce.conftest import run, world  # noqa: F401 (fixture)
+
+
+def wc_map(ctx, _offset, line):
+    for word in line.split():
+        ctx.emit(word, 1)
+
+
+def wc_reduce(ctx, key, values):
+    ctx.emit(key, sum(values))
+
+
+def make_job(write_behind, **kw):
+    defaults = dict(
+        name=f"wb-{write_behind}",
+        mapper=wc_map,
+        reducer=wc_reduce,
+        input_format=TextInputFormat(),
+        n_reducers=2,
+        input_paths=["/in"],
+        task_startup=0.0,
+        output_path=f"/out-{write_behind}",
+        write_behind=write_behind,
+    )
+    defaults.update(kw)
+    return JobConf(**defaults)
+
+
+def stored_outputs(hdfs, result):
+    return {path.rsplit("/", 1)[-1]:
+            pickle.loads(hdfs.read_file_sync(path))
+            for path in result.output_paths}
+
+
+def test_write_behind_stores_same_output_as_sync(world):  # noqa: F811
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"alpha beta\nbeta gamma\n" * 40)
+
+    results = {}
+    for write_behind in (False, True):
+        job = make_job(write_behind)
+        runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+        t0 = env.now
+        result = run(env, runner.run())
+        results[write_behind] = (result, env.now - t0)
+
+    sync, t_sync = results[False]
+    wb, t_wb = results[True]
+    assert stored_outputs(hdfs, wb) == stored_outputs(hdfs, sync)
+    assert len(wb.output_paths) == len(sync.output_paths) == 2
+    # the flush overlaps task wind-down, so write-behind never loses
+    assert t_wb <= t_sync + 1e-9
+    assert wb.counters.value("io", "write_behind_writes") == 2
+    assert wb.counters.value("datapath", "write_behind_flushes") == 2
+    assert wb.counters.value("datapath", "write_behind_bytes") > 0
+    assert sync.counters.value("io", "write_behind_writes") == 0
+
+
+def test_write_behind_exactly_once_under_retry(world):  # noqa: F811
+    """A retried reducer's flushes land last and replace the failed
+    attempt's leftovers — stored state is single-copy and correct."""
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"x y\nx z\n")
+    state = {"failures_left": 2}
+
+    def flaky_reduce(ctx, key, values):
+        if state["failures_left"] > 0:
+            state["failures_left"] -= 1
+            raise RuntimeError("transient reduce failure")
+        ctx.emit(key, sum(values))
+
+    job = make_job(True, reducer=flaky_reduce, n_reducers=1,
+                   output_path="/out-retry", task_startup=0.01)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    result = run(env, runner.run())
+    assert result.counters.value("job", "failed_reduce_attempts") == 2
+    assert len(result.output_paths) == 1
+    got = dict(pickle.loads(hdfs.read_file_sync(result.output_paths[0])))
+    assert got == {b"x": 2, b"y": 1, b"z": 1}
+
+
+def test_write_behind_exactly_once_under_speculation(world):  # noqa: F811
+    """Speculative duplicate attempts submit to the same output paths;
+    per-path serialization + idempotent replace keep one final copy."""
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"alpha beta gamma\n" * 200)
+    job = make_job(True, n_reducers=1, speculative=True,
+                   output_path="/out-spec", map_slots_per_node=1)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    result = run(env, runner.run())
+    assert len(result.output_paths) == 1
+    got = dict(pickle.loads(hdfs.read_file_sync(result.output_paths[0])))
+    assert got == {b"alpha": 200, b"beta": 200, b"gamma": 200}
+    # exactly one committed output per split despite any duplicates
+    assert len(result.stats_for("map")) == \
+        result.counters.value("job", "splits")
+
+
+def test_write_behind_drain_blocks_job_completion(world):  # noqa: F811
+    """JobResult.end covers every flush: nothing commits before the
+    drain barrier has landed all submitted payloads."""
+    env, cluster, hdfs, nodes = world
+    hdfs.store_file_sync("/in/a.txt", b"x y z\n" * 10)
+    job = make_job(True, n_reducers=1, output_path="/out-barrier")
+    runner = JobRunner(env, nodes, hdfs, cluster.network, job)
+    result = run(env, runner.run())
+    # at result.end the output file is already fully stored
+    assert result.end == env.now
+    assert pickle.loads(hdfs.read_file_sync(result.output_paths[0]))
+    assert result.counters.value("datapath", "write_behind_flushes") >= 1
+
+
+def test_write_behind_dfsio_map_only(world):  # noqa: F811
+    """Map-only deferred user writes (TestDFSIO) go through the flusher
+    and store identical bytes, no slower than the sync path."""
+    env, cluster, hdfs, nodes = world
+
+    def drive(write_behind):
+        suffix = "wb" if write_behind else "sync"
+        gen = run_dfsio_write(
+            env, nodes, hdfs, cluster.network, n_files=2,
+            bytes_per_file=400,
+            control_path=f"/control-{suffix}",
+            write_behind=write_behind)
+        result, elapsed, _rate = run(env, gen)
+        files = {f"/dfsio/part-{i:04d}":
+                 hdfs.read_file_sync(f"/dfsio/part-{i:04d}")
+                 for i in range(2)}
+        return result, elapsed, files
+
+    sync_result, t_sync, sync_files = drive(write_behind=False)
+    wb_result, t_wb, wb_files = drive(write_behind=True)
+    assert wb_files == sync_files
+    assert all(len(data) == 400 for data in wb_files.values())
+    assert t_wb <= t_sync + 1e-9
+    assert wb_result.counters.value("io", "write_behind_writes") == 2
+    assert sync_result.counters.value("io", "write_behind_writes") == 0
+
+
+def test_write_behind_knob_validation():
+    job = make_job(True, write_behind_max_inflight=-1)
+    with pytest.raises(MapReduceError, match="write_behind_max_inflight"):
+        job.validate()

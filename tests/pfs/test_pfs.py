@@ -131,6 +131,21 @@ def test_write_then_read_back(world):
     assert run(env, proc()) == data
 
 
+def test_write_accounts_bytes_written(world):
+    """bytes_written parity with bytes_read (and with DFSClient): every
+    completed write rolls into the client's counter."""
+    env, _cluster, _pfs, clients = world
+    assert clients[0].bytes_written == 0
+
+    def proc():
+        yield env.process(clients[0].write("/new", payload(321)))
+        yield env.process(clients[0].write("/new", payload(100), offset=50))
+
+    run(env, proc())
+    assert clients[0].bytes_written == 421
+    assert clients[1].bytes_written == 0
+
+
 def test_write_takes_time(world):
     env, _cluster, pfs, clients = world
 
