@@ -1,0 +1,50 @@
+"""Observability recording overhead — the BENCH_obs trajectory.
+
+Drives ~1M synthetic events (nested task-phase spans over 8 tracks plus
+utilisation counters) through the frozen v1 object tracer and the v2
+columnar tracer, and records events/second per mode. The ``replay``
+mode — bulk ingest of a precomputed stream — is where the columnar
+layout pays off wholesale; CI gates it at >= 5x over the v1 per-event
+replay and uploads ``bench_results/BENCH_obs.json`` next to
+BENCH_shuffle/BENCH_write.
+"""
+
+import json
+import pathlib
+
+from repro.bench.obsbench import obs_overhead_rows
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / \
+    "bench_results"
+
+
+def test_obs_recording_trajectory(benchmark, record_table):
+    columns, rows, note = benchmark.pedantic(
+        obs_overhead_rows, rounds=1, iterations=1,
+        kwargs={"n_events": 1_000_000, "repeats": 3})
+    record_table("obs_overhead", columns, rows, note)
+
+    by_mode = {row[0]: row for row in rows}
+    span, counter, replay = \
+        by_mode["span"], by_mode["counter"], by_mode["replay"]
+    mem = by_mode["span mem MB"]
+
+    # The columnar span path beats the object tracer (no per-event Span
+    # allocation); the counter path trades a bounded slice of the bare
+    # tuple-append throughput for interned keys and ~5x less residency;
+    # the batch-ingest path is the CI-gated 5x (in practice >100x: one
+    # numpy interleave instead of a million Span objects).
+    assert span[4] >= 1.0, f"span path regressed: {span[4]:.2f}x"
+    assert counter[4] >= 0.5, f"counter path regressed: {counter[4]:.2f}x"
+    assert replay[4] >= 5.0, \
+        f"columnar replay ingest below the 5x gate: {replay[4]:.2f}x"
+    assert mem[4] >= 2.0, \
+        f"columnar residency advantage eroded: {mem[4]:.2f}x"
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(json.dumps({
+        "experiment": "obs",
+        "columns": list(columns),
+        "rows": [list(row) for row in rows],
+        "note": note,
+    }, indent=2) + "\n")

@@ -21,6 +21,12 @@ from repro.bench import harness
 from repro.bench.reporting import print_table
 from repro.obs import TraceSession
 
+
+def _obs_overhead_rows(**kwargs):
+    # lazy: the obs bench is pure recording, no simulation harness
+    from repro.bench.obsbench import obs_overhead_rows
+    return obs_overhead_rows(**kwargs)
+
 EXPERIMENTS = {
     "fig2": (harness.fig2_rows, {},
              {"n_records": 2000, "n_lines": 2000, "dfsio_files": 2,
@@ -35,6 +41,7 @@ EXPERIMENTS = {
     "shuffle": (harness.shuffle_overlap_rows, {}, {"n_timesteps": 4}),
     "write": (harness.write_path_rows, {},
               {"n_files": 2, "blocks_per_file": 2}),
+    "obs": (_obs_overhead_rows, {}, {"n_events": 50_000, "repeats": 1}),
     "abl-align": (harness.abl_chunk_alignment_rows, {},
                   {"n_timesteps": 3}),
     "abl-gran": (harness.abl_read_granularity_rows, {},

@@ -239,17 +239,25 @@ class WriteBehindFlusher:
         self._tails[path] = done
         self.submitted += 1
         self.bytes_submitted += len(payload)
+        submitted_at = self.env.now
         self._window.submit(
-            lambda: self._flush(client, path, payload, prev, done))
+            lambda: self._flush(client, path, payload, prev, done,
+                                submitted_at))
         return done
 
-    def _flush(self, client, path, payload, prev, done):
+    def _flush(self, client, path, payload, prev, done, submitted_at):
         try:
             if prev is not None:
                 yield prev
             if (yield self.env.process(client.exists(path))):
                 yield self.env.process(client.delete(path))
             yield self.env.process(client.write(path, payload))
+            registry = metrics_of(self.env)
+            if registry is not None:
+                # submit-to-landed time: how far the write-behind queue
+                # let this payload lag behind the task that produced it
+                registry.latency("write_behind.flush.latency").observe(
+                    self.env.now - submitted_at)
         finally:
             if not done.triggered:
                 done.succeed()

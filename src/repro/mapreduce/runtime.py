@@ -292,6 +292,10 @@ class JobRunner:
             outputs.append(output)
             stats.append(task_stats)
             counters.merge(task_counters)
+            registry = metrics_of(self.env)
+            if registry is not None:
+                registry.latency("task.map.duration").observe(
+                    task_stats.duration)
             if feed is not None:
                 feed.commit(output)
 
@@ -342,6 +346,10 @@ class JobRunner:
             results[partition] = (records, output_path)
             stats.append(task_stats)
             counters.merge(task_counters)
+            registry = metrics_of(self.env)
+            if registry is not None:
+                registry.latency("task.reduce.duration").observe(
+                    task_stats.duration)
         finally:
             slots.release(req)
 
@@ -415,6 +423,7 @@ class JobRunner:
                 result.end = env.now
                 history.finish(result.end)
                 self._publish_shuffle(counters)
+                self._publish_turnaround(result)
                 return result
 
             if reduce_barrier is None:
@@ -433,6 +442,7 @@ class JobRunner:
             result.task_stats = stats
             history.finish(result.end)
             self._publish_shuffle(counters)
+            self._publish_turnaround(result)
             return result
 
     def _commit_writes(self, flusher, counters: Counters):
@@ -458,6 +468,10 @@ class JobRunner:
                                 f"{node.name}.reduce")
             for node in self.nodes
         }
+        registry = metrics_of(env)
+        if registry is not None:
+            for node in self.nodes:
+                registry.watch_slots(slots[node.name])
         reducers = []
         for partition in range(job.n_reducers):
             node = self.nodes[partition % len(self.nodes)]
@@ -466,6 +480,14 @@ class JobRunner:
                 results, stats, counters, history, feed=feed,
                 flusher=flusher)))
         return reducers
+
+    def _publish_turnaround(self, result: "JobResult") -> None:
+        """Feed the finished job's turnaround time into the streaming
+        ``job.turnaround`` percentile histogram (multi-job environments
+        accumulate a p50/p99 job-latency distribution)."""
+        registry = metrics_of(self.env)
+        if registry is not None:
+            registry.latency("job.turnaround").observe(result.duration)
 
     def _publish_shuffle(self, counters: Counters) -> None:
         """Mirror the job's shuffle counter group into the metrics

@@ -23,6 +23,7 @@ from repro.mapreduce.shuffle import (
     merge_sorted_streams,
     sort_run,
 )
+from repro.obs.metrics import metrics_of
 from repro.obs.trace import tracer_of
 from repro.sim import Event, FanoutWindow
 from repro.sim.stats import IntervalTimer
@@ -383,10 +384,15 @@ class ReduceTask:
         if size == 0:
             return output.partitions[self.partition]
         ctx.counters.increment("shuffle", "fetches")
+        fetch_started = self.env.now
         yield self.env.timeout(self.FETCH_RPC_LATENCY)
         yield self.network.transfer(
             output.node, self.node, size, tag="shuffle")
         ctx.counters.increment("shuffle", "bytes", size)
+        registry = metrics_of(self.env)
+        if registry is not None:
+            registry.latency("shuffle.fetch.latency").observe(
+                self.env.now - fetch_started)
         return output.partitions[self.partition]
 
     def _fetch_with_retry(self, output: MapOutput, ctx: TaskContext):

@@ -14,14 +14,24 @@ artifact is deterministic and diffs cleanly across runs:
   retry/speculation outcome.
 
 ``python -m repro.obs report <trace.json>`` renders an ASCII task
-timeline (one swimlane per node) and a device-utilisation table from an
-exported trace; ``validate`` checks a trace for well-formedness.
+timeline (one swimlane per node) and the summary tables (devices,
+per-scheme reads/writes, shuffle, latency percentiles) from an exported
+trace — ``--json`` mirrors every table machine-readably; ``validate``
+checks a trace for well-formedness; ``critpath`` runs the
+:mod:`repro.obs.critpath` bottleneck attribution over one run.
 
 When no tracer is attached (the default), every hot-path hook resolves
 to shared no-op singletons: no spans are allocated and no samples are
 recorded.
 """
 
+from repro.obs.critpath import (
+    CriticalPath,
+    critical_path,
+    phase_decomposition,
+    spans_from_trace,
+)
+from repro.obs.hist import LogHistogram
 from repro.obs.history import JobHistory, TaskAttempt
 from repro.obs.metrics import (
     Counter,
@@ -45,9 +55,11 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "CriticalPath",
     "Gauge",
     "Histogram",
     "JobHistory",
+    "LogHistogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "Span",
@@ -56,8 +68,11 @@ __all__ = [
     "Tracer",
     "attach_metrics",
     "attach_tracer",
+    "critical_path",
     "load_trace",
     "metrics_of",
+    "phase_decomposition",
+    "spans_from_trace",
     "tracer_of",
     "write_chrome_trace",
     "write_jsonl_trace",

@@ -1,17 +1,34 @@
-"""CLI: render or validate exported traces.
+"""CLI: render, validate, or bottleneck-attribute exported traces.
 
 Usage::
 
     python -m repro.obs report /tmp/fig5.json [--width N] [--run LABEL]
+    python -m repro.obs report /tmp/fig5.json --json
     python -m repro.obs validate /tmp/fig5.json
+    python -m repro.obs critpath /tmp/fig5.json [--run LABEL] [--json]
+
+Every subcommand exits 1 with a one-line message on a missing or
+malformed trace file instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.obs.report import render_report, validate_trace
+from repro.obs.report import (
+    critpath_data,
+    render_critpath,
+    render_report,
+    report_data,
+    validate_trace,
+)
+
+
+def _fail(path: str, exc: Exception) -> int:
+    print(f"cannot read trace {path}: {exc}", file=sys.stderr)
+    return 1
 
 
 def main(argv=None) -> int:
@@ -21,28 +38,57 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     rep = sub.add_parser(
-        "report", help="ASCII task timeline + device utilisation table")
+        "report", help="ASCII task timeline + summary tables")
     rep.add_argument("trace", help="trace file (.json or .jsonl)")
     rep.add_argument("--width", type=int, default=72,
                      help="timeline width in characters (default 72)")
     rep.add_argument("--run", default=None,
                      help="only show runs whose label contains this string")
+    rep.add_argument("--json", action="store_true",
+                     help="emit every table machine-readably as JSON")
 
     val = sub.add_parser(
         "validate", help="check a trace for well-formedness")
     val.add_argument("trace", help="trace file (.json or .jsonl)")
 
+    crit = sub.add_parser(
+        "critpath",
+        help="critical-path bottleneck attribution for one run")
+    crit.add_argument("trace", help="trace file (.json or .jsonl)")
+    crit.add_argument("--run", default=None,
+                      help="run label (required when the trace holds "
+                           "several runs)")
+    crit.add_argument("--json", action="store_true",
+                      help="emit segments and buckets as JSON")
+
     args = parser.parse_args(argv)
+
     if args.command == "report":
         try:
-            report = render_report(args.trace, width=args.width,
-                                   run_filter=args.run)
+            if args.json:
+                out = json.dumps(report_data(args.trace,
+                                             run_filter=args.run),
+                                 indent=2, sort_keys=True)
+            else:
+                out = render_report(args.trace, width=args.width,
+                                    run_filter=args.run)
         except (OSError, ValueError) as exc:
-            print(f"cannot read trace {args.trace}: {exc}",
-                  file=sys.stderr)
-            return 1
-        print(report)
+            return _fail(args.trace, exc)
+        print(out)
         return 0
+
+    if args.command == "critpath":
+        try:
+            if args.json:
+                out = json.dumps(critpath_data(args.trace, run=args.run),
+                                 indent=2, sort_keys=True)
+            else:
+                out = render_critpath(args.trace, run=args.run)
+        except (OSError, ValueError) as exc:
+            return _fail(args.trace, exc)
+        print(out)
+        return 0
+
     problems = validate_trace(args.trace)
     if problems:
         for problem in problems:

@@ -1,0 +1,143 @@
+"""Frozen v1 observability path — the per-object twin for equivalence tests.
+
+This module is a verbatim freeze of the pre-columnar recording layer:
+:class:`LegacyTracer` keeps one Python object (or tuple) per recorded
+event, and :class:`LegacyMonitor` keeps two plain Python lists of
+samples, exactly as ``repro.obs.trace`` / ``repro.sim.stats`` did before
+the columnar rewrite. The twin-world tests attach a ``LegacyTracer`` and
+a columnar :class:`~repro.obs.trace.Tracer` to identical runs and pin
+the exported traces byte-identical and every derived report number to
+1e-9.
+
+Do not modify this file except to track intentional contract changes in
+the v2 path; it exists so regressions in the columnar re-derivations are
+caught against the original arithmetic, not against themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.obs.trace import Span
+
+__all__ = ["LegacyMonitor", "LegacyTracer"]
+
+
+class _LegacySpanHandle:
+    """Context manager that closes one span at the simulated exit time."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "LegacyTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def set(self, **args: Any) -> "_LegacySpanHandle":
+        if self._span.args is None:
+            self._span.args = {}
+        self._span.args.update(args)
+        return self
+
+    def __enter__(self) -> "_LegacySpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._span.end = self._tracer.env.now
+        self._tracer.spans.append(self._span)
+
+
+class LegacyTracer:
+    """v1 tracer: one :class:`Span` object per recorded span.
+
+    API-compatible with the columnar :class:`~repro.obs.trace.Tracer`
+    (``span``/``instant``/``counter`` plus the ``spans``/``instants``/
+    ``counter_samples`` views), so the exporters accept either.
+    """
+
+    enabled = True
+
+    def __init__(self, env):
+        self.env = env
+        self.spans: list[Span] = []
+        #: (time, name, cat, track, args)
+        self.instants: list[tuple[float, str, str, str, Optional[dict]]] = []
+        #: (time, name, value, cat)
+        self.counter_samples: list[tuple[float, str, float, str]] = []
+
+    def span(self, name: str, cat: str = "", track: str = "main",
+             **args: Any) -> _LegacySpanHandle:
+        return _LegacySpanHandle(
+            self, Span(name, cat, track, self.env.now, args or None))
+
+    def instant(self, name: str, cat: str = "", track: str = "main",
+                **args: Any) -> None:
+        self.instants.append(
+            (self.env.now, name, cat, track, args or None))
+
+    def counter(self, name: str, value: float, cat: str = "util") -> None:
+        self.counter_samples.append((self.env.now, name, float(value), cat))
+
+
+class LegacyMonitor:
+    """v1 time-stamped sample recorder: two growing Python lists."""
+
+    def __init__(self, env, name: str = ""):
+        self.env = env
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.times.append(self.env.now)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return max(self.values)
+
+    @property
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return self.values[-1]
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        end = self.env.now if until is None else until
+        total = 0.0
+        span = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
+            dt = max(0.0, t_next - t)
+            total += v * dt
+            span += dt
+        if span == 0:
+            return self.values[-1]
+        return total / span

@@ -1,0 +1,372 @@
+"""Critical-path extraction and bottleneck attribution from span DAGs.
+
+A finished run's trace already contains the dependency structure the
+runtime executed: task spans (``task.map`` / ``task.reduce``) tiled with
+their phase child spans (``task.phase``) on per-slot tracks, all inside
+one ``job`` span. The blocking edges are implicit but recoverable —
+
+- **split claim / slot serialisation**: a task's predecessor on the
+  critical path is the latest-ending task that finished at or before it
+  started (same-slot serialisation and the map wave's split claims both
+  reduce to this rule);
+- **shuffle fetch ready**: a reduce task idle before its start was
+  waiting on map outputs, so the gap to its predecessor is attributed
+  to shuffle readiness;
+- **write drain barrier**: simulated time between the last task's end
+  and the job span's end is the write-behind commit drain.
+
+:func:`critical_path` walks backwards from the job's end through those
+edges, producing a gap-free chain of :class:`Segment`\\ s from job start
+to job end. Each segment carries a phase label and a device class (see
+:data:`PHASE_DEVICE`), so :meth:`CriticalPath.buckets` attributes the
+whole makespan to phase × device buckets and
+:meth:`CriticalPath.bottleneck_rows` ranks where the time went.
+
+:func:`phase_decomposition` computes the Fig. 7-style mean
+seconds-per-task phase breakdown from spans alone; on a run without
+speculative attempts it reproduces ``JobResult.phase_means`` to 1e-9
+(speculative/killed attempts appear in traces but not in the winners'
+stats, so decompose non-speculative runs when comparing).
+
+Inputs are either live :class:`~repro.obs.trace.Span` objects (exact
+simulated floats — use these for 1e-9 comparisons) or Chrome trace
+events loaded from disk (microsecond timestamps rounded to 1e-9 s at
+export; use :func:`spans_from_trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = [
+    "CriticalPath",
+    "PHASE_DEVICE",
+    "Segment",
+    "critical_path",
+    "phase_decomposition",
+    "spans_from_trace",
+]
+
+#: tolerance when matching span boundaries (simulated floats are exact,
+#: exported microseconds are rounded to 1e-9 s)
+EPS = 1e-9
+
+#: phase/edge label -> device class the time is attributed to.
+#: Charge-phase names not listed here default to "cpu" (user compute).
+PHASE_DEVICE = {
+    "read": "storage",
+    "user_io": "storage",
+    "write": "storage",
+    "spill": "disk",
+    "merge": "disk",
+    "copy": "network",
+    "shuffle": "network",
+    "startup": "framework",
+    "overhead": "framework",
+    "framework": "cpu",
+    "wait.split_claim": "scheduler",
+    "wait.shuffle_ready": "network",
+    "wait.write_drain": "storage",
+    "setup.splits": "metadata",
+    "job": "framework",
+}
+
+
+def device_of(label: str) -> str:
+    return PHASE_DEVICE.get(label, "cpu")
+
+
+@dataclass(frozen=True)
+class SpanRec:
+    """Normalised span record (name/cat/track/start/end/args)."""
+
+    name: str
+    cat: str
+    track: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One critical-path interval attributed to a phase and device."""
+
+    start: float
+    end: float
+    label: str
+    device: str
+    track: str
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The gap-free critical chain of one run, job start to job end."""
+
+    segments: list[Segment]
+    start: float
+    end: float
+
+    @property
+    def total(self) -> float:
+        return self.end - self.start
+
+    def buckets(self) -> dict[tuple[str, str], float]:
+        """Critical-path seconds per (phase label, device class)."""
+        out: dict[tuple[str, str], float] = {}
+        for seg in self.segments:
+            key = (seg.label, seg.device)
+            out[key] = out.get(key, 0.0) + seg.duration
+        return out
+
+    def device_buckets(self) -> dict[str, float]:
+        """Critical-path seconds per device class."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.device] = out.get(seg.device, 0.0) + seg.duration
+        return out
+
+    def bottleneck_rows(self, top: int = 10):
+        """(columns, rows, note) for the "top bottlenecks" table: the
+        phase × device buckets ranked by critical-path seconds."""
+        total = self.total or 1.0
+        ranked = sorted(self.buckets().items(),
+                        key=lambda item: (-item[1], item[0]))
+        rows = [
+            (label, device, round(seconds, 9),
+             round(100.0 * seconds / total, 2))
+            for (label, device), seconds in ranked[:top]
+        ]
+        note = (f"critical path {self.total:.6f}s from "
+                f"{len(self.segments)} segments; wait.* rows are "
+                "blocking-edge time (split claim / shuffle ready / "
+                "write drain), the rest executed on the path")
+        return (["phase", "device", "seconds", "% of path"], rows, note)
+
+    def as_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "total": self.total,
+            "segments": [
+                {"start": s.start, "end": s.end, "label": s.label,
+                 "device": s.device, "track": s.track, "detail": s.detail}
+                for s in self.segments
+            ],
+            "buckets": [
+                {"phase": label, "device": device, "seconds": seconds}
+                for (label, device), seconds in sorted(
+                    self.buckets().items(),
+                    key=lambda item: (-item[1], item[0]))
+            ],
+        }
+
+
+# --------------------------------------------------------------------------
+# Input normalisation
+# --------------------------------------------------------------------------
+
+def _normalize(spans: Iterable) -> list[SpanRec]:
+    """Accept Span-like objects or SpanRecs."""
+    out = []
+    for s in spans:
+        if isinstance(s, SpanRec):
+            out.append(s)
+        else:
+            out.append(SpanRec(s.name, s.cat, s.track, s.start, s.end,
+                               s.args or {}))
+    return out
+
+
+def spans_from_trace(doc: dict, run: Optional[str] = None) -> list[SpanRec]:
+    """Span records of one run from a loaded trace document.
+
+    ``doc`` is the :func:`~repro.obs.trace.load_trace` shape. ``run``
+    selects the process by name; with several runs present and no
+    ``run`` given, a ValueError lists the choices.
+    """
+    events = doc.get("traceEvents", [])
+    run_names: dict[int, str] = {}
+    track_of: dict[tuple[int, int], str] = {}
+    for ev in events:
+        if ev.get("ph") != "M":
+            continue
+        if ev.get("name") == "process_name":
+            run_names[ev["pid"]] = ev["args"]["name"]
+        elif ev.get("name") == "thread_name":
+            track_of[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    if run is not None:
+        pids = [pid for pid, name in run_names.items() if name == run]
+        if not pids:
+            raise ValueError(
+                f"run {run!r} not in trace; runs: "
+                f"{sorted(run_names.values())}")
+    else:
+        pids = sorted(run_names) or sorted(
+            {ev.get("pid", 0) for ev in events})
+        if len(pids) > 1:
+            raise ValueError(
+                "trace holds several runs; pick one with run=...: "
+                f"{sorted(run_names.values())}")
+    pid = pids[0]
+    spans = []
+    for ev in events:
+        if ev.get("ph") != "X" or ev.get("pid") != pid:
+            continue
+        start = ev["ts"] / 1e6
+        end = (ev["ts"] + ev.get("dur", 0.0)) / 1e6
+        spans.append(SpanRec(
+            ev.get("name", ""), ev.get("cat", ""),
+            track_of.get((pid, ev.get("tid", 0)), str(ev.get("tid", 0))),
+            start, end, ev.get("args", {}) or {}))
+    return spans
+
+
+# --------------------------------------------------------------------------
+# Fig. 7-style decomposition from spans alone
+# --------------------------------------------------------------------------
+
+def phase_decomposition(spans: Iterable, kind: str = "map"
+                        ) -> dict[str, float]:
+    """Mean seconds per ``kind`` task in each phase, from spans alone.
+
+    A phase span belongs to the ``kind`` task on its track whose
+    interval contains it; totals divide by the task count — the same
+    arithmetic as ``JobResult.phase_means``.
+    """
+    recs = _normalize(spans)
+    tasks = [s for s in recs if s.cat == f"task.{kind}"]
+    if not tasks:
+        return {}
+    by_track: dict[str, list[SpanRec]] = {}
+    for t in tasks:
+        by_track.setdefault(t.track, []).append(t)
+    totals: dict[str, float] = {}
+    for p in recs:
+        if p.cat != "task.phase":
+            continue
+        for t in by_track.get(p.track, ()):
+            if t.start - EPS <= p.start and p.end <= t.end + EPS:
+                totals[p.name] = totals.get(p.name, 0.0) + (p.end - p.start)
+                break
+    return {name: total / len(tasks) for name, total in totals.items()}
+
+
+def decomposition_rows(spans: Iterable, kind: str = "map"):
+    """(columns, rows, note) phase table mirroring the Fig. 7 bench."""
+    means = phase_decomposition(spans, kind)
+    rows = [
+        (name, round(mean, 9), device_of(name))
+        for name, mean in sorted(means.items(),
+                                 key=lambda item: (-item[1], item[0]))
+    ]
+    note = (f"mean per-{kind}-task seconds from spans alone "
+            "(Fig. 7 decomposition, no bench bookkeeping)")
+    return ([f"{kind} phase", "mean s/task", "device"], rows, note)
+
+
+# --------------------------------------------------------------------------
+# Critical-path walk
+# --------------------------------------------------------------------------
+
+def _pick_pred(tasks: list[SpanRec], before: float,
+               visited: set[int]) -> Optional[SpanRec]:
+    """Latest-ending unvisited task finished at or before ``before``;
+    ties break toward later start, then track/name (deterministic)."""
+    best = None
+    best_key = None
+    for t in tasks:
+        if id(t) in visited or t.end > before + EPS:
+            continue
+        key = (t.end, t.start, t.track, t.name)
+        if best_key is None or key > best_key:
+            best, best_key = t, key
+    return best
+
+
+def critical_path(spans: Iterable) -> CriticalPath:
+    """Extract the critical chain of one run (see module docstring)."""
+    recs = _normalize(spans)
+    if not recs:
+        return CriticalPath([], 0.0, 0.0)
+    jobs = [s for s in recs if s.cat == "job"]
+    if jobs:
+        job = max(jobs, key=lambda s: (s.duration, s.start))
+    else:
+        job = SpanRec("job", "job", "job",
+                      min(s.start for s in recs),
+                      max(s.end for s in recs))
+    tasks = [s for s in recs
+             if s.cat.startswith("task.") and s.cat != "task.phase"
+             and job.start - EPS <= s.start and s.end <= job.end + EPS]
+    phases_by_track: dict[str, list[SpanRec]] = {}
+    for p in recs:
+        if p.cat == "task.phase":
+            phases_by_track.setdefault(p.track, []).append(p)
+    for track_phases in phases_by_track.values():
+        track_phases.sort(key=lambda s: (s.start, s.end))
+
+    segments: list[Segment] = []  # built backwards, reversed at the end
+
+    def add(start: float, end: float, label: str, track: str,
+            detail: str = "") -> None:
+        if end - start > EPS:
+            segments.append(Segment(start, end, label, device_of(label),
+                                    track, detail))
+
+    visited: set[int] = set()
+    cursor = job.end
+    current = _pick_pred(tasks, cursor, visited)
+    if current is None:
+        # No tasks (e.g. the naive driver): the job itself is the path.
+        add(job.start, job.end, "job", job.track,
+            str(job.args.get("job", "")))
+    else:
+        # Tail gap: last task end -> job end is the write drain barrier.
+        add(current.end, cursor, "wait.write_drain", job.track)
+        while current is not None:
+            visited.add(id(current))
+            kind = current.cat.split(".", 1)[-1]
+            detail = str(current.args.get("task_id", current.name))
+            cursor = min(cursor, current.end)
+            inner = cursor
+            for ph in reversed(phases_by_track.get(current.track, [])):
+                if ph.start < current.start - EPS or \
+                        ph.end > current.end + EPS:
+                    continue  # a different task's phase on this slot
+                ph_end = min(ph.end, inner)
+                if ph_end <= ph.start + EPS and inner <= ph.start + EPS:
+                    continue
+                # in-task time between phases is framework overhead
+                add(ph_end, inner, "overhead", current.track, detail)
+                add(ph.start, ph_end, ph.name, current.track, detail)
+                inner = min(inner, ph.start)
+                if inner <= current.start + EPS:
+                    break
+            # task start -> first phase: startup (JVM/attempt spin-up)
+            add(current.start, inner, "startup", current.track, detail)
+            cursor = current.start
+            if cursor <= job.start + EPS:
+                break
+            nxt = _pick_pred(tasks, cursor, visited)
+            if nxt is None:
+                # Head gap: job start -> first task is split planning.
+                add(job.start, cursor, "setup.splits", job.track)
+                break
+            # Blocking edge: what was this task waiting on before start?
+            label = ("wait.shuffle_ready" if kind == "reduce"
+                     else "wait.split_claim")
+            add(nxt.end, cursor, label, current.track, detail)
+            current = nxt
+    segments.reverse()
+    return CriticalPath(segments, job.start, job.end)

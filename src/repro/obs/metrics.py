@@ -20,12 +20,14 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, Optional
 
+from repro.obs.hist import LogHistogram
 from repro.sim.stats import Monitor
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "attach_metrics",
     "metrics_of",
@@ -124,6 +126,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._latencies: dict[str, LogHistogram] = {}
         #: watched devices: name -> (pipe, in-flight gauge)
         self._devices: dict[str, tuple] = {}
         #: watched read-ahead caches: name -> CacheStats
@@ -145,6 +148,16 @@ class MetricsRegistry:
         if name not in self._histograms:
             self._histograms[name] = Histogram(name)
         return self._histograms[name]
+
+    def latency(self, name: str) -> LogHistogram:
+        """A streaming :class:`~repro.obs.hist.LogHistogram` for
+        high-volume duration series (task durations, fetch latencies):
+        fixed memory, p50/p90/p99 with bounded relative error, mergeable
+        across registries. Use :meth:`histogram` only for small series
+        that need exact quantiles."""
+        if name not in self._latencies:
+            self._latencies[name] = LogHistogram(name)
+        return self._latencies[name]
 
     # -- device watching -------------------------------------------------
     def watch_pipe(self, pipe, name: Optional[str] = None) -> None:
@@ -196,6 +209,22 @@ class MetricsRegistry:
         self._watched_ids.add(id(stats))
         label = stats.name or name or f"cache{len(self._caches)}"
         self._caches[label] = stats
+
+    def watch_slots(self, resource, name: Optional[str] = None) -> None:
+        """Sample a :class:`~repro.sim.resources.Resource`'s queue waits.
+
+        Points the resource's ``wait_observer`` hook at a streaming
+        latency histogram (``slots.<name>.queue_wait``): every slot
+        grant records how long the request waited, which is exactly the
+        queue-wait percentile series multi-tenant scheduling needs.
+        Idempotent per resource.
+        """
+        if id(resource) in self._watched_ids:
+            return
+        self._watched_ids.add(id(resource))
+        label = name or resource.name or f"slots{len(self._latencies)}"
+        resource.wait_observer = self.latency(
+            f"slots.{label}.queue_wait").observe
 
     # -- export ----------------------------------------------------------
     def device_monitors(self) -> Iterable[tuple[str, Monitor]]:
@@ -322,6 +351,25 @@ class MetricsRegistry:
             for job in sorted(per_job)
         ]
 
+    def latency_rows(self) -> list[dict]:
+        """Percentile summary rows, one per non-empty latency histogram:
+        count, mean, p50/p90/p99 and exact max, all in seconds."""
+        rows = []
+        for name in sorted(self._latencies):
+            hist = self._latencies[name]
+            if not len(hist):
+                continue
+            rows.append({
+                "hist": name,
+                "count": float(hist.count),
+                "mean": hist.mean,
+                "p50": hist.quantile(0.50),
+                "p90": hist.quantile(0.90),
+                "p99": hist.quantile(0.99),
+                "max": hist.max,
+            })
+        return rows
+
     def as_dict(self) -> dict:
         """Snapshot of every named metric plus the device table."""
         return {
@@ -335,6 +383,9 @@ class MetricsRegistry:
             "histograms": {n: h.summary()
                            for n, h in sorted(self._histograms.items())
                            if len(h)},
+            "latencies": {n: h.summary()
+                          for n, h in sorted(self._latencies.items())
+                          if len(h)},
             "devices": self.device_rows(),
             "caches": self.cache_rows(),
             "reads": self.scheme_read_rows(),

@@ -2,19 +2,32 @@
 
 ``python -m repro.obs report trace.json`` prints, per simulated run in
 the file, a swimlane timeline (one row per track, grouped by node) and
-the per-device utilisation summary carried in the trace's
-``deviceMetrics`` section. ``validate`` checks a trace for
-well-formedness (the CI smoke job runs it against a bench ``--trace``
-output).
+the summary tables carried in the trace's ``deviceMetrics`` section
+(device utilisation, per-scheme reads/writes, per-job shuffle, latency
+percentiles). ``--json`` emits the same tables machine-readably:
+every ASCII table appears under ``tables.<name>`` with its ``columns``,
+``rows`` and ``note``. ``validate`` checks a trace for well-formedness
+(the CI smoke job runs it against a bench ``--trace`` output), and
+``critpath`` renders the critical-path bottleneck attribution computed
+by :mod:`repro.obs.critpath`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.obs.critpath import critical_path, decomposition_rows, \
+    phase_decomposition, spans_from_trace
 from repro.obs.trace import load_trace
 
-__all__ = ["render_report", "render_timeline", "validate_trace"]
+__all__ = [
+    "critpath_data",
+    "render_critpath",
+    "render_report",
+    "render_timeline",
+    "report_data",
+    "validate_trace",
+]
 
 #: event phases the exporters emit
 _KNOWN_PHASES = {"X", "M", "i", "C"}
@@ -102,9 +115,27 @@ def render_timeline(run: dict, width: int = 72) -> str:
     return "\n".join(lines)
 
 
-def _device_table(devices: list[dict]) -> str:
-    from repro.bench.reporting import format_table
+# --------------------------------------------------------------------------
+# Summary tables: each builder returns (title, columns, rows, note), the
+# shared shape both the ASCII renderer and the --json mirror consume.
+# --------------------------------------------------------------------------
 
+def _partition_rows(rows: list[dict]) -> dict[str, list[dict]]:
+    """Split deviceMetrics rows on their marker keys: plain devices,
+    per-scheme reads ("scheme"), writes ("write_scheme"), per-job
+    shuffles ("shuffle_job") and latency histograms ("hist_name")."""
+    return {
+        "devices": [d for d in rows
+                    if "scheme" not in d and "write_scheme" not in d
+                    and "shuffle_job" not in d and "hist_name" not in d],
+        "reads": [d for d in rows if "scheme" in d],
+        "writes": [d for d in rows if "write_scheme" in d],
+        "shuffles": [d for d in rows if "shuffle_job" in d],
+        "latencies": [d for d in rows if "hist_name" in d],
+    }
+
+
+def _device_cells(devices: list[dict]):
     columns = ["run", "device", "MB moved", "busy s", "util %",
                "mean in-flight"]
     has_caches = any("cache_hits" in row for row in devices)
@@ -128,16 +159,13 @@ def _device_table(devices: list[dict]) -> str:
                 row.get("overlap_hits", "-") if is_cache else "-",
             ]
         rows.append(cells)
-    return format_table(
-        "device utilisation", columns, rows,
-        note="utilisation = busy time / simulated run time; for cache "
-             "rows util % is the hit rate and overlap counts reads that "
-             "joined an in-flight prefetch")
+    return ("device utilisation", columns, rows,
+            "utilisation = busy time / simulated run time; for cache "
+            "rows util % is the hit rate and overlap counts reads that "
+            "joined an in-flight prefetch")
 
 
-def _scheme_read_table(reads: list[dict]) -> str:
-    from repro.bench.reporting import format_table
-
+def _scheme_read_cells(reads: list[dict]):
     columns = ["run", "scheme", "MB read", "requests", "cache hits"]
     rows = [
         [
@@ -149,16 +177,13 @@ def _scheme_read_table(reads: list[dict]) -> str:
         ]
         for row in reads
     ]
-    return format_table(
-        "reads by scheme", columns, rows,
-        note="one row per storage backend entry point; layered paths "
-             "count at each layer they cross (a connector read also "
-             "moves pfs bytes)")
+    return ("reads by scheme", columns, rows,
+            "one row per storage backend entry point; layered paths "
+            "count at each layer they cross (a connector read also "
+            "moves pfs bytes)")
 
 
-def _scheme_write_table(writes: list[dict]) -> str:
-    from repro.bench.reporting import format_table
-
+def _scheme_write_cells(writes: list[dict]):
     columns = ["run", "scheme", "MB written", "requests"]
     rows = [
         [
@@ -169,16 +194,13 @@ def _scheme_write_table(writes: list[dict]) -> str:
         ]
         for row in writes
     ]
-    return format_table(
-        "writes by scheme", columns, rows,
-        note="one row per storage backend entry point; layered paths "
-             "count at each layer they cross (a connector write also "
-             "pushes pfs bytes)")
+    return ("writes by scheme", columns, rows,
+            "one row per storage backend entry point; layered paths "
+            "count at each layer they cross (a connector write also "
+            "pushes pfs bytes)")
 
 
-def _shuffle_table(shuffles: list[dict]) -> str:
-    from repro.bench.reporting import format_table
-
+def _shuffle_cells(shuffles: list[dict]):
     columns = ["run", "job", "MB shuffled", "fetches", "retries",
                "combine in/out", "merge passes", "MB spilled"]
     rows = []
@@ -196,17 +218,59 @@ def _shuffle_table(shuffles: list[dict]) -> str:
             row.get("merge_passes", 0.0),
             row.get("spilled_bytes", 0.0) / 1e6,
         ])
-    return format_table(
-        "shuffle", columns, rows,
-        note="per-job shuffle counters: bytes pulled by reducers, fetch "
-             "attempts/retries, map-side combiner record fold, and "
-             "reduce-side merge spill passes")
+    return ("shuffle", columns, rows,
+            "per-job shuffle counters: bytes pulled by reducers, fetch "
+            "attempts/retries, map-side combiner record fold, and "
+            "reduce-side merge spill passes")
+
+
+def _latency_cells(latencies: list[dict]):
+    columns = ["run", "series", "count", "mean s", "p50 s", "p90 s",
+               "p99 s", "max s"]
+    rows = [
+        [
+            row.get("run", "-"),
+            row.get("hist_name", "?"),
+            row.get("count", 0.0),
+            row.get("mean_seconds", 0.0),
+            row.get("p50_seconds", 0.0),
+            row.get("p90_seconds", 0.0),
+            row.get("p99_seconds", 0.0),
+            row.get("max_seconds", 0.0),
+        ]
+        for row in latencies
+    ]
+    return ("latency percentiles", columns, rows,
+            "streaming log-bucketed histograms (fixed memory, <2% "
+            "relative quantile error): task durations, shuffle fetch "
+            "and write-behind flush latencies, slot queue waits, job "
+            "turnaround")
+
+
+_TABLE_BUILDERS = (
+    ("devices", _device_cells),
+    ("reads", _scheme_read_cells),
+    ("writes", _scheme_write_cells),
+    ("shuffles", _shuffle_cells),
+    ("latencies", _latency_cells),
+)
+
+
+def _filtered_metric_rows(doc: dict,
+                          run_filter: Optional[str]) -> list[dict]:
+    rows = doc["deviceMetrics"]
+    if run_filter is not None:
+        rows = [d for d in rows if run_filter in str(d.get("run", ""))]
+    return rows
 
 
 def render_report(path: str, width: int = 72,
                   run_filter: Optional[str] = None) -> str:
     """The full report: per-run timelines, the device table, the
-    per-scheme read and write tables, and the per-job shuffle table."""
+    per-scheme read and write tables, the per-job shuffle table, and
+    the latency-percentile table."""
+    from repro.bench.reporting import format_table
+
     doc = load_trace(path)
     runs = _runs(doc["traceEvents"])
     sections = []
@@ -216,26 +280,79 @@ def render_report(path: str, width: int = 72,
             continue
         header = f"== run: {run['name']} ({len(run['spans'])} spans) =="
         sections.append(f"{header}\n{render_timeline(run, width=width)}")
-    rows = doc["deviceMetrics"]
-    if run_filter is not None:
-        rows = [d for d in rows if run_filter in str(d.get("run", ""))]
-    devices = [d for d in rows
-               if "scheme" not in d and "write_scheme" not in d
-               and "shuffle_job" not in d]
-    reads = [d for d in rows if "scheme" in d]
-    writes = [d for d in rows if "write_scheme" in d]
-    shuffles = [d for d in rows if "shuffle_job" in d]
-    if devices:
-        sections.append(_device_table(devices))
-    if reads:
-        sections.append(_scheme_read_table(reads))
-    if writes:
-        sections.append(_scheme_write_table(writes))
-    if shuffles:
-        sections.append(_shuffle_table(shuffles))
+    parts = _partition_rows(_filtered_metric_rows(doc, run_filter))
+    for key, builder in _TABLE_BUILDERS:
+        if parts[key]:
+            title, columns, rows, note = builder(parts[key])
+            sections.append(format_table(title, columns, rows, note=note))
     if not sections:
         return f"no matching runs or devices in {path}"
     return "\n\n".join(sections)
+
+
+def report_data(path: str, run_filter: Optional[str] = None) -> dict:
+    """Machine-readable mirror of :func:`render_report`.
+
+    Returns ``{"trace", "runs": [...], "tables": {name: {"title",
+    "columns", "rows", "note"}}}`` — every ASCII table, same cells."""
+    doc = load_trace(path)
+    runs = _runs(doc["traceEvents"])
+    data: dict[str, Any] = {"trace": path, "runs": [], "tables": {}}
+    for pid in sorted(runs):
+        run = runs[pid]
+        if run_filter is not None and run_filter not in run["name"]:
+            continue
+        data["runs"].append({
+            "pid": pid,
+            "name": run["name"],
+            "spans": len(run["spans"]),
+            "tracks": sorted(run["tracks"].values()),
+        })
+    parts = _partition_rows(_filtered_metric_rows(doc, run_filter))
+    for key, builder in _TABLE_BUILDERS:
+        if parts[key]:
+            title, columns, rows, note = builder(parts[key])
+            data["tables"][key] = {"title": title, "columns": columns,
+                                   "rows": rows, "note": note}
+    return data
+
+
+# --------------------------------------------------------------------------
+# Critical-path rendering
+# --------------------------------------------------------------------------
+
+def render_critpath(path: str, run: Optional[str] = None,
+                    kind: str = "map") -> str:
+    """Bottleneck attribution for one run: the top-bottlenecks table
+    from the critical-path walk plus the spans-only Fig. 7-style phase
+    decomposition."""
+    from repro.bench.reporting import format_table
+
+    spans = spans_from_trace(load_trace(path), run=run)
+    cp = critical_path(spans)
+    columns, rows, note = cp.bottleneck_rows()
+    sections = [format_table("top bottlenecks (critical path)",
+                             columns, rows, note=note)]
+    for k in (kind, "reduce") if kind == "map" else (kind,):
+        columns, rows, note = decomposition_rows(spans, kind=k)
+        if rows:
+            sections.append(format_table(
+                f"{k}-task phase decomposition", columns, rows, note=note))
+    return "\n\n".join(sections)
+
+
+def critpath_data(path: str, run: Optional[str] = None) -> dict:
+    """Machine-readable critical path: segments, phase × device buckets
+    and the per-kind phase decompositions."""
+    spans = spans_from_trace(load_trace(path), run=run)
+    cp = critical_path(spans)
+    data = cp.as_dict()
+    data["decomposition"] = {
+        kind: decomp
+        for kind in ("map", "reduce")
+        if (decomp := phase_decomposition(spans, kind=kind))
+    }
+    return data
 
 
 def validate_trace(path: str) -> list[str]:

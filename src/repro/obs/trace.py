@@ -22,6 +22,8 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
+from repro.obs.columnar import ColumnarLog
+
 __all__ = [
     "NULL_TRACER",
     "Span",
@@ -60,27 +62,46 @@ class Span:
 
 
 class _SpanHandle:
-    """Context manager that closes one span at the simulated exit time."""
+    """Reusable context manager that records one span on exit.
 
-    __slots__ = ("_tracer", "_span")
+    Handles are pooled on the owning tracer (a freelist), so steady-state
+    span recording allocates no objects at all: entering a span pops a
+    handle, exiting extends the columnar buffer with three floats and
+    pushes the handle back. ``_active`` marks handles currently inside a
+    ``with`` block — that is what lets the exporter synthesise
+    still-in-flight spans at dump time instead of dropping them.
+    """
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    __slots__ = ("_tracer", "_kid", "_start", "_args", "_active")
+
+    def __init__(self, tracer: "Tracer"):
         self._tracer = tracer
-        self._span = span
+        self._kid = 0
+        self._start = 0.0
+        self._args: Optional[dict] = None
+        self._active = False
 
     def set(self, **args: Any) -> "_SpanHandle":
         """Attach (or update) span arguments mid-flight."""
-        if self._span.args is None:
-            self._span.args = {}
-        self._span.args.update(args)
+        if self._args is None:
+            self._args = {}
+        self._args.update(args)
         return self
 
     def __enter__(self) -> "_SpanHandle":
         return self
 
     def __exit__(self, *exc) -> None:
-        self._span.end = self._tracer.env.now
-        self._tracer.spans.append(self._span)
+        tracer = self._tracer
+        buf = tracer._sbuf
+        buf.extend((self._start, tracer.env.now, self._kid))
+        log = tracer.log
+        if self._args:
+            log.span_args[len(log.spans) - 1] = self._args
+        if len(buf) >= tracer._sflush:
+            log.spans.column.flush()
+        self._active = False
+        tracer._free.append(self)
 
 
 class _NullHandle:
@@ -124,41 +145,169 @@ NULL_TRACER = _NullTracer()
 
 
 class Tracer:
-    """Collects spans/instants/counter samples against one environment."""
+    """Collects spans/instants/counter samples against one environment.
+
+    Recording is columnar (v2): events append interned-key float rows
+    into a :class:`~repro.obs.columnar.ColumnarLog` — no per-event
+    Python objects. The historical per-object views (``spans`` as
+    :class:`Span` objects in close order, ``instants`` and
+    ``counter_samples`` as tuples) are materialised from the columns on
+    access and cached until more events arrive, so existing consumers
+    and exporters see exactly the v1 shapes.
+    """
 
     enabled = True
 
     def __init__(self, env):
         self.env = env
-        self.spans: list[Span] = []
-        #: (time, name, cat, track, args)
-        self.instants: list[tuple[float, str, str, str, Optional[dict]]] = []
-        #: (time, name, value, cat)
-        self.counter_samples: list[tuple[float, str, float, str]] = []
+        self.log = ColumnarLog()
+        # hot-path caches: the shared key dicts and the stable buffer
+        # lists / flush thresholds of each table (see FloatColumn.buf)
+        self._keys = self.log.keys
+        self._ckeys = self.log.ckeys
+        self._sbuf = self.log.spans.column.buf
+        self._sflush = self.log.spans.column.flush_at
+        self._ibuf = self.log.instants.column.buf
+        self._iflush = self.log.instants.column.flush_at
+        self._cbuf = self.log.counters.column.buf
+        self._cflush = self.log.counters.column.flush_at
+        # span-handle pool + every handle ever created (for in-flight
+        # discovery at export time; bounded by max concurrent nesting)
+        self._free: list[_SpanHandle] = []
+        self._handles: list[_SpanHandle] = []
+        # materialised-view caches, invalidated by row-count change
+        self._span_view: Optional[list[Span]] = None
+        self._instant_view: Optional[list[tuple]] = None
+        self._counter_view: Optional[list[tuple]] = None
 
     def span(self, name: str, cat: str = "", track: str = "main",
              **args: Any) -> _SpanHandle:
         """Open a span; use as a context manager (``with tracer.span(...)``).
         The span is recorded when the ``with`` block exits."""
-        return _SpanHandle(
-            self, Span(name, cat, track, self.env.now, args or None))
+        try:
+            kid = self._keys[(name, cat, track)]
+        except KeyError:
+            kid = self.log.key_id(name, cat, track)
+        free = self._free
+        if free:
+            handle = free.pop()
+        else:
+            handle = _SpanHandle(self)
+            self._handles.append(handle)
+        handle._kid = kid
+        handle._start = self.env.now
+        handle._args = args or None
+        handle._active = True
+        return handle
 
     def instant(self, name: str, cat: str = "", track: str = "main",
                 **args: Any) -> None:
         """Record a zero-duration marker at the current simulated time."""
-        self.instants.append(
-            (self.env.now, name, cat, track, args or None))
+        log = self.log
+        try:
+            kid = self._keys[(name, cat, track)]
+        except KeyError:
+            kid = log.key_id(name, cat, track)
+        if args:
+            log.instant_args[len(log.instants)] = args
+        buf = self._ibuf
+        buf.extend((self.env.now, kid))
+        if len(buf) >= self._iflush:
+            log.instants.column.flush()
 
     def counter(self, name: str, value: float, cat: str = "util") -> None:
         """Record one sample of a named counter series."""
-        self.counter_samples.append((self.env.now, name, float(value), cat))
+        try:
+            ckid = self._ckeys[(name, cat)]
+        except KeyError:
+            ckid = self.log.counter_key_id(name, cat)
+        buf = self._cbuf
+        buf.extend((self.env.now, float(value), ckid))
+        if len(buf) >= self._cflush:
+            self.log.counters.column.flush()
+
+    # -- materialised v1-shaped views ------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        """Closed spans as :class:`Span` objects, in close order."""
+        n = len(self.log.spans)
+        if self._span_view is None or len(self._span_view) != n:
+            rows = self.log.spans.rows().tolist()
+            keys = self.log.key_list
+            args = self.log.span_args
+            view = []
+            for i, (start, end, kid) in enumerate(rows):
+                name, cat, track = keys[int(kid)]
+                span = Span(name, cat, track, start, args.get(i))
+                span.end = end
+                view.append(span)
+            self._span_view = view
+        return self._span_view
+
+    @property
+    def instants(self) -> list[tuple[float, str, str, str, Optional[dict]]]:
+        """Markers as ``(time, name, cat, track, args)`` tuples."""
+        n = len(self.log.instants)
+        if self._instant_view is None or len(self._instant_view) != n:
+            keys = self.log.key_list
+            args = self.log.instant_args
+            self._instant_view = [
+                (ts, *keys[int(kid)], args.get(i))
+                for i, (ts, kid) in enumerate(
+                    self.log.instants.rows().tolist())
+            ]
+        return self._instant_view
+
+    @property
+    def counter_samples(self) -> list[tuple[float, str, float, str]]:
+        """Counter samples as ``(time, name, value, cat)`` tuples."""
+        n = len(self.log.counters)
+        if self._counter_view is None or len(self._counter_view) != n:
+            ckeys = self.log.ckey_list
+            self._counter_view = [
+                (ts, ckeys[int(kid)][0], value, ckeys[int(kid)][1])
+                for ts, value, kid in self.log.counters.rows().tolist()
+            ]
+        return self._counter_view
+
+    # -- export support ---------------------------------------------------
+    def inflight_spans(self) -> list[Span]:
+        """Still-open spans closed at the current simulated clock.
+
+        Each synthesised span carries ``args["inflight"] = True`` so a
+        dump taken mid-run shows what was executing rather than silently
+        dropping unfinished work. Ordered by (start, track, name) for
+        deterministic export.
+        """
+        now = self.env.now
+        out = []
+        for handle in self._handles:
+            if handle._active:
+                name, cat, track = self.log.key_list[handle._kid]
+                args = dict(handle._args) if handle._args else {}
+                args["inflight"] = True
+                span = Span(name, cat, track, handle._start, args)
+                span.end = now
+                out.append(span)
+        out.sort(key=lambda s: (s.start, s.track, s.name))
+        return out
+
+    def known_tracks(self) -> list[str]:
+        """Every interned track name, sorted once — the exporter's stable
+        ``tid`` ordering."""
+        return sorted(self.log.tracks())
 
 
 def attach_tracer(env, tracer: Optional[Tracer] = None) -> Tracer:
-    """Attach (and return) a tracer on ``env``; idempotent by default."""
+    """Attach (and return) a tracer on ``env``; idempotent by default.
+
+    Any already-attached tracer-like object is kept (this is what lets
+    the twin-world tests pin a frozen ``LegacyTracer`` on one of two
+    otherwise-identical runs).
+    """
     existing = getattr(env, "tracer", None)
     if tracer is None:
-        if isinstance(existing, Tracer):
+        if existing is not None:
             return existing
         tracer = Tracer(env)
     env.tracer = tracer
@@ -187,9 +336,25 @@ def chrome_events(tracer: Tracer, pid: int = 0, process_name: str = "sim",
     Events are sorted by (timestamp, -duration, track, name) so exported
     timestamps are monotonically non-decreasing and parents precede their
     children at equal start times.
+
+    Spans still open at dump time are exported closed at the current
+    simulated clock with an ``inflight: true`` arg instead of being
+    dropped. ``tid`` assignment is stable by construction: the union of
+    all known tracks (the tracer's interned set when available, plus any
+    track seen on a span or instant) is sorted lexicographically once
+    and tids are 1-based positions in that order — insertion order never
+    changes the numbering.
     """
-    tracks = sorted({s.track for s in tracer.spans}
-                    | {track for _t, _n, _c, track, _a in tracer.instants})
+    spans = list(tracer.spans)
+    inflight = getattr(tracer, "inflight_spans", None)
+    if inflight is not None:
+        spans.extend(inflight())
+    track_set = {s.track for s in spans}
+    track_set.update(track for _t, _n, _c, track, _a in tracer.instants)
+    known = getattr(tracer, "known_tracks", None)
+    if known is not None:
+        track_set.update(known())
+    tracks = sorted(track_set)
     tid_of = {track: i + 1 for i, track in enumerate(tracks)}
 
     events: list[dict] = []
@@ -204,7 +369,7 @@ def chrome_events(tracer: Tracer, pid: int = 0, process_name: str = "sim",
         })
 
     body: list[tuple] = []
-    for span in tracer.spans:
+    for span in spans:
         ev = {
             "ph": "X", "name": span.name, "cat": span.cat or "span",
             "pid": pid, "tid": tid_of[span.track],
@@ -410,6 +575,22 @@ class TraceSession:
                     "combine_output_records": row["combine_output_records"],
                     "merge_passes": row["merge_passes"],
                     "spilled_bytes": row["spilled_bytes"],
+                })
+            # Latency-percentile rows (streaming histograms), same trick:
+            # the "hist_name" key is the marker the report renderer
+            # partitions on.
+            for row in registry.latency_rows():
+                devices.append({
+                    "run": label,
+                    "device": f"lat.{row['hist']}",
+                    "hist_name": row["hist"],
+                    "utilization": 0.0,
+                    "count": row["count"],
+                    "mean_seconds": row["mean"],
+                    "p50_seconds": row["p50"],
+                    "p90_seconds": row["p90"],
+                    "p99_seconds": row["p99"],
+                    "max_seconds": row["max"],
                 })
         return events, devices
 

@@ -1,0 +1,107 @@
+"""Chunked float64 column storage — the measurement substrate.
+
+:class:`FloatColumn` is an append-only column of doubles tuned for the
+simulator's recording hot paths: appends go to a flat Python list (the
+cheapest per-sample container CPython has — no per-sample objects, no
+numpy scalar boxing), and every ``chunk`` elements the buffer is frozen
+into one contiguous ``float64`` array. Reads materialise on demand.
+
+The buffer list is intentionally long-lived: freezing copies it into a
+numpy chunk and then ``clear()``\\ s it in place, so hot paths may cache
+a direct reference to :attr:`FloatColumn.buf` and keep appending through
+it across flushes. :class:`~repro.sim.stats.Monitor` stores its sample
+series in two of these, and ``repro.obs.columnar`` builds its fixed-width
+event tables on top.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["CHUNK_ELEMENTS", "FloatColumn"]
+
+#: elements per frozen chunk (tables multiply by their row width so a
+#: chunk always holds whole rows)
+CHUNK_ELEMENTS = 65536
+
+
+class FloatColumn:
+    """Append-only chunked column of float64 values."""
+
+    __slots__ = ("buf", "flush_at", "_chunks", "_frozen")
+
+    def __init__(self, chunk: int = CHUNK_ELEMENTS):
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        #: pending (not yet frozen) values; identity is stable across
+        #: flushes, so callers may cache a reference for fast appends
+        self.buf: list[float] = []
+        #: flush threshold in elements — when ``len(buf)`` reaches this,
+        #: call :meth:`flush`
+        self.flush_at = chunk
+        self._chunks: list[np.ndarray] = []
+        self._frozen = 0
+
+    def __len__(self) -> int:
+        return self._frozen + len(self.buf)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate storage footprint of the frozen chunks."""
+        return sum(chunk.nbytes for chunk in self._chunks)
+
+    def append(self, value: float) -> None:
+        buf = self.buf
+        buf.append(value)
+        if len(buf) >= self.flush_at:
+            self.flush()
+
+    def extend(self, values: Iterable[float]) -> None:
+        buf = self.buf
+        buf.extend(values)
+        if len(buf) >= self.flush_at:
+            self.flush()
+
+    def extend_array(self, values: np.ndarray) -> None:
+        """Bulk-ingest a numpy vector as one frozen chunk (no per-element
+        Python work)."""
+        if len(values) == 0:
+            return
+        self.flush()
+        arr = np.ascontiguousarray(values, dtype=np.float64)
+        self._chunks.append(arr)
+        self._frozen += len(arr)
+
+    def flush(self) -> None:
+        """Freeze the pending buffer into a chunk (no-op when empty)."""
+        buf = self.buf
+        if not buf:
+            return
+        self._chunks.append(np.array(buf, dtype=np.float64))
+        self._frozen += len(buf)
+        buf.clear()
+
+    def array(self) -> np.ndarray:
+        """Materialise the whole column as one contiguous array."""
+        parts = list(self._chunks)
+        if self.buf:
+            parts.append(np.array(self.buf, dtype=np.float64))
+        if not parts:
+            return np.empty(0, dtype=np.float64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def tolist(self) -> list[float]:
+        """Materialise as a plain list of Python floats."""
+        return self.array().tolist()
+
+    def last(self) -> float:
+        """The most recently appended value (raises on empty)."""
+        if self.buf:
+            return self.buf[-1]
+        if self._chunks:
+            return float(self._chunks[-1][-1])
+        raise ValueError("column has no values")

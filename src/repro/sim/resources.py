@@ -26,6 +26,9 @@ class Request(Event):
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+        #: simulated time the request joined the queue — grant time minus
+        #: this is the queue wait the metrics layer samples
+        self.requested_at = resource.env.now
         resource._enqueue(self)
 
     def __enter__(self) -> "Request":
@@ -46,6 +49,9 @@ class Resource:
         self.name = name
         self._users: set[Request] = set()
         self._waiting: deque[Request] = deque()
+        #: Optional callable(wait_seconds) invoked at every grant — the
+        #: hook the metrics layer feeds queue-wait percentiles through.
+        self.wait_observer = None
 
     @property
     def in_use(self) -> int:
@@ -62,6 +68,8 @@ class Resource:
     def _enqueue(self, req: Request) -> None:
         if len(self._users) < self.capacity and not self._waiting:
             self._users.add(req)
+            if self.wait_observer is not None:
+                self.wait_observer(0.0)
             req.succeed(priority=URGENT)
         else:
             self._waiting.append(req)
@@ -78,6 +86,8 @@ class Resource:
         while self._waiting and len(self._users) < self.capacity:
             nxt = self._waiting.popleft()
             self._users.add(nxt)
+            if self.wait_observer is not None:
+                self.wait_observer(self.env.now - nxt.requested_at)
             nxt.succeed(priority=URGENT)
 
 

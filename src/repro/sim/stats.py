@@ -12,81 +12,105 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
+from repro.sim.columns import FloatColumn
 from repro.sim.engine import Environment
 
 __all__ = ["IntervalTimer", "Monitor"]
 
 
 class Monitor:
-    """Time-stamped sample recorder."""
+    """Time-stamped sample recorder, columnar-backed.
+
+    Samples land in two chunked :class:`~repro.sim.columns.FloatColumn`
+    stores (no per-sample tuples or objects); statistics are re-derived
+    from the columns with vectorised numpy. The ``times``/``values``
+    views materialise plain Python lists, matching the historical
+    list-based contract bit for bit (float64 round-trips exactly).
+    """
+
+    __slots__ = ("env", "name", "_times", "_values")
 
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.name = name
-        self.times: list[float] = []
-        self.values: list[float] = []
+        self._times = FloatColumn()
+        self._values = FloatColumn()
 
     def record(self, value: float) -> None:
         """Record ``value`` at the current simulated time."""
-        self.times.append(self.env.now)
-        self.values.append(float(value))
+        self._times.append(self.env.now)
+        self._values.append(float(value))
 
     def __len__(self) -> int:
-        return len(self.values)
+        return len(self._values)
+
+    @property
+    def times(self) -> list[float]:
+        """Sample timestamps as a plain list (materialised on demand)."""
+        return self._times.tolist()
+
+    @property
+    def values(self) -> list[float]:
+        """Sample values as a plain list (materialised on demand)."""
+        return self._values.tolist()
 
     @property
     def mean(self) -> float:
         """Plain (unweighted) mean of recorded values."""
-        if not self.values:
+        if not len(self._values):
             raise ValueError(f"monitor {self.name!r} has no samples")
-        return sum(self.values) / len(self.values)
+        arr = self._values.array()
+        return float(arr.sum() / len(arr))
 
     @property
     def minimum(self) -> float:
-        if not self.values:
+        if not len(self._values):
             raise ValueError(f"monitor {self.name!r} has no samples")
-        return min(self.values)
+        return float(self._values.array().min())
 
     @property
     def maximum(self) -> float:
-        if not self.values:
+        if not len(self._values):
             raise ValueError(f"monitor {self.name!r} has no samples")
-        return max(self.values)
+        return float(self._values.array().max())
 
     @property
     def last(self) -> float:
         """The most recently recorded value."""
-        if not self.values:
+        if not len(self._values):
             raise ValueError(f"monitor {self.name!r} has no samples")
-        return self.values[-1]
+        return self._values.last()
 
     @property
     def stdev(self) -> float:
-        if len(self.values) < 2:
+        if len(self._values) < 2:
             return 0.0
-        mu = self.mean
-        return math.sqrt(
-            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+        arr = self._values.array()
+        mu = arr.sum() / len(arr)
+        return math.sqrt(float(((arr - mu) ** 2).sum()) / (len(arr) - 1))
 
     def time_average(self, until: Optional[float] = None) -> float:
         """Step-function time-weighted mean of the series.
 
         Each recorded value is held until the next sample; the final value
         is held until ``until`` (default: current simulated time).
+        Computed as one vectorised dot product over the columns.
         """
-        if not self.values:
+        if not len(self._values):
             raise ValueError(f"monitor {self.name!r} has no samples")
         end = self.env.now if until is None else until
-        total = 0.0
-        span = 0.0
-        for i, (t, v) in enumerate(zip(self.times, self.values)):
-            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
-            dt = max(0.0, t_next - t)
-            total += v * dt
-            span += dt
+        times = self._times.array()
+        values = self._values.array()
+        t_next = np.empty_like(times)
+        t_next[:-1] = times[1:]
+        t_next[-1] = end
+        dt = np.maximum(0.0, t_next - times)
+        span = float(dt.sum())
         if span == 0:
-            return self.values[-1]
-        return total / span
+            return float(values[-1])
+        return float(np.dot(values, dt)) / span
 
 
 class IntervalTimer:

@@ -1,11 +1,21 @@
-"""Layering lint: the data plane stays in repro.io + backend adapters.
+"""Layering lint: the data plane stays in repro.io + backend adapters,
+and observability internals stay behind the repro.obs facade.
 
 AST-walks every module under ``src/repro`` and fails if code outside the
-allowlisted layers imports storage internals (OST/OSS/MDS transfer
-machinery, DataNode streams) or the raw fan-out primitive directly.
-New backends go through :class:`repro.io.protocol.StorageClient` and the
-:class:`repro.io.planner.ReadPlanner` — not a fourth private copy of the
-read path. CI runs this as part of the test suite.
+allowlisted layers imports guarded internals:
+
+- **storage**: OST/OSS/MDS transfer machinery, DataNode streams, the
+  raw fan-out primitive. New backends go through
+  :class:`repro.io.protocol.StorageClient` and the
+  :class:`repro.io.planner.ReadPlanner` — not a fourth private copy of
+  the read path.
+- **obs**: the columnar recording core (``repro.obs.columnar``) and the
+  frozen v1 recorders (``repro.obs._legacy``). Instrumented packages
+  record through the :class:`repro.obs.Tracer` / metrics facade; only
+  the obs package itself (and the bench harness that measures both
+  recorders) touches the storage layout.
+
+CI runs this as part of the test suite.
 """
 
 import ast
@@ -15,26 +25,35 @@ import repro
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
 
-#: packages allowed to touch storage internals: the unified data plane
-#: itself, the two backend packages (adapters + servers), and the DES
-#: substrate that defines the primitives.
-ALLOWED_PREFIXES = (
-    "repro.io",
-    "repro.pfs",
-    "repro.hdfs",
-    "repro.sim",
+#: each rule: packages allowed to touch the internals, the internal
+#: modules, and internal names that must not be imported from repro
+#: packages elsewhere (wherever they are re-exported from)
+RULES = (
+    {
+        "label": "storage internals",
+        # the unified data plane, the two backend packages
+        # (adapters + servers), and the DES substrate that defines
+        # the primitives
+        "allowed": ("repro.io", "repro.pfs", "repro.hdfs", "repro.sim"),
+        "modules": {
+            "repro.pfs.server",
+            "repro.hdfs.datanode",
+            "repro.sim.pipeline",
+        },
+        "names": {"OST", "OSS", "MDS", "DataNode", "bounded_fanout"},
+    },
+    {
+        "label": "obs internals",
+        # the obs package itself plus the bench harness that measures
+        # the v1-vs-v2 recorders head to head
+        "allowed": ("repro.obs", "repro.bench"),
+        "modules": {
+            "repro.obs.columnar",
+            "repro.obs._legacy",
+        },
+        "names": {"ColumnarLog", "LegacyTracer", "LegacyMonitor"},
+    },
 )
-
-#: modules whose contents are storage/fan-out internals
-FORBIDDEN_MODULES = {
-    "repro.pfs.server",
-    "repro.hdfs.datanode",
-    "repro.sim.pipeline",
-}
-
-#: internal names that must not be imported from repro packages outside
-#: the allowlist, wherever they are re-exported from
-FORBIDDEN_NAMES = {"OST", "OSS", "MDS", "DataNode", "bounded_fanout"}
 
 
 def module_name(path: Path) -> str:
@@ -46,46 +65,50 @@ def module_name(path: Path) -> str:
 
 
 def violations_in(path: Path) -> list[str]:
-    module = module_name(path)
-    if module.startswith(ALLOWED_PREFIXES):
-        return []
-    return violations_in_source(module, path.read_text())
+    return violations_in_source(module_name(path), path.read_text())
 
 
 def violations_in_source(module: str, source: str) -> list[str]:
+    rules = [rule for rule in RULES
+             if not module.startswith(rule["allowed"])]
+    if not rules:
+        return []
     tree = ast.parse(source, filename=module)
     problems = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
-                if alias.name in FORBIDDEN_MODULES:
-                    problems.append(
-                        f"{module}:{node.lineno}: imports internal "
-                        f"module {alias.name}")
+                for rule in rules:
+                    if alias.name in rule["modules"]:
+                        problems.append(
+                            f"{module}:{node.lineno}: imports internal "
+                            f"module {alias.name} ({rule['label']})")
         elif isinstance(node, ast.ImportFrom):
             if node.module is None or not node.module.startswith("repro"):
                 continue
-            if node.module in FORBIDDEN_MODULES:
-                problems.append(
-                    f"{module}:{node.lineno}: imports from internal "
-                    f"module {node.module}")
-                continue
-            for alias in node.names:
-                if alias.name in FORBIDDEN_NAMES:
+            for rule in rules:
+                if node.module in rule["modules"]:
                     problems.append(
-                        f"{module}:{node.lineno}: imports internal name "
-                        f"{alias.name!r} from {node.module}")
+                        f"{module}:{node.lineno}: imports from internal "
+                        f"module {node.module} ({rule['label']})")
+                    continue
+                for alias in node.names:
+                    if alias.name in rule["names"]:
+                        problems.append(
+                            f"{module}:{node.lineno}: imports internal "
+                            f"name {alias.name!r} from {node.module} "
+                            f"({rule['label']})")
     return problems
 
 
-def test_no_storage_internals_outside_data_plane():
+def test_no_guarded_internals_outside_their_layer():
     problems = []
     for path in sorted(SRC_ROOT.rglob("*.py")):
         problems.extend(violations_in(path))
     assert not problems, (
-        "storage internals reached from outside repro.io + backend "
-        "adapters; route through StorageClient / ReadPlanner instead:\n"
-        + "\n".join(problems))
+        "guarded internals reached from outside their layer; route "
+        "through StorageClient / ReadPlanner / the repro.obs facade "
+        "instead:\n" + "\n".join(problems))
 
 
 def test_lint_catches_violations():
@@ -99,3 +122,32 @@ def test_lint_catches_violations():
         "from repro.sim import bounded_fanout\n")
     assert not violations_in_source(
         "repro.core.fine", "from repro.io import ReadPlanner\n")
+
+
+def test_lint_catches_obs_violations():
+    """Seeded offenders against the obs rule are flagged, and the
+    legitimate consumers are not."""
+    # instrumented packages must not reach into the columnar core
+    assert violations_in_source(
+        "repro.mapreduce.offender",
+        "from repro.obs.columnar import ColumnarLog\n")
+    assert violations_in_source(
+        "repro.io.offender", "import repro.obs.columnar\n")
+    # ...nor resurrect the frozen v1 recorders
+    assert violations_in_source(
+        "repro.sparklike.offender",
+        "from repro.obs._legacy import LegacyTracer\n")
+    assert violations_in_source(
+        "repro.core.offender",
+        "from repro.obs import LegacyMonitor\n")
+    # the facade is the supported surface
+    assert not violations_in_source(
+        "repro.mapreduce.fine",
+        "from repro.obs import Tracer, metrics_of\n")
+    # obs itself and the measuring bench harness are allowlisted
+    assert not violations_in_source(
+        "repro.obs.trace",
+        "from repro.obs.columnar import ColumnarLog\n")
+    assert not violations_in_source(
+        "repro.bench.obsbench",
+        "from repro.obs._legacy import LegacyTracer\n")

@@ -1,0 +1,252 @@
+"""Columnar recording core: storage units and twin-world equivalence.
+
+The twin-world tests are the v2 acceptance bar: the frozen v1 recorders
+(``repro.obs._legacy``) and the columnar rewrite drive the *same*
+workload, and the exported traces must be **byte-identical** while
+report-level numbers agree to 1e-9.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.hdfs import HDFS
+from repro.mapreduce import JobConf, JobRunner, TextInputFormat
+from repro.obs._legacy import LegacyMonitor, LegacyTracer
+from repro.obs.columnar import ColumnarLog, Table
+from repro.obs.trace import TraceSession, Tracer, attach_tracer, \
+    chrome_events
+from repro.sim import Environment
+from repro.sim.columns import FloatColumn
+from repro.sim.stats import Monitor
+
+from tests.mapreduce.conftest import run, small_spec
+
+
+# --------------------------------------------------------------------------
+# Storage units
+# --------------------------------------------------------------------------
+
+def test_float_column_roundtrip_across_chunks():
+    col = FloatColumn(chunk=8)
+    values = [float(i) * 0.5 for i in range(29)]
+    for v in values[:20]:
+        col.append(v)
+    col.extend(values[20:])
+    assert len(col) == 29
+    assert col.tolist() == values
+    assert col.last() == values[-1]
+    np.testing.assert_array_equal(col.array(), np.array(values))
+
+
+def test_float_column_buffer_identity_survives_flush():
+    """Hot paths cache ``buf``; flush must clear it in place."""
+    col = FloatColumn(chunk=4)
+    buf = col.buf
+    for v in range(10):
+        col.append(float(v))
+    assert col.buf is buf
+    buf.extend((10.0, 11.0))
+    assert col.tolist() == [float(v) for v in range(12)]
+
+
+def test_float_column_extend_array_is_one_chunk():
+    col = FloatColumn(chunk=4)
+    col.append(1.0)
+    col.extend_array(np.arange(100, dtype=np.float64))
+    assert len(col) == 101
+    assert col.tolist() == [1.0] + [float(i) for i in range(100)]
+    assert col.nbytes >= 101 * 8
+
+
+def test_table_rows_and_ingest():
+    table = Table(width=3, chunk_rows=4)
+    table.append_row(1.0, 2.0, 3.0)
+    table.ingest(np.array([4.0, 7.0]), np.array([5.0, 8.0]),
+                 np.array([6.0, 9.0]))
+    assert len(table) == 3
+    np.testing.assert_array_equal(
+        table.rows(), [[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+    with pytest.raises(ValueError):
+        table.ingest(np.array([1.0]), np.array([1.0, 2.0]),
+                     np.array([1.0]))
+
+
+def test_columnar_log_interns_keys_once():
+    log = ColumnarLog()
+    a = log.key_id("read", "task.phase", "n0.s0")
+    b = log.key_id("read", "task.phase", "n0.s0")
+    c = log.key_id("read", "task.phase", "n0.s1")
+    assert a == b != c
+    assert log.key_list[a] == ("read", "task.phase", "n0.s0")
+    assert log.tracks() == {"n0.s0", "n0.s1"}
+
+
+# --------------------------------------------------------------------------
+# Twin-world equivalence
+# --------------------------------------------------------------------------
+
+def _drive(tracer, env):
+    """One deterministic event mix through either tracer's public API."""
+    def proc():
+        with tracer.span("outer", cat="test", track="n0.s0", idx=1):
+            yield env.timeout(2)
+            with tracer.span("inner", cat="test.phase", track="n0.s0"):
+                yield env.timeout(3)
+        tracer.instant("marker", track="n0.s0", why="because")
+        for i in range(100):
+            tracer.counter("queue", float(i % 7))
+            yield env.timeout(0.25)
+        with tracer.span("tail", cat="test", track="n1.s0") as handle:
+            handle.set(bytes=4096)
+            yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+
+
+def test_twin_tracers_export_identical_events():
+    env1 = Environment()
+    legacy = attach_tracer(env1, LegacyTracer(env1))
+    _drive(legacy, env1)
+
+    env2 = Environment()
+    v2 = attach_tracer(env2)
+    assert isinstance(v2, Tracer)
+    _drive(v2, env2)
+
+    # the v1-shaped views agree exactly...
+    assert [(s.name, s.cat, s.track, s.start, s.end, s.args)
+            for s in legacy.spans] == \
+        [(s.name, s.cat, s.track, s.start, s.end, s.args)
+         for s in v2.spans]
+    assert legacy.instants == v2.instants
+    assert legacy.counter_samples == v2.counter_samples
+    # ...and the exported event stream is byte-identical
+    ev1 = chrome_events(legacy, pid=3, process_name="twin")
+    ev2 = chrome_events(v2, pid=3, process_name="twin")
+    assert json.dumps(ev1, sort_keys=True) == json.dumps(ev2, sort_keys=True)
+
+
+def _word_count_world():
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(4)]
+    hdfs = HDFS(env, cluster.network, block_size=200, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    return env, cluster, hdfs, nodes
+
+
+def _mapper(ctx, _offset, line):
+    ctx.emit(len(line.split()), 1)
+    ctx.charge(1e-6 * len(line), phase="convert")
+
+
+def _reducer(ctx, key, values):
+    ctx.emit(key, sum(values))
+
+
+def _run_traced_job(path, legacy: bool):
+    env, cluster, hdfs, nodes = _word_count_world()
+    if legacy:
+        attach_tracer(env, LegacyTracer(env))
+    session = TraceSession(str(path))
+    session.observe(env, "twin", nodes=nodes, hdfs=hdfs,
+                    network=cluster.network)
+    hdfs.store_file_sync("/in/text.txt", b"one two three\n" * 60)
+    conf = JobConf(
+        name="twin", mapper=_mapper, reducer=_reducer,
+        input_format=TextInputFormat(), n_reducers=2,
+        input_paths=["/in"], map_slots_per_node=2, task_startup=0.01)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, conf)
+    result = run(env, runner.run())
+    session.save()
+    return result
+
+
+@pytest.mark.parametrize("suffix", [".json", ".jsonl"])
+def test_twin_worlds_export_byte_identical_traces(tmp_path, suffix):
+    """A full mapreduce run traced by the frozen v1 recorder and by the
+    columnar v2 recorder writes byte-identical trace files."""
+    p1 = tmp_path / f"legacy{suffix}"
+    p2 = tmp_path / f"columnar{suffix}"
+    r1 = _run_traced_job(p1, legacy=True)
+    r2 = _run_traced_job(p2, legacy=False)
+    assert r1.duration == r2.duration  # instrumentation moved no event
+    assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_twin_monitors_agree_to_1e9():
+    """Monitor (columnar) and LegacyMonitor agree on every derived
+    statistic over an identical irregular sample stream."""
+    env1, env2 = Environment(), Environment()
+    v1 = LegacyMonitor(env1, "m")
+    v2 = Monitor(env2, "m")
+
+    def feed(env, mon):
+        def proc():
+            for i in range(500):
+                mon.record((i * 7919 % 1000) / 33.0)
+                yield env.timeout(0.1 + (i % 13) * 0.01)
+        env.process(proc())
+        env.run()
+
+    feed(env1, v1)
+    feed(env2, v2)
+    assert v2.times == v1.times
+    assert v2.values == v1.values
+    assert v2.mean == pytest.approx(v1.mean, abs=1e-9)
+    assert v2.minimum == pytest.approx(v1.minimum, abs=1e-9)
+    assert v2.maximum == pytest.approx(v1.maximum, abs=1e-9)
+    assert v2.stdev == pytest.approx(v1.stdev, abs=1e-9)
+    assert v2.time_average(env2.now) == \
+        pytest.approx(v1.time_average(env1.now), abs=1e-9)
+
+
+# --------------------------------------------------------------------------
+# In-flight spans at dump time
+# --------------------------------------------------------------------------
+
+def test_inflight_spans_export_closed_at_dump_clock():
+    env = Environment()
+    tracer = attach_tracer(env)
+
+    def proc():
+        handle = tracer.span("stuck", cat="test", track="n0.s0",
+                             task_id="m7").__enter__()
+        with tracer.span("done", cat="test", track="n1.s0"):
+            yield env.timeout(2)
+        yield env.timeout(3)
+        del handle  # never exited: still open at dump time
+
+    env.process(proc())
+    env.run()
+
+    (stuck,) = tracer.inflight_spans()
+    assert (stuck.name, stuck.start, stuck.end) == ("stuck", 0.0, 5.0)
+    assert stuck.args["inflight"] is True
+    assert stuck.args["task_id"] == "m7"
+
+    events = chrome_events(tracer, pid=1, process_name="p")
+    spans = [e for e in events if e.get("ph") == "X"]
+    by_name = {e["name"]: e for e in spans}
+    assert by_name["stuck"]["dur"] == pytest.approx(5e6)
+    assert by_name["stuck"]["args"]["inflight"] is True
+    assert "inflight" not in by_name["done"].get("args", {})
+    # closing the span afterwards removes it from the in-flight set
+    ts = sorted(e["ts"] for e in spans)
+    assert ts == sorted(ts)
+
+
+def test_inflight_span_not_duplicated_after_close():
+    env = Environment()
+    tracer = attach_tracer(env)
+    with tracer.span("s", track="t"):
+        pass
+    assert tracer.inflight_spans() == []
+    events = chrome_events(tracer)
+    assert len([e for e in events if e.get("ph") == "X"]) == 1

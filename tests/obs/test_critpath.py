@@ -1,0 +1,200 @@
+"""Critical-path extraction and the spans-only Fig. 7 decomposition.
+
+The acceptance bar: on a run without speculative attempts, the phase
+decomposition computed from spans alone matches the bench harness's
+``JobResult.phase_means`` bookkeeping within 1e-9, and the critical
+path is a gap-free chain covering the whole job span.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hdfs import HDFS
+from repro.mapreduce import JobConf, JobRunner, TextInputFormat
+from repro.obs.critpath import (
+    EPS,
+    CriticalPath,
+    SpanRec,
+    critical_path,
+    decomposition_rows,
+    phase_decomposition,
+    spans_from_trace,
+)
+from repro.obs.trace import TraceSession, attach_tracer, load_trace
+from repro.sim import Environment
+
+from tests.mapreduce.conftest import run, small_spec
+
+
+def _world():
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(4)]
+    hdfs = HDFS(env, cluster.network, block_size=200, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    return env, cluster, hdfs, nodes
+
+
+def _mapper(ctx, _offset, line):
+    ctx.emit(len(line.split()), 1)
+    ctx.charge(2e-6 * len(line), phase="convert")
+
+
+def _reducer(ctx, key, values):
+    ctx.emit(key, sum(values))
+
+
+def _traced_job(session=None):
+    env, cluster, hdfs, nodes = _world()
+    if session is not None:
+        session.observe(env, "cp", nodes=nodes, hdfs=hdfs,
+                        network=cluster.network)
+        tracer = env.tracer
+    else:
+        tracer = attach_tracer(env)
+    hdfs.store_file_sync("/in/text.txt", b"alpha beta gamma delta\n" * 80)
+    conf = JobConf(
+        name="cp", mapper=_mapper, reducer=_reducer,
+        input_format=TextInputFormat(), n_reducers=2,
+        input_paths=["/in"], map_slots_per_node=2, task_startup=0.01)
+    runner = JobRunner(env, nodes, hdfs, cluster.network, conf)
+    result = run(env, runner.run())
+    return result, tracer
+
+
+def test_decomposition_matches_job_result_to_1e9():
+    """Spans alone reproduce the bench's phase_means bookkeeping — the
+    validation the Fig. 7 decomposition bench relies on."""
+    result, tracer = _traced_job()
+    for kind in ("map", "reduce"):
+        from_spans = phase_decomposition(tracer.spans, kind=kind)
+        from_stats = result.phase_means(kind)
+        assert set(from_spans) == set(from_stats)
+        for phase, mean in from_stats.items():
+            assert from_spans[phase] == pytest.approx(mean, abs=1e-9), \
+                f"{kind}.{phase}: spans {from_spans[phase]} != " \
+                f"stats {mean}"
+
+
+def test_decomposition_rows_are_ranked_and_labeled():
+    _result, tracer = _traced_job()
+    columns, rows, note = decomposition_rows(tracer.spans, kind="map")
+    assert columns == ["map phase", "mean s/task", "device"]
+    means = [row[1] for row in rows]
+    assert means == sorted(means, reverse=True)
+    assert {row[0] for row in rows} >= {"read", "convert"}
+    assert all(row[2] for row in rows)
+
+
+def test_critical_path_is_gap_free_and_covers_the_job():
+    result, tracer = _traced_job()
+    cp = critical_path(tracer.spans)
+    assert cp.start == result.start
+    assert cp.end == result.end
+    assert cp.segments, "a finished job must yield a non-empty path"
+    assert cp.segments[0].start == pytest.approx(cp.start, abs=EPS)
+    assert cp.segments[-1].end == pytest.approx(cp.end, abs=EPS)
+    for prev, nxt in zip(cp.segments, cp.segments[1:]):
+        assert nxt.start == pytest.approx(prev.end, abs=1e-9), \
+            f"gap between {prev} and {nxt}"
+    assert sum(s.duration for s in cp.segments) == \
+        pytest.approx(cp.total, abs=1e-9)
+
+
+def test_bottleneck_rows_account_for_the_whole_path():
+    _result, tracer = _traced_job()
+    cp = critical_path(tracer.spans)
+    columns, rows, note = cp.bottleneck_rows(top=100)
+    assert columns == ["phase", "device", "seconds", "% of path"]
+    assert sum(row[3] for row in rows) == pytest.approx(100.0, abs=0.2)
+    seconds = [row[2] for row in rows]
+    assert seconds == sorted(seconds, reverse=True)
+    assert "critical path" in note
+
+
+def test_critical_path_from_exported_trace(tmp_path):
+    """The file-based path (microsecond-rounded timestamps) agrees with
+    the in-memory analysis to export resolution."""
+    path = tmp_path / "cp.json"
+    session = TraceSession(str(path))
+    _result, tracer = _traced_job(session)
+    session.save()
+
+    spans = spans_from_trace(load_trace(str(path)))
+    live = critical_path(tracer.spans)
+    filed = critical_path(spans)
+    assert filed.total == pytest.approx(live.total, abs=1e-6)
+    assert {s.label for s in filed.segments} == \
+        {s.label for s in live.segments}
+    for kind in ("map", "reduce"):
+        a = phase_decomposition(tracer.spans, kind=kind)
+        b = phase_decomposition(spans, kind=kind)
+        for phase in a:
+            assert b[phase] == pytest.approx(a[phase], abs=1e-6)
+
+
+def test_spans_from_trace_requires_run_choice(tmp_path):
+    path = tmp_path / "two.json"
+    session = TraceSession(str(path))
+    for label in ("runA", "runB"):
+        env = Environment()
+        session.observe(env, label)
+        tracer = env.tracer
+        with tracer.span("s", cat="job", track="job"):
+            pass
+        env.run()
+    session.save()
+    doc = load_trace(str(path))
+    with pytest.raises(ValueError, match="runA"):
+        spans_from_trace(doc)
+    assert spans_from_trace(doc, run="runB")
+    with pytest.raises(ValueError, match="runB"):
+        spans_from_trace(doc, run="nope")
+
+
+def test_synthetic_dag_attributes_every_blocking_edge():
+    """A hand-built span DAG exercises each edge label: split claim,
+    shuffle ready, write drain, startup, overhead, setup."""
+    spans = [
+        SpanRec("job", "job", "job", 0.0, 10.0, {"job": "j"}),
+        SpanRec("map_0", "task.map", "n0.s0", 1.0, 4.0,
+                {"task_id": "m0"}),
+        SpanRec("read", "task.phase", "n0.s0", 1.0, 2.0),
+        SpanRec("convert", "task.phase", "n0.s0", 2.0, 3.5),
+        SpanRec("map_1", "task.map", "n1.s0", 4.5, 7.0,
+                {"task_id": "m1"}),
+        SpanRec("read", "task.phase", "n1.s0", 4.5, 7.0),
+        SpanRec("reduce_0", "task.reduce", "n0.r0", 7.5, 9.0,
+                {"task_id": "r0"}),
+        SpanRec("shuffle", "task.phase", "n0.r0", 7.5, 8.0),
+        SpanRec("write", "task.phase", "n0.r0", 8.0, 9.0),
+    ]
+    cp = critical_path(spans)
+    chain = [(s.label, s.start, s.end) for s in cp.segments]
+    assert chain == [
+        ("setup.splits", 0.0, 1.0),
+        ("read", 1.0, 2.0),
+        ("convert", 2.0, 3.5),
+        ("overhead", 3.5, 4.0),
+        ("wait.split_claim", 4.0, 4.5),
+        ("read", 4.5, 7.0),
+        ("wait.shuffle_ready", 7.0, 7.5),
+        ("shuffle", 7.5, 8.0),
+        ("write", 8.0, 9.0),
+        ("wait.write_drain", 9.0, 10.0),
+    ]
+    buckets = cp.device_buckets()
+    assert buckets["storage"] == pytest.approx(1.0 + 2.5 + 1.0 + 1.0)
+    assert buckets["network"] == pytest.approx(0.5 + 0.5)
+    assert buckets["scheduler"] == pytest.approx(0.5)
+
+
+def test_empty_and_taskless_inputs():
+    assert critical_path([]).segments == []
+    only_job = [SpanRec("job", "job", "job", 2.0, 5.0, {"job": "naive"})]
+    cp = critical_path(only_job)
+    assert isinstance(cp, CriticalPath)
+    assert [(s.label, s.duration) for s in cp.segments] == [("job", 3.0)]
+    assert phase_decomposition(only_job, kind="map") == {}

@@ -1,0 +1,130 @@
+"""Edge-case tests for the streaming log-bucketed histogram."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.hist import NBUCKETS, LogHistogram
+
+
+def test_empty_histogram_raises_with_name():
+    hist = LogHistogram("lat")
+    assert len(hist) == 0
+    with pytest.raises(ValueError, match="lat"):
+        hist.mean
+    with pytest.raises(ValueError, match="lat"):
+        hist.quantile(0.5)
+    with pytest.raises(ValueError, match="lat"):
+        hist.summary()
+
+
+def test_single_sample_is_exact_at_every_quantile():
+    hist = LogHistogram("one")
+    hist.observe(0.125)
+    for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+        assert hist.quantile(q) == 0.125
+    assert hist.summary() == {
+        "count": 1.0, "mean": 0.125, "p50": 0.125, "p90": 0.125,
+        "p99": 0.125, "max": 0.125}
+
+
+def test_all_equal_samples_are_exact():
+    hist = LogHistogram("same")
+    for _ in range(1000):
+        hist.observe(3.7)
+    assert hist.mean == pytest.approx(3.7)
+    for q in (0.01, 0.5, 0.99, 1.0):
+        assert hist.quantile(q) == 3.7
+    assert hist.min == hist.max == 3.7
+
+
+def test_zero_samples_count_and_rank_first():
+    hist = LogHistogram("zeros")
+    for _ in range(90):
+        hist.observe(0.0)
+    for _ in range(10):
+        hist.observe(5.0)
+    assert hist.zero_count == 90
+    assert hist.quantile(0.5) == 0.0
+    assert hist.quantile(0.95) == 5.0
+    assert hist.max == 5.0
+
+
+def test_rejects_negative_nan_and_inf():
+    hist = LogHistogram("bad")
+    for value in (-1.0, float("nan"), float("inf")):
+        with pytest.raises(ValueError):
+            hist.observe(value)
+    assert len(hist) == 0
+
+
+def test_relative_error_is_bounded():
+    """Every estimate sits in the sample's bucket: < 1/SUBBUCKETS
+    relative error for mid-range values."""
+    hist = LogHistogram("err")
+    for exp in range(-20, 20):
+        value = math.ldexp(1.37, exp)
+        solo = LogHistogram("solo")
+        solo.observe(value)
+        solo.observe(value * 2)  # widen [min, max] so clamping can't help
+        assert solo.quantile(0.25) == pytest.approx(value, rel=0.02)
+        hist.observe(value)
+    assert len(hist) == 40
+
+
+def test_merge_of_disjoint_ranges():
+    lo = LogHistogram("lo")
+    hi = LogHistogram("hi")
+    for _ in range(100):
+        lo.observe(1e-6)
+        hi.observe(1e3)
+    lo.merge(hi)
+    assert len(lo) == 200
+    assert lo.min == 1e-6
+    assert lo.max == 1e3
+    assert lo.quantile(0.25) == pytest.approx(1e-6, rel=0.02)
+    assert lo.quantile(0.75) == pytest.approx(1e3, rel=0.02)
+    assert lo.total == pytest.approx(100 * 1e-6 + 100 * 1e3)
+
+
+def test_merge_with_empty_keeps_extrema():
+    hist = LogHistogram("a")
+    hist.observe(2.0)
+    hist.merge(LogHistogram("empty"))
+    assert hist.min == hist.max == 2.0
+    assert len(hist) == 1
+
+
+def test_quantiles_monotone_under_randomized_inputs():
+    rng = random.Random(20260808)
+    for trial in range(20):
+        hist = LogHistogram(f"rand{trial}")
+        samples = []
+        for _ in range(rng.randrange(1, 500)):
+            value = rng.choice((
+                0.0,
+                rng.random() * 1e-6,
+                rng.random(),
+                rng.random() * 1e6,
+                rng.expovariate(1.0),
+            ))
+            samples.append(value)
+            hist.observe(value)
+        qs = [hist.quantile(q) for q in
+              (0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs), f"non-monotone quantiles: {qs}"
+        assert hist.quantile(0.5) <= hist.quantile(0.9) \
+            <= hist.quantile(0.99) <= hist.max
+        assert hist.min <= qs[0] and qs[-1] <= hist.max
+        assert hist.mean == pytest.approx(sum(samples) / len(samples))
+
+
+def test_fixed_memory_footprint():
+    """A million observations allocate nothing beyond the bucket array."""
+    hist = LogHistogram("fixed")
+    base = hist.counts.nbytes
+    assert base == NBUCKETS * 8
+    for i in range(10_000):
+        hist.observe((i % 97 + 1) * 1e-3)
+    assert hist.counts.nbytes == base

@@ -96,3 +96,122 @@ def test_cli_report_and_validate(tmp_path, capsys):
     bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
     assert main(["validate", str(bad)]) == 1
     assert "INVALID" in capsys.readouterr().err
+
+
+def test_report_json_mirrors_every_ascii_table(tmp_path, capsys):
+    from repro.obs.__main__ import main
+    from repro.obs.report import report_data
+
+    path = _session_trace(tmp_path)
+    assert main(["report", path, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc == report_data(path)
+    assert [r["name"] for r in doc["runs"]] == ["demo"]
+    assert doc["runs"][0]["spans"] == 4
+
+    ascii_out = render_report(path)
+    for table in doc["tables"].values():
+        assert table["title"] in ascii_out
+        assert set(table) == {"title", "columns", "rows", "note"}
+        for row in table["rows"]:
+            assert len(row) == len(table["columns"])
+
+
+def test_report_json_partitions_every_marker_kind(tmp_path):
+    """Each deviceMetrics marker key lands in its own table, in both
+    the ASCII report and the JSON mirror."""
+    from repro.obs.report import report_data
+
+    path = tmp_path / "marked.json"
+    path.write_text(json.dumps({
+        "traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+             "ts": 0, "args": {"name": "demo"}},
+            {"ph": "X", "name": "s", "cat": "t", "pid": 1, "tid": 0,
+             "ts": 0.0, "dur": 1.0},
+        ],
+        "deviceMetrics": [
+            {"run": "demo", "device": "n0.disk", "utilization": 0.5,
+             "bytes_moved": 1e6, "busy_seconds": 1.0,
+             "mean_in_flight": 0.2},
+            {"run": "demo", "device": "io.read.pfs", "scheme": "pfs",
+             "utilization": 0.0, "bytes_moved": 2e6,
+             "read_requests": 4, "read_cache_hits": 1},
+            {"run": "demo", "device": "io.write.hdfs",
+             "write_scheme": "hdfs", "utilization": 0.0,
+             "bytes_moved": 3e6, "write_requests": 6},
+            {"run": "demo", "device": "shuffle.j1", "shuffle_job": "j1",
+             "utilization": 0.0, "bytes_moved": 4e6,
+             "shuffle_fetches": 8},
+            {"run": "demo", "device": "lat.task.map.duration",
+             "hist_name": "task.map.duration", "utilization": 0.0,
+             "count": 10, "mean_seconds": 0.5, "p50_seconds": 0.4,
+             "p90_seconds": 0.9, "p99_seconds": 1.0, "max_seconds": 1.1},
+        ],
+    }))
+    assert validate_trace(str(path)) == []
+    doc = report_data(str(path))
+    assert sorted(doc["tables"]) == \
+        ["devices", "latencies", "reads", "shuffles", "writes"]
+    # rows land in exactly one table each
+    assert [r[1] for r in doc["tables"]["devices"]["rows"]] == ["n0.disk"]
+    assert doc["tables"]["reads"]["rows"][0][1] == "pfs"
+    assert doc["tables"]["writes"]["rows"][0][1] == "hdfs"
+    assert doc["tables"]["shuffles"]["rows"][0][1] == "j1"
+    lat = doc["tables"]["latencies"]["rows"][0]
+    assert lat[1] == "task.map.duration"
+    assert lat[2:] == [10, 0.5, 0.4, 0.9, 1.0, 1.1]
+
+    out = render_report(str(path))
+    for title in ("device utilisation", "reads by scheme",
+                  "writes by scheme", "shuffle", "latency percentiles"):
+        assert title in out
+
+
+def test_report_json_respects_run_filter(tmp_path, capsys):
+    from repro.obs.report import report_data
+
+    path = _session_trace(tmp_path)
+    doc = report_data(path, run_filter="nomatch")
+    assert doc["runs"] == []
+    assert doc["tables"] == {}
+
+
+def test_cli_missing_trace_exits_one_with_message(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    missing = str(tmp_path / "nope.json")
+    for argv in (["report", missing], ["report", missing, "--json"],
+                 ["critpath", missing]):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "cannot read trace" in err
+        assert "Traceback" not in err
+    # validate reports the unreadable file as a problem, not a crash
+    assert main(["validate", missing]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_cli_malformed_trace_exits_one(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    bad = tmp_path / "garbage.json"
+    bad.write_text("this is not json{")
+    assert main(["report", str(bad)]) == 1
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_cli_critpath_renders_tables(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    path = _session_trace(tmp_path)
+    assert main(["critpath", path, "--run", "demo"]) == 0
+    out = capsys.readouterr().out
+    assert "top bottlenecks" in out
+    assert "map-task phase decomposition" in out
+
+    assert main(["critpath", path, "--run", "demo", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["total"] > 0
+    assert doc["segments"]
+    assert "map" in doc["decomposition"]
