@@ -27,6 +27,12 @@ def _obs_overhead_rows(**kwargs):
     from repro.bench.obsbench import obs_overhead_rows
     return obs_overhead_rows(**kwargs)
 
+
+def _simscale_rows(**kwargs):
+    # lazy: the engine bench drives bare events, no figure harness
+    from repro.bench.simscale import simscale_rows
+    return simscale_rows(**kwargs)
+
 EXPERIMENTS = {
     "fig2": (harness.fig2_rows, {},
              {"n_records": 2000, "n_lines": 2000, "dfsio_files": 2,
@@ -42,6 +48,8 @@ EXPERIMENTS = {
     "write": (harness.write_path_rows, {},
               {"n_files": 2, "blocks_per_file": 2}),
     "obs": (_obs_overhead_rows, {}, {"n_events": 50_000, "repeats": 1}),
+    "simscale": (_simscale_rows, {},
+                 {"n_tasks": 1000, "n_jobs": 4, "repeats": 1}),
     "abl-align": (harness.abl_chunk_alignment_rows, {},
                   {"n_timesteps": 3}),
     "abl-gran": (harness.abl_read_granularity_rows, {},

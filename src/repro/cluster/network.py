@@ -51,7 +51,7 @@ class Network:
         if tag is not None:
             self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0.0) \
                 + nbytes
-        latency = max(src.spec.nic.latency, dst.spec.nic.latency)
+        latency = max(src.nic_latency, dst.nic_latency)
         legs = [
             src.tx.transfer(nbytes, latency=latency),
             dst.rx.transfer(nbytes),

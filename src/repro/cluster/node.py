@@ -67,6 +67,9 @@ class Node:
         ]
         self.tx = SharedBandwidth(env, self.spec.nic.bandwidth, f"{name}.tx")
         self.rx = SharedBandwidth(env, self.spec.nic.bandwidth, f"{name}.rx")
+        #: flattened copy of ``spec.nic.latency`` — the network charges it
+        #: on every fabric transfer, so skip the two-level property chase
+        self.nic_latency = self.spec.nic.latency
 
     @property
     def disk(self) -> Disk:

@@ -109,9 +109,9 @@ class HDFS:
         for block in blocks:
             holders = set(block.locations)
             candidates = [
-                dn for dn in self.datanodes
+                dn for dn in self._datanodes.values()
                 if dn.alive and dn.name != name
-                and dn.name in self.namenode.datanodes
+                and self.namenode.has_datanode(dn.name)
                 and dn.name not in holders
             ]
             if not candidates:

@@ -56,15 +56,24 @@ class NameNode:
         self.block_size = block_size
         self.replication = replication
         self._files: dict[str, FileEntry] = {}
+        #: registration-ordered list (drives round-robin placement) plus
+        #: a mirror set for O(1) membership — the list alone made every
+        #: registration / placement / decommission check O(n)
         self._datanodes: list[str] = []
+        self._datanode_set: set[str] = set()
         self._next_block_id = 1
         self._rr = 0  # round-robin cursor
 
     # -- registration ------------------------------------------------------
     def register_datanode(self, name: str) -> None:
-        if name in self._datanodes:
+        if name in self._datanode_set:
             raise HDFSError(f"datanode {name!r} already registered")
         self._datanodes.append(name)
+        self._datanode_set.add(name)
+
+    def has_datanode(self, name: str) -> bool:
+        """O(1) membership test — preferred over scanning ``datanodes``."""
+        return name in self._datanode_set
 
     @property
     def datanodes(self) -> list[str]:
@@ -151,7 +160,7 @@ class NameNode:
             raise HDFSError("no datanodes registered")
         replication = min(replication, len(self._datanodes))
         targets: list[str] = []
-        if writer is not None and writer in self._datanodes:
+        if writer is not None and writer in self._datanode_set:
             targets.append(writer)
         while len(targets) < replication:
             candidate = self._datanodes[self._rr % len(self._datanodes)]
@@ -197,6 +206,7 @@ class NameNode:
 
     def unregister_datanode(self, name: str) -> None:
         """Remove a datanode from placement decisions."""
-        if name not in self._datanodes:
+        if name not in self._datanode_set:
             raise HDFSError(f"unknown datanode {name!r}")
+        self._datanode_set.discard(name)
         self._datanodes.remove(name)

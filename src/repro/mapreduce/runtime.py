@@ -137,6 +137,17 @@ class JobRunner:
         self.job = job
         self.master = master_node or self.nodes[0]
         self._task_seq = 0
+        # Per-job cached latency-histogram handles: one registry lookup
+        # at construction instead of a metrics_of + dict lookup per task.
+        registry = metrics_of(env)
+        if registry is not None:
+            self._map_duration_obs = registry.latency(
+                "task.map.duration").observe
+            self._reduce_duration_obs = registry.latency(
+                "task.reduce.duration").observe
+        else:
+            self._map_duration_obs = None
+            self._reduce_duration_obs = None
 
     def _next_task_id(self, kind: str) -> str:
         self._task_seq += 1
@@ -292,10 +303,14 @@ class JobRunner:
             outputs.append(output)
             stats.append(task_stats)
             counters.merge(task_counters)
-            registry = metrics_of(self.env)
-            if registry is not None:
-                registry.latency("task.map.duration").observe(
-                    task_stats.duration)
+            observe = self._map_duration_obs
+            if observe is None:  # registry attached after construction
+                registry = metrics_of(self.env)
+                if registry is not None:
+                    observe = self._map_duration_obs = registry.latency(
+                        "task.map.duration").observe
+            if observe is not None:
+                observe(task_stats.duration)
             if feed is not None:
                 feed.commit(output)
 
@@ -346,10 +361,14 @@ class JobRunner:
             results[partition] = (records, output_path)
             stats.append(task_stats)
             counters.merge(task_counters)
-            registry = metrics_of(self.env)
-            if registry is not None:
-                registry.latency("task.reduce.duration").observe(
-                    task_stats.duration)
+            observe = self._reduce_duration_obs
+            if observe is None:  # registry attached after construction
+                registry = metrics_of(self.env)
+                if registry is not None:
+                    observe = self._reduce_duration_obs = registry.latency(
+                        "task.reduce.duration").observe
+            if observe is not None:
+                observe(task_stats.duration)
         finally:
             slots.release(req)
 

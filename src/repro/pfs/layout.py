@@ -53,11 +53,20 @@ class StripeLayout:
         return extents
 
     def object_length(self, file_size: int, ost_index: int) -> int:
-        """Bytes of a ``file_size`` file that land on OST ``ost_index``."""
-        if file_size == 0:
+        """Bytes of a ``file_size`` file that land on OST ``ost_index``.
+
+        Closed form — O(1) regardless of file size: round-robin hands
+        OST ``k`` one full stripe per whole lap plus one more if the
+        partial last lap reaches past it, plus the tail-stripe remainder
+        when the tail lands exactly on ``k``.
+        """
+        if file_size == 0 or not 0 <= ost_index < self.stripe_count:
             return 0
-        total = 0
-        for ext in self.map_range(0, file_size):
-            if ext.ost_index == ost_index:
-                total += ext.length
+        full, rem = divmod(file_size, self.stripe_size)
+        laps, lead = divmod(full, self.stripe_count)
+        total = laps * self.stripe_size
+        if ost_index < lead:
+            total += self.stripe_size
+        if ost_index == lead:
+            total += rem
         return total

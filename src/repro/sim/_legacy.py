@@ -1,18 +1,363 @@
-"""Reference implementation of the pre-virtual-time SharedBandwidth.
+"""Frozen reference implementations of reworked simulation hot paths.
 
-This is the original O(n)-rescan processor-sharing pipe, kept verbatim
-as an executable specification: equivalence tests drive seeded transfer
-schedules through both implementations and require identical completion
-times and orders, and the data-path micro-benchmark measures the
-Python-level work the virtual-time rework saves. Not part of the public
-API — simulation code must use :class:`repro.sim.SharedBandwidth`.
+Two generations of freezes live here, each kept verbatim as an
+executable specification:
+
+- :class:`LegacySharedBandwidth` — the original O(n)-rescan
+  processor-sharing pipe predating the virtual-time rework.
+  Equivalence tests drive seeded transfer schedules through both
+  implementations and require identical completion times and orders.
+- ``Legacy*`` engine classes (:class:`LegacyEnvironment`,
+  :class:`LegacyEvent`, :class:`LegacyTimeout`, :class:`LegacyProcess`,
+  :class:`LegacyAllOf`, :class:`LegacyAnyOf`) — the pre-slotted/pooled
+  DES core. Twin-world tests replay seeded schedules of mixed
+  timeouts/interrupts/conditions on both engines and require identical
+  resume order, clocks at 1e-9, and identical exception surfacing; the
+  sim-scale benchmark gates the new engine's events/sec against this
+  one. ``Interrupt`` and ``SimulationError`` are shared with the live
+  engine so exception identity is comparable across worlds.
+
+Not part of the public API — simulation code must use
+:mod:`repro.sim`.
 """
 
 from __future__ import annotations
 
-from repro.sim.engine import URGENT, Environment, Event
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
 
-__all__ = ["LegacySharedBandwidth"]
+from repro.sim.engine import (
+    NORMAL,
+    URGENT,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+__all__ = [
+    "LegacyAllOf",
+    "LegacyAnyOf",
+    "LegacyEnvironment",
+    "LegacyEvent",
+    "LegacyProcess",
+    "LegacySharedBandwidth",
+    "LegacyTimeout",
+]
+
+
+# --------------------------------------------------------------------------
+# Frozen engine core (pre-slotted/pooled), verbatim apart from renames.
+# --------------------------------------------------------------------------
+
+_PENDING = object()
+
+
+class LegacyEvent:
+    """A happening at a point in simulated time (frozen engine)."""
+
+    def __init__(self, env: "LegacyEnvironment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["LegacyEvent"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError(f"{self!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL
+                ) -> "LegacyEvent":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL
+             ) -> "LegacyEvent":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.env._schedule(self, priority)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class LegacyTimeout(LegacyEvent):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "LegacyEnvironment", delay: float,
+                 value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    @property
+    def triggered(self) -> bool:  # scheduled at construction
+        return True
+
+
+class _LegacyInitialize(LegacyEvent):
+    """Kicks a freshly created process on the next queue pop."""
+
+    def __init__(self, env: "LegacyEnvironment", process: "LegacyProcess"):
+        super().__init__(env)
+        self._value = None
+        self.callbacks = [process._resume]
+        env._schedule(self, URGENT)
+
+    @property
+    def triggered(self) -> bool:
+        return True
+
+
+class LegacyProcess(LegacyEvent):
+    """A running process (frozen engine)."""
+
+    def __init__(self, env: "LegacyEnvironment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[LegacyEvent] = None
+        _LegacyInitialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        ev = LegacyEvent(self.env)
+        ev._exception = Interrupt(cause)
+        ev._value = None
+        ev.defused = True
+        ev.callbacks = []
+        self.env._schedule(ev, URGENT)
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        ev.callbacks.append(self._resume)
+
+    def _resume(self, event: LegacyEvent) -> None:
+        self.env._active = self
+        while True:
+            try:
+                if event._exception is not None:
+                    event.defused = True
+                    next_target = self._generator.throw(event._exception)
+                else:
+                    next_target = self._generator.send(event._value)
+            except StopIteration as stop:
+                self._value = stop.value
+                self.env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._exception = exc
+                self._value = None
+                self.env._schedule(self, NORMAL)
+                break
+
+            if not isinstance(next_target, LegacyEvent):
+                exc = SimulationError(
+                    f"process yielded non-event {next_target!r}")
+                event = LegacyEvent(self.env)
+                event._exception = exc
+                continue  # throw it right back in
+
+            if next_target.processed:
+                event = next_target
+                continue
+
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            break
+        self.env._active = None
+
+
+class _LegacyCondition(LegacyEvent):
+    """Base for the frozen AllOf/AnyOf composite events."""
+
+    def __init__(self, env: "LegacyEnvironment",
+                 events: Iterable[LegacyEvent]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+        self._pending = 0
+        already_failed: Optional[BaseException] = None
+        any_processed = False
+        for ev in self.events:
+            if ev.processed:
+                any_processed = True
+                if ev._exception is not None:
+                    ev.defused = True
+                    already_failed = ev._exception
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._check)
+        if already_failed is not None:
+            self.fail(already_failed)
+        else:
+            self._maybe_finish(any_processed)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value for ev in self.events
+            if ev.processed and ev._exception is None
+        }
+
+    def _check(self, event: LegacyEvent) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        self._maybe_finish(any_processed=True)
+
+    def _maybe_finish(self, any_processed: bool) -> None:
+        raise NotImplementedError
+
+
+class LegacyAllOf(_LegacyCondition):
+    """Fires when every constituent event has fired (frozen engine)."""
+
+    def _maybe_finish(self, any_processed: bool) -> None:
+        if not self.triggered and self._pending <= 0:
+            self.succeed(self._collect())
+
+
+class LegacyAnyOf(_LegacyCondition):
+    """Fires as soon as one constituent event fires (frozen engine)."""
+
+    def _maybe_finish(self, any_processed: bool) -> None:
+        if self.triggered:
+            return
+        if any_processed or not self.events:
+            self.succeed(self._collect())
+
+
+class LegacyEnvironment:
+    """Simulation environment (frozen engine): clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, LegacyEvent]] = []
+        self._seq = 0
+        self._active: Optional[LegacyProcess] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[LegacyProcess]:
+        return self._active
+
+    def event(self) -> LegacyEvent:
+        return LegacyEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> LegacyTimeout:
+        return LegacyTimeout(self, delay, value)
+
+    def process(self, generator: Generator) -> LegacyProcess:
+        return LegacyProcess(self, generator)
+
+    def all_of(self, events: Iterable[LegacyEvent]) -> LegacyAllOf:
+        return LegacyAllOf(self, events)
+
+    def any_of(self, events: Iterable[LegacyEvent]) -> LegacyAnyOf:
+        return LegacyAnyOf(self, events)
+
+    def _schedule(self, event: LegacyEvent, priority: int,
+                  delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks or ():
+            cb(event)
+        if event._exception is not None and not event.defused:
+            raise event._exception
+
+    def run(self, until: Optional[float | LegacyEvent] = None) -> Any:
+        stop_event: Optional[LegacyEvent] = None
+        deadline = float("inf")
+        if isinstance(until, LegacyEvent):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"until={deadline} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if self.peek() > deadline:
+                self._now = deadline
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired")
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+
+# --------------------------------------------------------------------------
+# Frozen pre-virtual-time SharedBandwidth (runs on the live engine).
+# --------------------------------------------------------------------------
 
 
 class _Transfer:

@@ -30,18 +30,50 @@ class Monitor:
     list-based contract bit for bit (float64 round-trips exactly).
     """
 
-    __slots__ = ("env", "name", "_times", "_values")
+    __slots__ = ("env", "name", "_times", "_values", "_tbuf", "_vbuf",
+                 "_flush_at")
 
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.name = name
         self._times = FloatColumn()
         self._values = FloatColumn()
+        # Cached buffer references for the recording hot path —
+        # FloatColumn.buf identity is stable across flushes by contract.
+        self._tbuf = self._times.buf
+        self._vbuf = self._values.buf
+        self._flush_at = self._times.flush_at
 
     def record(self, value: float) -> None:
         """Record ``value`` at the current simulated time."""
-        self._times.append(self.env.now)
-        self._values.append(float(value))
+        tbuf = self._tbuf
+        tbuf.append(self.env._now)
+        self._vbuf.append(float(value))
+        if len(tbuf) >= self._flush_at:
+            self._times.flush()
+            self._values.flush()
+
+    def record_many(self, times, values) -> None:
+        """Bulk-ingest aligned ``times``/``values`` sequences.
+
+        Accepts any float iterables (numpy arrays take the no-per-element
+        chunk path). Timestamps must be non-decreasing and start at or
+        after the last recorded sample for ``time_average`` to stay
+        meaningful — callers batching per-event samples already satisfy
+        this.
+        """
+        if isinstance(times, np.ndarray):
+            if len(times) != len(values):
+                raise ValueError("times and values must align")
+            self._times.extend_array(times)
+            self._values.extend_array(np.asarray(values, dtype=np.float64))
+            return
+        times = [float(t) for t in times]
+        values = [float(v) for v in values]
+        if len(times) != len(values):
+            raise ValueError("times and values must align")
+        self._times.extend(times)
+        self._values.extend(values)
 
     def __len__(self) -> int:
         return len(self._values)

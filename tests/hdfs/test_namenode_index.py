@@ -1,0 +1,55 @@
+"""O(1) NameNode membership index (PR-7 cluster-lookup satellite)."""
+
+import pytest
+
+from repro.hdfs.namenode import HDFSError, NameNode
+from repro.sim import Environment
+
+
+@pytest.fixture
+def namenode():
+    return NameNode(Environment())
+
+
+def test_has_datanode_tracks_registration(namenode):
+    assert not namenode.has_datanode("dn0")
+    namenode.register_datanode("dn0")
+    assert namenode.has_datanode("dn0")
+    assert not namenode.has_datanode("dn1")
+
+
+def test_duplicate_registration_rejected(namenode):
+    namenode.register_datanode("dn0")
+    with pytest.raises(HDFSError):
+        namenode.register_datanode("dn0")
+    # the failed re-registration must not corrupt either index
+    assert namenode.datanodes == ["dn0"]
+    assert namenode.has_datanode("dn0")
+
+
+def test_unregister_updates_both_indexes(namenode):
+    for i in range(4):
+        namenode.register_datanode(f"dn{i}")
+    namenode.unregister_datanode("dn2")
+    assert not namenode.has_datanode("dn2")
+    assert namenode.datanodes == ["dn0", "dn1", "dn3"]
+    with pytest.raises(HDFSError):
+        namenode.unregister_datanode("dn2")
+
+
+def test_reregistration_after_unregister(namenode):
+    namenode.register_datanode("dn0")
+    namenode.unregister_datanode("dn0")
+    namenode.register_datanode("dn0")  # must not raise
+    assert namenode.has_datanode("dn0")
+    assert namenode.datanodes == ["dn0"]
+
+
+def test_placement_order_unchanged_by_index(namenode):
+    """The set is a mirror: round-robin placement still follows the
+    registration list, so adding the index cannot move any replica."""
+    for i in range(3):
+        namenode.register_datanode(f"dn{i}")
+    targets = namenode.choose_targets(writer="dn1", replication=3)
+    assert targets[0] == "dn1"  # locality-first, straight off the index
+    assert sorted(targets) == ["dn0", "dn1", "dn2"]

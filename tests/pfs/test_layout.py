@@ -78,3 +78,31 @@ def test_property_object_lengths_sum_to_size(stripe_size, stripe_count, size):
     layout = StripeLayout(stripe_size=stripe_size, stripe_count=stripe_count)
     assert sum(layout.object_length(size, i)
                for i in range(stripe_count)) == size
+
+
+@given(
+    stripe_size=st.integers(min_value=1, max_value=32),
+    stripe_count=st.integers(min_value=1, max_value=6),
+    size=st.integers(min_value=0, max_value=400),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_object_length_matches_stripe_walk(stripe_size,
+                                                    stripe_count, size):
+    """The closed form equals the brute-force per-stripe walk."""
+    layout = StripeLayout(stripe_size=stripe_size, stripe_count=stripe_count)
+    walked = [0] * stripe_count
+    pos = 0
+    stripe = 0
+    while pos < size:
+        chunk = min(stripe_size, size - pos)
+        walked[stripe % stripe_count] += chunk
+        pos += chunk
+        stripe += 1
+    for i in range(stripe_count):
+        assert layout.object_length(size, i) == walked[i]
+
+
+def test_object_length_out_of_range_ost_is_zero():
+    layout = StripeLayout(stripe_size=10, stripe_count=3)
+    assert layout.object_length(35, 3) == 0
+    assert layout.object_length(35, -1) == 0

@@ -1,0 +1,142 @@
+"""Tombstone detach + lazy sweep regression tests.
+
+Before PR 7, ``Process.interrupt`` removed the waiter's callback with
+``list.remove`` — an O(n) scan that goes quadratic when many processes
+park on one wide event (the speculative-execution cancellation shape).
+The live engine tombstones the slot in O(1) and compacts the list
+lazily; these tests pin the behaviour the sweep must preserve.
+"""
+
+import pytest
+
+from repro.sim.engine import Environment, Interrupt, SimulationError
+
+
+def test_wide_event_interrupt_detach_compacts_and_preserves_order():
+    env = Environment()
+    gate = env.event()
+    resumed = []
+    n = 600
+
+    def waiter(i):
+        try:
+            value = yield gate
+            resumed.append((i, value))
+        except Interrupt:
+            pass
+
+    procs = [env.process(waiter(i)) for i in range(n)]
+
+    def driver():
+        yield env.timeout(1.0)
+        # reap youngest-first (preemption order): every detach would hit
+        # the tail of the shared callback list under list.remove
+        for i in range(n - 1, -1, -1):
+            if i % 10 != 0:
+                procs[i].interrupt("preempted")
+        # detach is synchronous and the lazy sweep must have compacted
+        # the tombstones instead of letting the list grow unbounded
+        assert len(gate.callbacks) < n // 2
+        yield env.timeout(1.0)
+        gate.succeed("open")
+
+    env.process(driver())
+    env.run()
+    # survivors resume in their original registration order — the sweep
+    # re-indexed the remaining waiters without reordering them
+    assert resumed == [(i, "open") for i in range(0, n, 10)]
+
+
+def test_interrupt_victim_waiting_on_condition():
+    env = Environment()
+    seen = []
+
+    def victim():
+        try:
+            yield env.all_of([env.timeout(50), env.timeout(60)])
+        except Interrupt as intr:
+            seen.append((intr.cause, env.now))
+
+    def sniper(proc):
+        yield env.timeout(2)
+        proc.interrupt("cancelled")
+
+    p = env.process(victim())
+    env.process(sniper(p))
+    env.run()
+    assert seen == [("cancelled", 2.0)]
+
+
+def test_interleaved_detach_and_fire_after_sweep():
+    """Interrupt half the waiters, fire, then the rest were never lost."""
+    env = Environment()
+    gate = env.event()
+    resumed = []
+    n = 100
+
+    def waiter(i):
+        try:
+            yield gate
+            resumed.append(i)
+        except Interrupt:
+            pass
+
+    procs = [env.process(waiter(i)) for i in range(n)]
+
+    def driver():
+        yield env.timeout(1.0)
+        for i in range(n - 1, -1, -2):  # odd indices, youngest first
+            procs[i].interrupt("odd one out")
+        gate.succeed()
+
+    env.process(driver())
+    env.run()
+    assert resumed == list(range(0, n, 2))
+
+
+def test_process_repr_uses_generator_qualname():
+    env = Environment()
+
+    def shuffle_fetcher():
+        yield env.timeout(1)
+
+    p = env.process(shuffle_fetcher())
+    assert "shuffle_fetcher" in repr(p)
+    assert "alive" in repr(p)
+    env.run()
+    assert "processed" in repr(p)
+
+
+def test_event_repr_reports_lifecycle_state():
+    env = Environment()
+    ev = env.event()
+    assert "pending" in repr(ev)
+    ev.succeed(1)
+    assert "triggered" in repr(ev)
+
+
+def test_non_event_yield_error_names_the_process():
+    env = Environment()
+
+    def bad_merger():
+        yield 12345
+
+    env.process(bad_merger())
+    with pytest.raises(SimulationError, match="bad_merger"):
+        env.run()
+
+
+def test_non_event_yield_error_names_offending_value():
+    env = Environment()
+    caught = []
+
+    def off_script():
+        try:
+            yield "not-an-event"
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    env.process(off_script())
+    env.run()
+    assert caught and "off_script" in caught[0]
+    assert "not-an-event" in caught[0]

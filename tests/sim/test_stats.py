@@ -91,6 +91,66 @@ def test_monitor_time_average_zero_span():
     assert mon.time_average() == 42.0
 
 
+def test_monitor_record_many_lists():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record_many([0.0, 1.0, 2.5], [10, 20, 30])
+    assert mon.times == [0.0, 1.0, 2.5]
+    assert mon.values == [10.0, 20.0, 30.0]
+    assert mon.mean == 20.0
+
+
+def test_monitor_record_many_numpy_arrays():
+    np = pytest.importorskip("numpy")
+    env = Environment()
+    mon = Monitor(env)
+    mon.record_many(np.arange(4, dtype=np.float64),
+                    np.array([1, 2, 3, 4], dtype=np.int64))
+    assert mon.times == [0.0, 1.0, 2.0, 3.0]
+    assert mon.values == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_monitor_record_many_misaligned_rejected():
+    np = pytest.importorskip("numpy")
+    env = Environment()
+    mon = Monitor(env)
+    with pytest.raises(ValueError):
+        mon.record_many([0.0, 1.0], [5.0])
+    with pytest.raises(ValueError):
+        mon.record_many(np.zeros(2), np.zeros(3))
+    assert len(mon) == 0
+
+
+def test_monitor_record_many_interleaves_with_record():
+    env = Environment()
+    mon = Monitor(env)
+
+    def proc():
+        mon.record(1.0)
+        yield env.timeout(2)
+        mon.record_many([2.0, 2.0], [5.0, 7.0])
+        mon.record(9.0)
+
+    env.process(proc())
+    env.run()
+    assert mon.times == [0.0, 2.0, 2.0, 2.0]
+    assert mon.values == [1.0, 5.0, 7.0, 9.0]
+    assert mon.last == 9.0
+
+
+def test_monitor_survives_column_flush_boundary():
+    """The cached chunk buffers stay valid across FloatColumn flushes."""
+    env = Environment()
+    mon = Monitor(env)
+    n = 5000  # comfortably past the column flush threshold
+    for i in range(n):
+        mon.record(float(i))
+    assert len(mon) == n
+    assert mon.values[0] == 0.0
+    assert mon.last == float(n - 1)
+    assert mon.mean == pytest.approx((n - 1) / 2)
+
+
 def test_interval_timer_accumulates():
     timer = IntervalTimer("t")
     timer.add("read", 1.0)
