@@ -33,6 +33,12 @@ def _simscale_rows(**kwargs):
     from repro.bench.simscale import simscale_rows
     return simscale_rows(**kwargs)
 
+
+def _sparklike_rows(**kwargs):
+    # lazy: imports the frozen legacy engine alongside the live one
+    from repro.bench.sparkbench import sparklike_rows
+    return sparklike_rows(**kwargs)
+
 EXPERIMENTS = {
     "fig2": (harness.fig2_rows, {},
              {"n_records": 2000, "n_lines": 2000, "dfsio_files": 2,
@@ -50,6 +56,8 @@ EXPERIMENTS = {
     "obs": (_obs_overhead_rows, {}, {"n_events": 50_000, "repeats": 1}),
     "simscale": (_simscale_rows, {},
                  {"n_tasks": 1000, "n_jobs": 4, "repeats": 1}),
+    "sparklike": (_sparklike_rows, {},
+                  {"n_lines": 400, "iterations": 3}),
     "abl-align": (harness.abl_chunk_alignment_rows, {},
                   {"n_timesteps": 3}),
     "abl-gran": (harness.abl_read_granularity_rows, {},

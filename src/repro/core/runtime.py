@@ -57,6 +57,18 @@ class SciDP:
             self._pfs_clients[node.name] = PFSClient(self.pfs, node)
         return self._pfs_clients[node.name]
 
+    def pfs_reader(self, node, granularity: Optional[int] = None,
+                   max_inflight: Optional[int] = None, cache=None,
+                   track: Optional[str] = None):
+        """A :class:`~repro.core.reader.PFSReader` bound to ``node``'s
+        PFS client — the sanctioned way for engines above the I/O plane
+        (e.g. :mod:`repro.sparklike`) to read dummy blocks without
+        importing storage internals."""
+        from repro.core.reader import PFSReader
+        return PFSReader(self.pfs_client(node), granularity=granularity,
+                         max_inflight=max_inflight, cache=cache,
+                         track=track)
+
     # -- mapping -----------------------------------------------------------
     def map_input(self, pfs_path: str,
                   variables: Optional[list[str]] = None):

@@ -3,20 +3,29 @@
 §VII: "SciDP can be extended to support other BD frameworks, such as
 Spark" — and the related-work systems SciSpark and H5Spark teach Spark
 to read scientific data *on HDFS*. This package builds a miniature
-Spark: lazy RDD lineage, narrow transformations pipelined inside tasks,
-stages split at shuffle dependencies, locality-aware executors on the
-simulated cluster — and, through :meth:`Context.scidp_variable`, an RDD
-whose partitions are SciDP dummy blocks read straight off the PFS,
-completing the paper's integration story for a second framework.
+Spark: lazy RDD lineage, narrow transformations fused inside tasks,
+stages cut at shuffle dependencies by a DAG scheduler that tracks
+partition states, a byte-accounted ``cache()``/``persist()`` tier with
+spill to shared storage, lineage-based recovery from executor loss —
+and, through :meth:`Context.scidp_variable`, an RDD whose partitions
+are SciDP dummy blocks read straight off the PFS, completing the
+paper's integration story for a second framework.
 
     ctx = Context(env, nodes, hdfs, network, scidp=scidp)
     rdd = ctx.scidp_variable("/nuwrf", variables=["QR"])
     peaks = (rdd.map(lambda kv: (kv[0][1], float(kv[1].max())))
                 .reduce_by_key(max)
                 .collect())
+
+The frozen v1 eager engine lives in :mod:`repro.sparklike._legacy`
+(import guarded by the layering lint: tests and benches only) as the
+twin-world reference — a default-knob v2 context reproduces its event
+trace at 1e-9.
 """
 
+from repro.sparklike.cache import MEMORY_AND_DISK, MEMORY_ONLY
 from repro.sparklike.rdd import RDD, SparkLikeError
 from repro.sparklike.context import Context
 
-__all__ = ["Context", "RDD", "SparkLikeError"]
+__all__ = ["Context", "MEMORY_AND_DISK", "MEMORY_ONLY", "RDD",
+           "SparkLikeError"]

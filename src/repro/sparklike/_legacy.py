@@ -1,0 +1,516 @@
+"""Frozen v1 Spark-like engine: eager per-action execution.
+
+This is the pre-DAG engine exactly as it shipped — transformations
+built lineage but every action re-walked the chain with nested
+per-operator task processes, shuffle outputs lived on a plain list, and
+caching was an unbounded cluster-wide dict. The lazy DAG engine
+(:mod:`repro.sparklike.rdd` / :mod:`repro.sparklike.scheduler`) pins
+its default-knob results and simulated timings against this module at
+1e-9, the same twin-world guard-rail the engine/obs/shuffle/write
+refactors used.
+
+Only the twin-world tests and the engine-vs-engine bench may import it
+(enforced by the layering lint); it keeps its direct
+``repro.core.reader`` import because the storage-isolation rule for the
+live engine explicitly exempts this frozen copy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.reader import PFSReader
+from repro.mapreduce.shuffle import (
+    estimate_size,
+    group_sorted,
+    hash_partition,
+    sort_run,
+)
+from repro.sim import AllOf
+
+__all__ = ["LegacyContext", "LegacyRDD", "LegacyShuffleDependency",
+           "LegacyTaskContext", "SparkLikeError"]
+
+
+class SparkLikeError(Exception):
+    """Engine-level errors."""
+
+
+class LegacyShuffleDependency:
+    """A wide dependency: the child stage needs a hash repartition of the
+    parent's output."""
+
+    def __init__(self, parent: "LegacyRDD", n_partitions: int):
+        self.parent = parent
+        self.n_partitions = n_partitions
+        #: the _ShuffledRDD that owns the partitioning logic (set by it)
+        self.child: Optional["LegacyRDD"] = None
+
+
+class LegacyRDD:
+    """A lazy, partitioned dataset (v1 engine).
+
+    Subclasses implement :meth:`compute` — a DES process yielding the
+    records of one partition — and :meth:`partition_locations` for
+    locality.
+    """
+
+    def __init__(self, ctx, n_partitions: int,
+                 shuffle_dep: Optional[LegacyShuffleDependency] = None,
+                 parent: Optional["LegacyRDD"] = None):
+        self.ctx = ctx
+        self.n_partitions = n_partitions
+        self.shuffle_dep = shuffle_dep
+        self.parent = parent
+        self._id = ctx._next_rdd_id()
+        self._cached = False
+
+    # -- to be provided by subclasses -------------------------------------
+    def compute(self, index: int, task):
+        """DES process returning the partition's record list."""
+        raise NotImplementedError  # pragma: no cover
+
+    # -- caching -----------------------------------------------------------
+    def cache(self) -> "LegacyRDD":
+        """Persist computed partitions in executor memory, like Spark's
+        ``cache()``: later actions reuse them instead of recomputing,
+        paying only a transfer when the partition lives on another
+        node."""
+        self._cached = True
+        return self
+
+    def iterator(self, index: int, task):
+        """Cache-aware access to one partition. DES process."""
+        if self._cached:
+            hit = self.ctx._rdd_cache.get((self._id, index))
+            if hit is not None:
+                node, records = hit
+                self.ctx.metrics["cache_hits"] = \
+                    self.ctx.metrics.get("cache_hits", 0) + 1
+                if node is not task.node:
+                    size = estimate_size(records)
+                    if size:
+                        yield self.ctx.network.transfer(
+                            node, task.node, size)
+                return records
+        records = yield self.ctx.env.process(self.compute(index, task))
+        if self._cached:
+            self.ctx._rdd_cache[(self._id, index)] = (task.node, records)
+        return records
+
+    def partition_locations(self, index: int) -> list[str]:
+        """Preferred executor nodes for this partition."""
+        if self.parent is not None:
+            return self.parent.partition_locations(index)
+        return []
+
+    # -- narrow transformations --------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "LegacyRDD":
+        return _MapPartitionsRDD(
+            self, lambda task, records: [fn(r) for r in records])
+
+    def flat_map(self, fn: Callable[[Any], Any]) -> "LegacyRDD":
+        return _MapPartitionsRDD(
+            self, lambda task, records: [o for r in records for o in fn(r)])
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "LegacyRDD":
+        return _MapPartitionsRDD(
+            self, lambda task, records: [r for r in records
+                                         if predicate(r)])
+
+    def map_partitions(self,
+                       fn: Callable[[Any, list], list]) -> "LegacyRDD":
+        return _MapPartitionsRDD(self, fn)
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "LegacyRDD":
+        return self.map(lambda r: (fn(r), r))
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "LegacyRDD":
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    # -- wide transformations ---------------------------------------------
+    def reduce_by_key(self, fn: Callable[[Any, Any], Any],
+                      n_partitions: Optional[int] = None) -> "LegacyRDD":
+        return _ShuffledRDD(self, n_partitions, combiner=fn)
+
+    def group_by_key(self,
+                     n_partitions: Optional[int] = None) -> "LegacyRDD":
+        return _ShuffledRDD(self, n_partitions, combiner=None)
+
+    # -- actions -----------------------------------------------------------
+    def collect(self) -> list:
+        return self.ctx._run_job(self)
+
+    def count(self) -> int:
+        counted = _MapPartitionsRDD(
+            self, lambda task, records: [len(records)])
+        return sum(counted.collect())
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        partials = _MapPartitionsRDD(
+            self, lambda task, records: (
+                [_fold(records, fn)] if records else []))
+        values = partials.collect()
+        if not values:
+            raise SparkLikeError("reduce of an empty RDD")
+        return _fold(values, fn)
+
+    def take(self, n: int) -> list:
+        if n < 0:
+            raise SparkLikeError("take(n) needs n >= 0")
+        return self.collect()[:n]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<{type(self).__name__} id={self._id} "
+                f"partitions={self.n_partitions}>")
+
+
+def _fold(values, fn):
+    it = iter(values)
+    acc = next(it)
+    for value in it:
+        acc = fn(acc, value)
+    return acc
+
+
+class _MapPartitionsRDD(LegacyRDD):
+    """Narrow transformation, pipelined inside the parent's task."""
+
+    def __init__(self, parent: LegacyRDD, fn: Callable):
+        super().__init__(parent.ctx, parent.n_partitions, parent=parent)
+        self.fn = fn
+
+    def compute(self, index: int, task):
+        records = yield self.ctx.env.process(
+            self.parent.iterator(index, task))
+        out = self.fn(task, records)
+        task.charge(len(records) * self.ctx.record_cost, "compute")
+        return out
+
+
+class _ShuffledRDD(LegacyRDD):
+    """Wide transformation: introduces a stage boundary."""
+
+    def __init__(self, parent: LegacyRDD, n_partitions: Optional[int],
+                 combiner: Optional[Callable]):
+        n = n_partitions or parent.ctx.default_parallelism
+        super().__init__(parent.ctx, n,
+                         shuffle_dep=LegacyShuffleDependency(parent, n))
+        self.shuffle_dep.child = self
+        self.combiner = combiner
+
+    def partition_locations(self, index: int) -> list[str]:
+        return []  # reducer-side partitions have no locality
+
+    def map_side_partition(self, records: list) -> list[list]:
+        buckets: list[list] = [[] for _ in range(self.n_partitions)]
+        for key, value in records:
+            buckets[hash_partition(key, self.n_partitions)].append(
+                (key, value))
+        if self.combiner is not None:
+            for i, bucket in enumerate(buckets):
+                combined = []
+                for key, values in group_sorted(sort_run(bucket)):
+                    combined.append((key, _fold(values, self.combiner)))
+                buckets[i] = combined
+        return buckets
+
+    def merge(self, runs: list[list]) -> list:
+        merged = sort_run([kv for run in runs for kv in run])
+        out = []
+        for key, values in group_sorted(merged):
+            if self.combiner is not None:
+                out.append((key, _fold(values, self.combiner)))
+            else:
+                out.append((key, values))
+        return out
+
+    def compute(self, index: int, task):
+        runs = yield self.ctx.env.process(
+            task.fetch_shuffle(self.shuffle_dep, index))
+        out = self.merge(runs)
+        task.charge(sum(len(r) for r in runs) * self.ctx.record_cost,
+                    "merge")
+        return out
+
+
+class LegacyTaskContext:
+    """What RDD compute chains see inside one executor task."""
+
+    def __init__(self, ctx: "LegacyContext", node, stage_id: int,
+                 index: int):
+        self.ctx = ctx
+        self.node = node
+        self.stage_id = stage_id
+        self.index = index
+        self._charges: dict[str, float] = {}
+
+    def charge(self, seconds: float, phase: str = "compute") -> None:
+        if seconds < 0:
+            raise SparkLikeError("charge must be >= 0")
+        self._charges[phase] = self._charges.get(phase, 0.0) + seconds
+
+    def take_charges(self) -> dict[str, float]:
+        charges, self._charges = self._charges, {}
+        return charges
+
+    def fetch_shuffle(self, dep: LegacyShuffleDependency, index: int):
+        """Pull bucket ``index`` from every map output. DES process."""
+        outputs = self.ctx._shuffle_outputs[id(dep)]
+        runs = []
+        transfers = []
+        for node, buckets in outputs:
+            bucket = buckets[index]
+            runs.append(bucket)
+            size = estimate_size(bucket)
+            if size and node is not self.node:
+                transfers.append(self.ctx.network.transfer(
+                    node, self.node, size))
+        if transfers:
+            yield AllOf(self.ctx.env, transfers)
+        return runs
+
+
+class _ParallelRDD(LegacyRDD):
+    """Driver-provided data split into partitions."""
+
+    def __init__(self, ctx, data: list, n_partitions: int):
+        super().__init__(ctx, n_partitions)
+        share = -(-len(data) // n_partitions) if data else 1
+        self.slices = [
+            data[i * share:(i + 1) * share] for i in range(n_partitions)
+        ]
+
+    def compute(self, index: int, task):
+        # Driver data is shipped to the executor.
+        size = estimate_size(self.slices[index])
+        if size:
+            yield self.ctx.network.transfer(
+                self.ctx.driver_node, task.node, size)
+        return list(self.slices[index])
+
+
+class _TextFileRDD(LegacyRDD):
+    """One partition per storage block; records are whole text lines."""
+
+    def __init__(self, ctx, path: str):
+        storage = ctx.storage
+        partitions = []  # (file_blocks, position within file)
+        for file_path in (storage.listdir(path) or [path]):
+            file_blocks = storage.get_blocks(file_path)
+            for i in range(len(file_blocks)):
+                partitions.append((file_blocks, i))
+        if not partitions:
+            raise SparkLikeError(f"no input at {path!r}")
+        super().__init__(ctx, len(partitions))
+        self.partitions = partitions
+
+    def partition_locations(self, index: int) -> list[str]:
+        _blocks, i = self.partitions[index]
+        return list(_blocks[i].locations)
+
+    def compute(self, index: int, task):
+        blocks, i = self.partitions[index]
+        client = self.ctx.storage.client(task.node)
+        data = yield self.ctx.env.process(client.read_block(blocks[i]))
+
+        head = 0
+        if i > 0:
+            prev = blocks[i - 1]
+            last = yield self.ctx.env.process(
+                client.read_block(prev, prev.length - 1, 1))
+            if last != b"\n":
+                newline = data.find(b"\n")
+                if newline < 0:
+                    return []  # mid-line of one huge record
+                head = newline + 1
+
+        tail = data
+        if i + 1 < len(blocks) and not data.endswith(b"\n"):
+            extra = b""
+            for nxt in blocks[i + 1:]:
+                piece = yield self.ctx.env.process(
+                    client.read_block(nxt, 0, min(1024, nxt.length)))
+                newline = piece.find(b"\n")
+                if newline >= 0:
+                    extra += piece[:newline]
+                    break
+                extra += piece
+            tail = data + extra
+        return tail[head:].splitlines()
+
+
+class _SciDPRDD(LegacyRDD):
+    """One partition per SciDP dummy block: the PFS-direct source."""
+
+    def __init__(self, ctx, pfs_path: str,
+                 variables: Optional[list[str]] = None):
+        if ctx.scidp is None:
+            raise SparkLikeError("context has no SciDP runtime attached")
+        proc = ctx.env.process(
+            ctx.scidp.map_input(pfs_path, variables=variables))
+        ctx.env.run()
+        entries = proc.value
+        self.blocks = [
+            (virtual_path, block)
+            for virtual_path, blocks in entries for block in blocks
+        ]
+        if not self.blocks:
+            raise SparkLikeError(f"no scientific input at {pfs_path!r}")
+        super().__init__(ctx, len(self.blocks))
+
+    def compute(self, index: int, task):
+        _virtual_path, block = self.blocks[index]
+        reader = PFSReader(self.ctx.scidp.pfs_client(task.node))
+        data = yield self.ctx.env.process(
+            reader.read_block(block.virtual))
+        vb = block.virtual
+        if vb.hyperslab is None:
+            key = (vb.source_path, vb.offset)
+        else:
+            key = (vb.source_path, vb.hyperslab["variable"],
+                   tuple(vb.hyperslab["start"]))
+        return [(key, data)]
+
+
+class LegacyContext:
+    """The v1 Spark-like driver: sources, scheduling, executors."""
+
+    def __init__(self, env, nodes, storage, network, scidp=None,
+                 executor_cores: int = 4,
+                 record_cost: float = 1e-7,
+                 task_startup: float = 0.01):
+        if not nodes:
+            raise SparkLikeError("need at least one executor node")
+        self.env = env
+        self.nodes = list(nodes)
+        self.storage = storage
+        self.network = network
+        self.scidp = scidp
+        self.executor_cores = executor_cores
+        self.record_cost = record_cost
+        self.task_startup = task_startup
+        self.driver_node = self.nodes[0]
+        self.default_parallelism = len(self.nodes) * 2
+        self._rdd_seq = 0
+        self._stage_seq = 0
+        #: id(LegacyShuffleDependency) -> [(node, buckets)] map outputs
+        self._shuffle_outputs: dict[int, list] = {}
+        #: (rdd id, partition index) -> (node, records) for cached RDDs
+        self._rdd_cache: dict[tuple[int, int], tuple] = {}
+        #: simple job metrics for tests/benches
+        self.metrics: dict[str, Any] = {"stages": 0, "tasks": 0}
+
+    def _next_rdd_id(self) -> int:
+        self._rdd_seq += 1
+        return self._rdd_seq
+
+    # -- sources ------------------------------------------------------------
+    def parallelize(self, data: list,
+                    n_partitions: Optional[int] = None) -> LegacyRDD:
+        return _ParallelRDD(self, list(data),
+                            n_partitions or self.default_parallelism)
+
+    def text_file(self, path: str) -> LegacyRDD:
+        return _TextFileRDD(self, path)
+
+    def scidp_variable(self, pfs_path: str,
+                       variables: Optional[list[str]] = None) -> LegacyRDD:
+        return _SciDPRDD(self, pfs_path, variables)
+
+    # -- scheduling ---------------------------------------------------------
+    def _stages_for(self, rdd: LegacyRDD) -> list[LegacyShuffleDependency]:
+        """Shuffle dependencies below ``rdd``, deepest first."""
+        deps: list[LegacyShuffleDependency] = []
+
+        def walk(r: Optional[LegacyRDD]):
+            if r is None:
+                return
+            if r.shuffle_dep is not None:
+                walk(r.shuffle_dep.parent)
+                deps.append(r.shuffle_dep)
+            else:
+                walk(r.parent)
+
+        walk(rdd)
+        return deps
+
+    def _run_stage(self, rdd: LegacyRDD, shuffle_into=None):
+        """Run one stage over all of ``rdd``'s partitions. DES process."""
+        self._stage_seq += 1
+        stage_id = self._stage_seq
+        self.metrics["stages"] += 1
+        pending = list(range(rdd.n_partitions))
+        results: dict[int, list] = {}
+
+        def pick(node_name: str) -> Optional[int]:
+            for pos, index in enumerate(pending):
+                if node_name in rdd.partition_locations(index):
+                    return pending.pop(pos)
+            return pending.pop(0) if pending else None
+
+        def executor(node):
+            while True:
+                index = pick(node.name)
+                if index is None:
+                    return
+                self.metrics["tasks"] += 1
+                task = LegacyTaskContext(self, node, stage_id, index)
+                yield self.env.timeout(self.task_startup)
+                records = yield self.env.process(
+                    rdd.iterator(index, task))
+                for _phase, seconds in sorted(
+                        task.take_charges().items()):
+                    yield self.env.timeout(seconds)
+                if shuffle_into is not None:
+                    buckets = shuffle_into_rdd.map_side_partition(records)
+                    # Shuffle write: buffered to local disk like Spark.
+                    size = estimate_size(records)
+                    if size:
+                        yield node.disk.write(size)
+                    self._shuffle_outputs[id(shuffle_into)].append(
+                        (node, buckets))
+                else:
+                    results[index] = (node, records)
+
+        shuffle_into_rdd = None
+        if shuffle_into is not None:
+            self._shuffle_outputs[id(shuffle_into)] = []
+            shuffle_into_rdd = shuffle_into.child
+
+        workers = []
+        for node in self.nodes:
+            for _core in range(self.executor_cores):
+                workers.append(self.env.process(executor(node)))
+        yield AllOf(self.env, workers)
+        return results
+
+    def _run_job(self, final: LegacyRDD) -> list:
+        """Execute the lineage and collect at the driver (blocking)."""
+        deps = self._stages_for(final)
+
+        def driver():
+            for dep in deps:
+                if id(dep) in self._shuffle_outputs:
+                    continue  # shuffle outputs cached from a prior action
+                yield self.env.process(
+                    self._run_stage(dep.parent, shuffle_into=dep))
+            results = yield self.env.process(self._run_stage(final))
+            # Results travel back to the driver.
+            transfers = []
+            for _index, (node, records) in results.items():
+                size = estimate_size(records)
+                if size:
+                    transfers.append(self.network.transfer(
+                        node, self.driver_node, size))
+            if transfers:
+                yield AllOf(self.env, transfers)
+            return results
+
+        proc = self.env.process(driver())
+        self.env.run()
+        results = proc.value
+        out: list = []
+        for index in sorted(results):
+            out.extend(results[index][1])
+        return out

@@ -1,51 +1,41 @@
-"""Context, sources, DAG scheduler, and executors."""
+"""The Spark-like driver: context knobs, sources, actions, recovery.
+
+The v2 context records lineage only; actions go through the DAG
+scheduler (:mod:`repro.sparklike.scheduler`). Every knob beyond the
+frozen v1 surface defaults OFF so a default-constructed context
+reproduces the legacy engine's event trace exactly (pinned at 1e-9 by
+the twin-world tests):
+
+``fusion=True``
+    fuse narrow map/filter/flat_map chains into one per-partition pass
+    (interior ops charge ``fused_interior_share`` of the record cost).
+``cache_capacity=<bytes>``
+    bound the per-node block store; LRU eviction, with
+    "memory_and_disk" blocks spilling to shared storage.
+``shuffle_parallel_copies=<k>``
+    bound reducer fetch fan-out through a FanoutWindow instead of the
+    all-at-once barrier.
+
+Storage is reached only through the :mod:`repro.io` plane: sources and
+spills resolve URLs via a :class:`~repro.io.registry.StorageRegistry`
+(the attached SciDP runtime's registry when present), and the SciDP
+source reads dummy blocks through :meth:`SciDP.pfs_reader` rather than
+importing storage internals — enforced by the layering lint.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.reader import PFSReader
+from repro.io.registry import StorageRegistry, join_url
 from repro.mapreduce.shuffle import estimate_size
-from repro.sim import AllOf
+from repro.obs import metrics_of
+from repro.sparklike import dag
+from repro.sparklike.cache import BlockStore
 from repro.sparklike.rdd import RDD, ShuffleDependency, SparkLikeError
+from repro.sparklike.scheduler import DAGScheduler
 
-__all__ = ["Context", "TaskContext"]
-
-
-class TaskContext:
-    """What RDD compute chains see inside one executor task."""
-
-    def __init__(self, ctx: "Context", node, stage_id: int, index: int):
-        self.ctx = ctx
-        self.node = node
-        self.stage_id = stage_id
-        self.index = index
-        self._charges: dict[str, float] = {}
-
-    def charge(self, seconds: float, phase: str = "compute") -> None:
-        if seconds < 0:
-            raise SparkLikeError("charge must be >= 0")
-        self._charges[phase] = self._charges.get(phase, 0.0) + seconds
-
-    def take_charges(self) -> dict[str, float]:
-        charges, self._charges = self._charges, {}
-        return charges
-
-    def fetch_shuffle(self, dep: ShuffleDependency, index: int):
-        """Pull bucket ``index`` from every map output. DES process."""
-        outputs = self.ctx._shuffle_outputs[id(dep)]
-        runs = []
-        transfers = []
-        for node, buckets in outputs:
-            bucket = buckets[index]
-            runs.append(bucket)
-            size = estimate_size(bucket)
-            if size and node is not self.node:
-                transfers.append(self.ctx.network.transfer(
-                    node, self.node, size))
-        if transfers:
-            yield AllOf(self.ctx.env, transfers)
-        return runs
+__all__ = ["Context"]
 
 
 class _ParallelRDD(RDD):
@@ -76,17 +66,18 @@ class _TextFileRDD(RDD):
     complete its final line.
     """
 
-    def __init__(self, ctx, path: str):
-        # Facade-neutral sync metadata (listdir/get_blocks): works over
-        # native HDFS and the PFS connector alike.
-        storage = ctx.storage
+    def __init__(self, ctx, url: str):
+        # Resolve through the storage registry: scheme-less paths hit
+        # the default backend, so plain HDFS paths keep working.
+        facade, path = ctx.registry.resolve(url)
+        self.facade = facade
         partitions = []  # (file_blocks, position within file)
-        for file_path in (storage.listdir(path) or [path]):
-            file_blocks = storage.get_blocks(file_path)
+        for file_path in (facade.listdir(path) or [path]):
+            file_blocks = facade.get_blocks(file_path)
             for i in range(len(file_blocks)):
                 partitions.append((file_blocks, i))
         if not partitions:
-            raise SparkLikeError(f"no input at {path!r}")
+            raise SparkLikeError(f"no input at {url!r}")
         super().__init__(ctx, len(partitions))
         self.partitions = partitions
 
@@ -96,7 +87,7 @@ class _TextFileRDD(RDD):
 
     def compute(self, index: int, task):
         blocks, i = self.partitions[index]
-        client = self.ctx.storage.client(task.node)
+        client = self.facade.client(task.node)
         data = yield self.ctx.env.process(client.read_block(blocks[i]))
 
         head = 0
@@ -150,7 +141,7 @@ class _SciDPRDD(RDD):
 
     def compute(self, index: int, task):
         _virtual_path, block = self.blocks[index]
-        reader = PFSReader(self.ctx.scidp.pfs_client(task.node))
+        reader = self.ctx.scidp.pfs_reader(task.node)
         data = yield self.ctx.env.process(
             reader.read_block(block.virtual))
         vb = block.virtual
@@ -168,7 +159,11 @@ class Context:
     def __init__(self, env, nodes, storage, network, scidp=None,
                  executor_cores: int = 4,
                  record_cost: float = 1e-7,
-                 task_startup: float = 0.01):
+                 task_startup: float = 0.01,
+                 fusion: bool = False,
+                 fused_interior_share: float = 0.5,
+                 cache_capacity: Optional[int] = None,
+                 shuffle_parallel_copies: int = 0):
         if not nodes:
             raise SparkLikeError("need at least one executor node")
         self.env = env
@@ -179,16 +174,37 @@ class Context:
         self.executor_cores = executor_cores
         self.record_cost = record_cost
         self.task_startup = task_startup
+        self.fusion = fusion
+        self.fused_interior_share = fused_interior_share
+        self.shuffle_parallel_copies = shuffle_parallel_copies
         self.driver_node = self.nodes[0]
         self.default_parallelism = len(self.nodes) * 2
+        #: unified URL resolution — the SciDP runtime's registry when
+        #: one is attached, else a fresh one over the HDFS facade
+        if scidp is not None:
+            self.registry = scidp.storage
+        else:
+            self.registry = StorageRegistry(default_scheme="hdfs")
+            self.registry.register("hdfs", storage)
+        #: spill target for memory_and_disk evictions: the PFS when a
+        #: SciDP runtime provides one, else HDFS
+        self.spill_base = join_url(
+            scidp.pfs_scheme if scidp is not None else "hdfs",
+            "/_sparklike/spill")
+        self.block_store = BlockStore(self, capacity_bytes=cache_capacity)
+        #: names of executors lost to :meth:`fail_node`
+        self.lost_nodes: set[str] = set()
+        #: id(ShuffleDependency) -> ShuffleState (map-output registry)
+        self._shuffle_states: dict[int, object] = {}
+        self._active_run = None
         self._rdd_seq = 0
         self._stage_seq = 0
-        #: id(ShuffleDependency) -> [(node, buckets)] map-side outputs
-        self._shuffle_outputs: dict[int, list] = {}
-        #: (rdd id, partition index) -> (node, records) for cached RDDs
-        self._rdd_cache: dict[tuple[int, int], tuple] = {}
         #: simple job metrics for tests/benches
         self.metrics: dict[str, Any] = {"stages": 0, "tasks": 0}
+        #: one JobHistory per action, newest last
+        self.histories: list = []
+        self.last_history = None
+        self._scheduler = DAGScheduler(self)
 
     def _next_rdd_id(self) -> int:
         self._rdd_seq += 1
@@ -211,103 +227,60 @@ class Context:
 
     # -- scheduling -----------------------------------------------------------
     def _stages_for(self, rdd: RDD) -> list[ShuffleDependency]:
-        """Shuffle dependencies below ``rdd``, deepest first."""
-        deps: list[ShuffleDependency] = []
-
-        def walk(r: Optional[RDD]):
-            if r is None:
-                return
-            if r.shuffle_dep is not None:
-                walk(r.shuffle_dep.parent)
-                deps.append(r.shuffle_dep)
-            else:
-                walk(r.parent)
-
-        walk(rdd)
-        return deps
-
-    def _run_stage(self, rdd: RDD, shuffle_into=None):
-        """Run one stage over all of ``rdd``'s partitions. DES process.
-
-        With ``shuffle_into`` (a ShuffleDependency), each task hash-
-        partitions its records and registers map-side outputs; otherwise
-        partition results are returned (result stage).
-        """
-        self._stage_seq += 1
-        stage_id = self._stage_seq
-        self.metrics["stages"] += 1
-        pending = list(range(rdd.n_partitions))
-        results: dict[int, list] = {}
-
-        def pick(node_name: str) -> Optional[int]:
-            for pos, index in enumerate(pending):
-                if node_name in rdd.partition_locations(index):
-                    return pending.pop(pos)
-            return pending.pop(0) if pending else None
-
-        def executor(node):
-            while True:
-                index = pick(node.name)
-                if index is None:
-                    return
-                self.metrics["tasks"] += 1
-                task = TaskContext(self, node, stage_id, index)
-                yield self.env.timeout(self.task_startup)
-                records = yield self.env.process(
-                    rdd.iterator(index, task))
-                for _phase, seconds in sorted(
-                        task.take_charges().items()):
-                    yield self.env.timeout(seconds)
-                if shuffle_into is not None:
-                    buckets = shuffle_into_rdd.map_side_partition(records)
-                    # Shuffle write: buffered to local disk like Spark.
-                    size = estimate_size(records)
-                    if size:
-                        yield node.disk.write(size)
-                    self._shuffle_outputs[id(shuffle_into)].append(
-                        (node, buckets))
-                else:
-                    results[index] = (node, records)
-
-        shuffle_into_rdd = None
-        if shuffle_into is not None:
-            self._shuffle_outputs[id(shuffle_into)] = []
-            # The child _ShuffledRDD holds the partitioning logic.
-            shuffle_into_rdd = shuffle_into.child
-
-        workers = []
-        for node in self.nodes:
-            for _core in range(self.executor_cores):
-                workers.append(self.env.process(executor(node)))
-        yield AllOf(self.env, workers)
-        return results
+        """Shuffle dependencies below ``rdd``, deepest first, each
+        exactly once — diamond lineage (one dependency reachable along
+        several paths, e.g. through ``union``) is deduplicated."""
+        return dag.shuffle_deps(rdd)
 
     def _run_job(self, final: RDD) -> list:
         """Execute the lineage and collect at the driver (blocking)."""
-        deps = self._stages_for(final)
-
-        def driver():
-            for dep in deps:
-                if id(dep) in self._shuffle_outputs:
-                    continue  # shuffle outputs cached from a prior action
-                yield self.env.process(
-                    self._run_stage(dep.parent, shuffle_into=dep))
-            results = yield self.env.process(self._run_stage(final))
-            # Results travel back to the driver.
-            transfers = []
-            for _index, (node, records) in results.items():
-                size = estimate_size(records)
-                if size:
-                    transfers.append(self.network.transfer(
-                        node, self.driver_node, size))
-            if transfers:
-                yield AllOf(self.env, transfers)
-            return results
-
-        proc = self.env.process(driver())
-        self.env.run()
-        results = proc.value
+        results = self._scheduler.run_action(final)
         out: list = []
         for index in sorted(results):
             out.extend(results[index][1])
         return out
+
+    def _take(self, final: RDD, n: int) -> list:
+        """Evaluate partitions incrementally: partition 0 first, then
+        geometrically growing batches, stopping once ``n`` records are
+        in hand — never running partitions the answer doesn't need."""
+        if n == 0:
+            return []
+        out: list = []
+        cursor = 0
+        batch = 1
+        while cursor < final.n_partitions and len(out) < n:
+            indices = list(range(
+                cursor, min(cursor + batch, final.n_partitions)))
+            results = self._scheduler.run_action(
+                final, indices=indices, label="take")
+            for index in indices:
+                out.extend(results[index][1])
+            cursor += len(indices)
+            batch *= 4
+        return out[:n]
+
+    # -- failure injection ---------------------------------------------------
+    def fail_node(self, name: str) -> None:
+        """Simulate losing executor ``name`` mid-run.
+
+        Running tasks on the node are interrupted and requeued; its
+        cached blocks and map outputs are invalidated, so later stages
+        recompute exactly the lost partitions — transitively through the
+        lineage — while reusing cached ancestors on surviving nodes.
+        """
+        if all(node.name != name for node in self.nodes):
+            raise SparkLikeError(f"unknown node {name!r}")
+        if name in self.lost_nodes:
+            return
+        self.lost_nodes.add(name)
+        self.metrics["executors_lost"] = \
+            self.metrics.get("executors_lost", 0) + 1
+        registry = metrics_of(self.env)
+        if registry is not None:
+            registry.counter("sparklike.executors_lost").inc()
+        self.block_store.invalidate_node(name)
+        for state in self._shuffle_states.values():
+            state.invalidate_node(name)
+        if self._active_run is not None:
+            self._active_run.on_node_lost(name)

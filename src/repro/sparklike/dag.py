@@ -1,0 +1,135 @@
+"""DAG analysis: stage cutting, diamond deduplication, fusion chains.
+
+Actions hand their final RDD here; the lineage walk cuts the graph at
+:class:`~repro.sparklike.rdd.ShuffleDependency` boundaries into stages,
+deepest first. The walk is memoised on RDD *and* dependency identity,
+so diamond lineage (one RDD reachable through both sides of a
+``union``) schedules each shuffle stage exactly once — the bug the
+eager engine's chain walk could not express, because it had no
+multi-parent operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Stage", "build_stages", "consumes_shuffle", "fused_chain",
+           "shuffle_deps"]
+
+
+def shuffle_deps(final) -> list:
+    """Every shuffle dependency below ``final``, deepest first, each
+    exactly once (diamond lineage deduplicated)."""
+    deps: list = []
+    seen_rdds: set[int] = set()
+    seen_deps: set[int] = set()
+
+    def walk(r) -> None:
+        if r is None or id(r) in seen_rdds:
+            return
+        seen_rdds.add(id(r))
+        if r.shuffle_dep is not None:
+            walk(r.shuffle_dep.parent)
+            if id(r.shuffle_dep) not in seen_deps:
+                seen_deps.add(id(r.shuffle_dep))
+                deps.append(r.shuffle_dep)
+        else:
+            for parent in r.parents:
+                walk(parent)
+
+    walk(final)
+    return deps
+
+
+def consumes_shuffle(final) -> bool:
+    """True when ``final``'s stage starts from shuffled data — i.e. the
+    narrow lineage above the stage boundary reaches a ShuffleDependency
+    without crossing another stage."""
+    seen: set[int] = set()
+    stack = [final]
+    while stack:
+        r = stack.pop()
+        if id(r) in seen:
+            continue
+        seen.add(id(r))
+        if r.shuffle_dep is not None:
+            return True
+        stack.extend(r.parents)
+    return False
+
+
+def fused_chain(rdd) -> list:
+    """The narrow operator chain ending at ``rdd``, boundary first.
+
+    Walks single-parent narrow transformations downward until a fusion
+    boundary: a source, a shuffle, a union, or a persisted RDD (which
+    must materialise to be stored). Returns ``[boundary, op1, ... opk]``
+    where ``rdd`` is ``opk``."""
+    chain = [rdd]
+    fn = getattr(rdd, "fn", None)
+    if fn is None:
+        return chain
+    base = rdd.parent
+    while (getattr(base, "fn", None) is not None
+           and base.storage_level is None):
+        chain.append(base)
+        base = base.parent
+    chain.append(base)
+    chain.reverse()
+    return chain
+
+
+@dataclass
+class Stage:
+    """One schedulable stage: a terminal RDD plus the shuffle dependency
+    it produces (None for the result stage) and the ones it consumes."""
+
+    id: int
+    rdd: object
+    shuffle_dep: Optional[object] = None       # the dep this stage feeds
+    parents: list = field(default_factory=list)  # deps this stage reads
+    kind: str = "map"                          # "map" | "reduce"
+
+    @property
+    def n_partitions(self) -> int:
+        return self.rdd.n_partitions
+
+    def describe(self) -> str:
+        role = (f"shuffle-map -> dep@{id(self.shuffle_dep):#x}"
+                if self.shuffle_dep is not None else "result")
+        return (f"stage {self.id} [{self.kind}] "
+                f"{type(self.rdd).__name__} x{self.n_partitions} "
+                f"({role})")
+
+
+def _immediate_deps(rdd) -> list:
+    """Shuffle dependencies this stage reads directly (no crossing)."""
+    deps, seen = [], set()
+    stack = [rdd]
+    while stack:
+        r = stack.pop()
+        if id(r) in seen:
+            continue
+        seen.add(id(r))
+        if r.shuffle_dep is not None:
+            deps.append(r.shuffle_dep)
+        else:
+            stack.extend(r.parents)
+    return deps
+
+
+def build_stages(final) -> list[Stage]:
+    """Cut ``final``'s lineage into stages, execution order (deepest
+    shuffle stage first, result stage last)."""
+    stages = []
+    for pos, dep in enumerate(shuffle_deps(final), start=1):
+        stages.append(Stage(
+            id=pos, rdd=dep.parent, shuffle_dep=dep,
+            parents=_immediate_deps(dep.parent),
+            kind="reduce" if consumes_shuffle(dep.parent) else "map"))
+    stages.append(Stage(
+        id=len(stages) + 1, rdd=final, shuffle_dep=None,
+        parents=_immediate_deps(final),
+        kind="reduce" if consumes_shuffle(final) else "map"))
+    return stages

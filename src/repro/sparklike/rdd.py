@@ -1,15 +1,24 @@
-"""RDD lineage: lazy transformations, shuffle boundaries, actions."""
+"""RDD lineage: lazy transformations, shuffle boundaries, actions.
+
+Transformations only record lineage (narrow parents or a
+:class:`ShuffleDependency`); actions hand the final RDD to the
+context's DAG scheduler (:mod:`repro.sparklike.scheduler`), which cuts
+the graph into stages and tracks partition states. Narrow chains can be
+fused into a single per-partition pass (``Context(fusion=True)``), and
+``cache()``/``persist()`` route through the byte-accounted block store
+(:mod:`repro.sparklike.cache`) with optional spill to shared storage.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
 from repro.mapreduce.shuffle import (
-    estimate_size,
     group_sorted,
     hash_partition,
     sort_run,
 )
+from repro.sparklike.cache import MEMORY_AND_DISK, MEMORY_ONLY
 
 __all__ = ["RDD", "ShuffleDependency", "SparkLikeError"]
 
@@ -34,19 +43,24 @@ class RDD:
 
     Subclasses implement :meth:`compute` — a DES process yielding the
     records of one partition — and :meth:`partition_locations` for
-    locality. Transformations build lineage; actions hand the final RDD
-    to the context's DAG scheduler.
+    locality. ``parents`` lists every narrow parent (more than one for
+    :meth:`union`); ``parent`` keeps the single-parent shorthand.
     """
 
     def __init__(self, ctx, n_partitions: int,
                  shuffle_dep: Optional[ShuffleDependency] = None,
-                 parent: Optional["RDD"] = None):
+                 parent: Optional["RDD"] = None,
+                 parents: Optional[list["RDD"]] = None):
         self.ctx = ctx
         self.n_partitions = n_partitions
         self.shuffle_dep = shuffle_dep
-        self.parent = parent
+        if parents is None:
+            parents = [parent] if parent is not None else []
+        self.parents = parents
+        self.parent = parents[0] if parents else None
         self._id = ctx._next_rdd_id()
-        self._cached = False
+        #: None (not persisted) or a storage level from sparklike.cache
+        self.storage_level: Optional[str] = None
 
     # -- to be provided by subclasses -------------------------------------
     def compute(self, index: int, task):
@@ -54,12 +68,30 @@ class RDD:
         raise NotImplementedError  # pragma: no cover
 
     # -- caching -----------------------------------------------------------
+    @property
+    def _cached(self) -> bool:
+        return self.storage_level is not None
+
     def cache(self) -> "RDD":
-        """Persist computed partitions in executor memory, like Spark's
-        ``cache()``: later actions reuse them instead of recomputing,
-        paying only a transfer when the partition lives on another
-        node."""
-        self._cached = True
+        """Persist computed partitions in executor memory: later actions
+        reuse them instead of recomputing, paying only a transfer when
+        the partition lives on another node."""
+        return self.persist(MEMORY_ONLY)
+
+    def persist(self, level: str = MEMORY_ONLY) -> "RDD":
+        """Persist at ``level`` ("memory" or "memory_and_disk"). With a
+        bounded ``Context(cache_capacity=...)``, memory-only blocks are
+        dropped under pressure (recomputed on demand) while
+        memory-and-disk blocks spill to shared storage through the write
+        planner and reload from there."""
+        if level not in (MEMORY_ONLY, MEMORY_AND_DISK):
+            raise SparkLikeError(f"unknown storage level {level!r}")
+        self.storage_level = level
+        return self
+
+    def unpersist(self) -> "RDD":
+        self.storage_level = None
+        self.ctx.block_store.drop_rdd(self._id)
         return self
 
     def iterator(self, index: int, task):
@@ -69,21 +101,29 @@ class RDD:
         so caching an intermediate RDD short-circuits the whole lineage
         below it.
         """
-        if self._cached:
-            hit = self.ctx._rdd_cache.get((self._id, index))
+        ctx = self.ctx
+        if self.storage_level is not None:
+            store = ctx.block_store
+            key = (self._id, index)
+            hit = store.get(key)
             if hit is not None:
                 node, records = hit
-                self.ctx.metrics["cache_hits"] = \
-                    self.ctx.metrics.get("cache_hits", 0) + 1
+                ctx.metrics["cache_hits"] = \
+                    ctx.metrics.get("cache_hits", 0) + 1
                 if node is not task.node:
-                    size = estimate_size(records)
+                    size = store.nbytes(key)
                     if size:
-                        yield self.ctx.network.transfer(
-                            node, task.node, size)
+                        yield ctx.network.transfer(node, task.node, size)
                 return records
-        records = yield self.ctx.env.process(self.compute(index, task))
-        if self._cached:
-            self.ctx._rdd_cache[(self._id, index)] = (task.node, records)
+            if store.has_spilled(key):
+                ctx.metrics["cache_hits"] = \
+                    ctx.metrics.get("cache_hits", 0) + 1
+                records = yield from store.load_spilled(key, task)
+                return records
+        records = yield ctx.env.process(self.compute(index, task))
+        if self.storage_level is not None:
+            yield from ctx.block_store.put(
+                (self._id, index), task, records, self.storage_level)
         return records
 
     def partition_locations(self, index: int) -> list[str]:
@@ -118,7 +158,17 @@ class RDD:
     def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
         return self.map(lambda kv: (kv[0], fn(kv[1])))
 
-    # -- wide transformations -------------------------------------------------
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs partition-wise (narrow, no shuffle).
+
+        This is the multi-parent lineage op: an RDD reachable through
+        both sides of a union forms diamond lineage, which the stage
+        walk deduplicates."""
+        if other.ctx is not self.ctx:
+            raise SparkLikeError("union across contexts")
+        return _UnionRDD(self.ctx, [self, other])
+
+    # -- wide transformations ----------------------------------------------
     def reduce_by_key(self, fn: Callable[[Any, Any], Any],
                       n_partitions: Optional[int] = None) -> "RDD":
         """Combine values per key with ``fn`` (map-side combining, then a
@@ -128,7 +178,7 @@ class RDD:
     def group_by_key(self, n_partitions: Optional[int] = None) -> "RDD":
         return _ShuffledRDD(self, n_partitions, combiner=None)
 
-    # -- actions -----------------------------------------------------------------
+    # -- actions -------------------------------------------------------------
     def collect(self) -> list:
         """Run the job and gather every record at the driver."""
         return self.ctx._run_job(self)
@@ -148,9 +198,18 @@ class RDD:
         return _fold(values, fn)
 
     def take(self, n: int) -> list:
+        """First ``n`` records in partition order, evaluating partitions
+        incrementally: one partition first, then geometrically growing
+        batches, stopping as soon as ``n`` records are gathered."""
         if n < 0:
             raise SparkLikeError("take(n) needs n >= 0")
-        return self.collect()[:n]
+        return self.ctx._take(self, n)
+
+    def first(self) -> Any:
+        out = self.take(1)
+        if not out:
+            raise SparkLikeError("first() of an empty RDD")
+        return out[0]
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<{type(self).__name__} id={self._id} "
@@ -166,18 +225,68 @@ def _fold(values, fn):
 
 
 class _MapPartitionsRDD(RDD):
-    """Narrow transformation, pipelined inside the parent's task."""
+    """Narrow transformation, pipelined inside the parent's task.
+
+    With fusion off (the default, matching the frozen v1 engine) each
+    operator runs in its own nested task process and charges the full
+    per-record cost. With ``Context(fusion=True)`` the whole narrow
+    chain down to the nearest boundary (source, shuffle, cached RDD, or
+    union) runs as one pass: interior operators stream records without
+    materialising an intermediate buffer, so they charge only the
+    compute share of the per-record cost; the final operator still pays
+    full price for materialising the stage's output.
+    """
 
     def __init__(self, parent: RDD, fn: Callable):
         super().__init__(parent.ctx, parent.n_partitions, parent=parent)
         self.fn = fn
 
     def compute(self, index: int, task):
-        records = yield self.ctx.env.process(
-            self.parent.iterator(index, task))
-        out = self.fn(task, records)
-        task.charge(len(records) * self.ctx.record_cost, "compute")
-        return out
+        ctx = self.ctx
+        if not ctx.fusion:
+            records = yield ctx.env.process(
+                self.parent.iterator(index, task))
+            out = self.fn(task, records)
+            task.charge(len(records) * ctx.record_cost, "compute")
+            return out
+        # Fused pass: gather the narrow chain ending here.
+        fns = [self.fn]
+        base = self.parent
+        while (type(base) is _MapPartitionsRDD
+               and base.storage_level is None):
+            fns.append(base.fn)
+            base = base.parent
+        fns.reverse()
+        records = yield ctx.env.process(base.iterator(index, task))
+        cost = ctx.record_cost
+        last = len(fns) - 1
+        for pos, fn in enumerate(fns):
+            out = fn(task, records)
+            share = 1.0 if pos == last else ctx.fused_interior_share
+            task.charge(len(records) * cost * share, "compute")
+            records = out
+        return records
+
+
+class _UnionRDD(RDD):
+    """Partition-wise concatenation of several parents (narrow)."""
+
+    def __init__(self, ctx, parents: list[RDD]):
+        total = sum(p.n_partitions for p in parents)
+        super().__init__(ctx, total, parents=list(parents))
+        #: partition index -> (parent, index within parent)
+        self._slots = [
+            (p, i) for p in parents for i in range(p.n_partitions)
+        ]
+
+    def partition_locations(self, index: int) -> list[str]:
+        parent, sub = self._slots[index]
+        return parent.partition_locations(sub)
+
+    def compute(self, index: int, task):
+        parent, sub = self._slots[index]
+        records = yield self.ctx.env.process(parent.iterator(sub, task))
+        return list(records)
 
 
 class _ShuffledRDD(RDD):

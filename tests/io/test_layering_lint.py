@@ -53,7 +53,30 @@ RULES = (
         },
         "names": {"ColumnarLog", "LegacyTracer", "LegacyMonitor"},
     },
+    {
+        "label": "sparklike storage isolation",
+        # the lazy engine reaches storage only through the repro.io
+        # plane (registry/planner) and runtime accessors — never the
+        # backend packages or repro.core directly; the frozen v1 copy
+        # keeps its historical imports
+        "applies": ("repro.sparklike",),
+        "exempt": ("repro.sparklike._legacy",),
+        "banned_prefixes": ("repro.hdfs", "repro.pfs", "repro.core"),
+    },
+    {
+        "label": "frozen sparklike v1 engine",
+        # only the twin-world tests (outside src) and the
+        # engine-vs-engine bench may resurrect the eager engine
+        "allowed": ("repro.sparklike", "repro.bench"),
+        "modules": {"repro.sparklike._legacy"},
+        "names": {"LegacyContext", "LegacyRDD"},
+    },
 )
+
+
+def _in_prefixes(module: str, prefixes) -> bool:
+    return any(module == p or module.startswith(p + ".")
+               for p in prefixes)
 
 
 def module_name(path: Path) -> str:
@@ -68,9 +91,17 @@ def violations_in(path: Path) -> list[str]:
     return violations_in_source(module_name(path), path.read_text())
 
 
+def _rule_active(rule: dict, module: str) -> bool:
+    if "applies" in rule:
+        # scoped rule: constrains imports *made by* a package
+        return (module.startswith(rule["applies"])
+                and not _in_prefixes(module, rule.get("exempt", ())))
+    # allowlist rule: constrains who may import the internals
+    return not module.startswith(rule["allowed"])
+
+
 def violations_in_source(module: str, source: str) -> list[str]:
-    rules = [rule for rule in RULES
-             if not module.startswith(rule["allowed"])]
+    rules = [rule for rule in RULES if _rule_active(rule, module)]
     if not rules:
         return []
     tree = ast.parse(source, filename=module)
@@ -79,21 +110,32 @@ def violations_in_source(module: str, source: str) -> list[str]:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 for rule in rules:
-                    if alias.name in rule["modules"]:
+                    if alias.name in rule.get("modules", ()):
                         problems.append(
                             f"{module}:{node.lineno}: imports internal "
                             f"module {alias.name} ({rule['label']})")
+                    elif _in_prefixes(alias.name,
+                                      rule.get("banned_prefixes", ())):
+                        problems.append(
+                            f"{module}:{node.lineno}: imports "
+                            f"{alias.name} ({rule['label']})")
         elif isinstance(node, ast.ImportFrom):
             if node.module is None or not node.module.startswith("repro"):
                 continue
             for rule in rules:
-                if node.module in rule["modules"]:
+                if node.module in rule.get("modules", ()):
                     problems.append(
                         f"{module}:{node.lineno}: imports from internal "
                         f"module {node.module} ({rule['label']})")
                     continue
+                if _in_prefixes(node.module,
+                                rule.get("banned_prefixes", ())):
+                    problems.append(
+                        f"{module}:{node.lineno}: imports from "
+                        f"{node.module} ({rule['label']})")
+                    continue
                 for alias in node.names:
-                    if alias.name in rule["names"]:
+                    if alias.name in rule.get("names", ()):
                         problems.append(
                             f"{module}:{node.lineno}: imports internal "
                             f"name {alias.name!r} from {node.module} "
@@ -151,3 +193,49 @@ def test_lint_catches_obs_violations():
     assert not violations_in_source(
         "repro.bench.obsbench",
         "from repro.obs._legacy import LegacyTracer\n")
+
+
+def test_lint_sparklike_storage_isolation():
+    """The lazy engine reaches storage only through repro.io: direct
+    backend/core imports from inside repro.sparklike are flagged."""
+    assert violations_in_source(
+        "repro.sparklike.scheduler", "import repro.hdfs\n")
+    assert violations_in_source(
+        "repro.sparklike.context",
+        "from repro.hdfs.client import HDFSClient\n")
+    assert violations_in_source(
+        "repro.sparklike.rdd", "from repro.pfs import PFS\n")
+    assert violations_in_source(
+        "repro.sparklike.context",
+        "from repro.core.reader import PFSReader\n")
+    # the sanctioned surfaces are fine
+    assert not violations_in_source(
+        "repro.sparklike.context",
+        "from repro.io.registry import StorageRegistry\n")
+    assert not violations_in_source(
+        "repro.sparklike.scheduler",
+        "from repro.mapreduce.task import MapOutputFeed\n"
+        "from repro.sim import FanoutWindow\n")
+    # the frozen v1 copy keeps its historical imports
+    assert not violations_in_source(
+        "repro.sparklike._legacy",
+        "from repro.core.reader import PFSReader\n")
+    # the rule constrains sparklike only, not other engines
+    assert not violations_in_source(
+        "repro.mapreduce.runtime", "from repro.hdfs import HDFS\n")
+
+
+def test_lint_frozen_legacy_engine_quarantined():
+    """Only sparklike itself and the bench may import the frozen v1
+    engine."""
+    assert violations_in_source(
+        "repro.core.offender",
+        "from repro.sparklike._legacy import LegacyContext\n")
+    assert violations_in_source(
+        "repro.mapreduce.offender", "import repro.sparklike._legacy\n")
+    assert violations_in_source(
+        "repro.workloads.offender",
+        "from repro.sparklike import LegacyRDD\n")
+    assert not violations_in_source(
+        "repro.bench.sparkbench",
+        "from repro.sparklike._legacy import LegacyContext\n")

@@ -1,0 +1,135 @@
+"""The byte-accounted cache tier: capacity, LRU, spill, reload, stats."""
+
+import pytest
+
+from repro.mapreduce.shuffle import estimate_size
+from repro.sparklike import MEMORY_AND_DISK, MEMORY_ONLY, SparkLikeError
+from repro.sparklike.scheduler import TaskContext
+
+from tests.sparklike.test_sparklike import make_ctx
+
+TEN_INTS = estimate_size(list(range(10)))  # one 10-record partition
+
+
+def counting_factory(calls):
+    def counting(task, records):
+        calls["n"] += 1
+        return records
+    return counting
+
+
+# ------------------------------------------------------------ unit level
+def test_lru_evicts_least_recently_used():
+    ctx, _ = make_ctx(n_nodes=1, cache_capacity=2 * TEN_INTS)
+    store = ctx.block_store
+    task = TaskContext(ctx, ctx.nodes[0], 0, 0)
+    records = list(range(10))
+    list(store.put((1, 0), task, records, MEMORY_ONLY))
+    list(store.put((1, 1), task, records, MEMORY_ONLY))
+    assert store.get((1, 0)) is not None       # touch: (1,1) is now LRU
+    list(store.put((1, 2), task, records, MEMORY_ONLY))
+    assert store.get((1, 1)) is None           # evicted
+    assert store.get((1, 0)) is not None
+    assert store.get((1, 2)) is not None
+    assert store.stats.evictions == 1
+
+
+def test_capacity_is_per_node():
+    ctx, _ = make_ctx(n_nodes=2, cache_capacity=TEN_INTS)
+    store = ctx.block_store
+    records = list(range(10))
+    for pos, node in enumerate(ctx.nodes):
+        task = TaskContext(ctx, node, 0, pos)
+        list(store.put((1, pos), task, records, MEMORY_ONLY))
+    # One full-capacity block per node: neither evicts the other.
+    assert store.get((1, 0)) is not None
+    assert store.get((1, 1)) is not None
+    assert store.stats.evictions == 0
+
+
+def test_memory_and_disk_spills_through_registry():
+    ctx, _ = make_ctx(n_nodes=1, cache_capacity=TEN_INTS)
+    store = ctx.block_store
+    task = TaskContext(ctx, ctx.nodes[0], 0, 0)
+    records = list(range(10))
+
+    def driver():
+        yield from store.put((1, 0), task, records, MEMORY_AND_DISK)
+        yield from store.put((1, 1), task, records, MEMORY_AND_DISK)
+
+    ctx.env.process(driver())
+    ctx.env.run()
+    assert store.has_spilled((1, 0))           # evicted -> shared storage
+    assert not store.has_spilled((1, 1))       # still in memory
+    assert ctx.metrics["cache_spills"] == 1
+    # The spill really hit the HDFS namespace under the spill root.
+    assert ctx.storage.listdir("/_sparklike/spill")
+
+
+# ------------------------------------------------------------- end to end
+def test_memory_only_eviction_recomputes():
+    ctx, _ = make_ctx(n_nodes=1, cache_capacity=TEN_INTS)
+    calls = {"n": 0}
+    rdd = (ctx.parallelize(range(40), 4)
+           .map_partitions(counting_factory(calls))
+           .cache())
+    assert sorted(rdd.collect()) == list(range(40))
+    assert calls["n"] == 4
+    assert ctx.block_store.stats.evictions >= 3
+    assert sorted(rdd.collect()) == list(range(40))
+    # Only one block fits: at least the evicted partitions recompute.
+    assert calls["n"] >= 7
+    assert ctx.metrics["cache_evictions"] >= 3
+
+
+def test_memory_and_disk_reloads_instead_of_recomputing():
+    ctx, _ = make_ctx(n_nodes=1, cache_capacity=TEN_INTS)
+    calls = {"n": 0}
+    rdd = (ctx.parallelize(range(40), 4)
+           .map_partitions(counting_factory(calls))
+           .persist(MEMORY_AND_DISK))
+    assert sorted(rdd.collect()) == list(range(40))
+    assert calls["n"] == 4
+    assert ctx.metrics["cache_spills"] >= 3
+    assert sorted(rdd.collect()) == list(range(40))
+    assert calls["n"] == 4                     # reloaded, not recomputed
+    assert ctx.metrics["cache_disk_hits"] >= 3
+
+
+def test_unbounded_default_never_evicts():
+    ctx, _ = make_ctx()
+    rdd = ctx.parallelize(range(400), 8).cache()
+    rdd.collect()
+    rdd.collect()
+    assert ctx.block_store.stats.evictions == 0
+    assert ctx.block_store.stats.hits == 8
+
+
+def test_unpersist_releases_blocks():
+    ctx, _ = make_ctx()
+    calls = {"n": 0}
+    rdd = (ctx.parallelize(range(20), 2)
+           .map_partitions(counting_factory(calls))
+           .cache())
+    rdd.collect()
+    assert calls["n"] == 2
+    rdd.unpersist()
+    rdd.collect()
+    assert calls["n"] == 4                     # recomputed after release
+
+
+def test_persist_rejects_unknown_level():
+    ctx, _ = make_ctx()
+    with pytest.raises(SparkLikeError, match="unknown storage level"):
+        ctx.parallelize([1], 1).persist("off_heap")
+
+
+def test_stats_byte_accounting():
+    ctx, _ = make_ctx()
+    rdd = ctx.parallelize(range(40), 4).cache()
+    rdd.collect()
+    stats = ctx.block_store.stats
+    assert stats.bytes_inserted == 4 * TEN_INTS
+    rdd.collect()
+    assert stats.hits == 4
+    assert stats.bytes_from_cache == 4 * TEN_INTS

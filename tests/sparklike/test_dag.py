@@ -1,0 +1,108 @@
+"""DAG analysis: stage cutting, diamond-lineage dedup, fusion chains."""
+
+import pytest
+
+from repro.sparklike import Context, SparkLikeError
+from repro.sparklike import dag
+
+from tests.sparklike.test_sparklike import make_ctx
+
+
+def test_stages_for_linear_chain():
+    ctx, _ = make_ctx()
+    final = (ctx.parallelize(range(20), 4)
+             .map(lambda x: (x % 2, x))
+             .reduce_by_key(lambda a, b: a + b)
+             .map(lambda kv: (kv[1] % 3, 1))
+             .reduce_by_key(lambda a, b: a + b))
+    deps = ctx._stages_for(final)
+    assert len(deps) == 2
+    # Deepest first: the first dep's parent has no shuffle below it.
+    assert dag.shuffle_deps(deps[0].parent) == []
+
+
+def test_stages_for_dedupes_diamond_lineage():
+    """Regression: one shuffle reachable through both sides of a union
+    must be scheduled exactly once (the eager walk visited it twice)."""
+    ctx, _ = make_ctx()
+    counts = (ctx.parallelize([(i % 3, 1) for i in range(30)], 4)
+              .reduce_by_key(lambda a, b: a + b))
+    left = counts.map(lambda kv: ("L", kv[1]))
+    right = counts.map(lambda kv: ("R", kv[1]))
+    final = left.union(right)
+    deps = ctx._stages_for(final)
+    assert len(deps) == 1           # the shared dep appears once
+    assert deps[0] is counts.shuffle_dep
+
+
+def test_diamond_runs_shared_stage_once():
+    ctx, _ = make_ctx()
+    map_runs = {"n": 0}
+
+    def counting(task, records):
+        map_runs["n"] += 1
+        return records
+
+    counts = (ctx.parallelize([(i % 3, 1) for i in range(30)], 4)
+              .map_partitions(counting)
+              .reduce_by_key(lambda a, b: a + b))
+    merged = (counts.map(lambda kv: ("L", kv[1]))
+              .union(counts.map(lambda kv: ("R", kv[1]))))
+    out = merged.collect()
+    assert len(out) == 6            # 3 keys x 2 sides
+    assert map_runs["n"] == 4       # shared map stage ran once
+    # 1 shared shuffle-map stage + 1 result stage
+    assert ctx.metrics["stages"] == 2
+
+
+def test_union_concatenates_partitionwise():
+    ctx, _ = make_ctx()
+    a = ctx.parallelize([1, 2], 2)
+    b = ctx.parallelize([3, 4, 5], 3)
+    u = a.union(b)
+    assert u.n_partitions == 5
+    assert sorted(u.collect()) == [1, 2, 3, 4, 5]
+
+
+def test_union_across_contexts_rejected():
+    ctx_a, _ = make_ctx()
+    ctx_b, _ = make_ctx()
+    with pytest.raises(SparkLikeError, match="union across contexts"):
+        ctx_a.parallelize([1], 1).union(ctx_b.parallelize([2], 1))
+
+
+def test_consumes_shuffle():
+    ctx, _ = make_ctx()
+    narrow = ctx.parallelize(range(8), 2).map(lambda x: x)
+    wide = narrow.map(lambda x: (x, 1)).reduce_by_key(lambda a, b: a + b)
+    assert not dag.consumes_shuffle(narrow)
+    assert dag.consumes_shuffle(wide)
+    assert dag.consumes_shuffle(wide.map(lambda kv: kv))
+
+
+def test_fused_chain_stops_at_boundaries():
+    ctx, _ = make_ctx()
+    source = ctx.parallelize(range(8), 2)
+    a = source.map(lambda x: x + 1)
+    b = a.map(lambda x: x * 2)
+    chain = dag.fused_chain(b)
+    assert chain == [source, a, b]
+    # A persisted interior RDD is a boundary (it must materialise).
+    a.cache()
+    assert dag.fused_chain(b) == [a, b]
+
+
+def test_build_stages_shapes():
+    ctx, _ = make_ctx()
+    final = (ctx.parallelize(range(20), 4)
+             .map(lambda x: (x % 2, x))
+             .reduce_by_key(lambda a, b: a + b)
+             .map(lambda kv: kv))
+    stages = dag.build_stages(final)
+    assert len(stages) == 2
+    assert stages[0].kind == "map"
+    assert stages[0].shuffle_dep is not None
+    assert stages[1].kind == "reduce"
+    assert stages[1].shuffle_dep is None
+    assert stages[1].parents == [stages[0].shuffle_dep]
+    assert "stage" in stages[0].describe()

@@ -1,0 +1,198 @@
+"""Twin-world guard-rail: the lazy DAG engine at default knobs must
+reproduce the frozen v1 eager engine — identical results AND identical
+simulated timings at 1e-9, action by action.
+
+Two independent but identically-seeded worlds run the same workload,
+one on :class:`repro.sparklike._legacy.LegacyContext`, one on the v2
+:class:`repro.sparklike.Context` with every new knob at its default
+(fusion off, unbounded cache, all-at-once shuffle fetch). Any drift in
+the default event shape — an extra process hop, a reordered transfer, a
+changed charge — shows up here as a timing mismatch.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparklike import Context
+from repro.sparklike._legacy import LegacyContext
+
+from tests.mapreduce.conftest import small_spec
+
+TOL = 1e-9
+
+
+def build_world(engine, with_scidp=False, seed_files=()):
+    from repro.cluster import Cluster
+    from repro.hdfs import HDFS
+    from repro.sim import Environment
+
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", small_spec(), role="compute")
+             for i in range(4)]
+    hdfs = HDFS(env, cluster.network, block_size=200, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    for path, payload in seed_files:
+        hdfs.store_file_sync(path, payload)
+    scidp = None
+    if with_scidp:
+        from repro.core import SciDP
+        from repro.pfs import PFS, StripeLayout
+        mds = cluster.add_node("mds", small_spec(), role="storage")
+        oss = cluster.add_node("oss", small_spec(), role="storage")
+        pfs = PFS(env, cluster.network, mds, [oss],
+                  default_layout=StripeLayout(stripe_size=512,
+                                              stripe_count=1))
+        scidp = SciDP(env, nodes, pfs, hdfs, cluster.network)
+        seed_nc(scidp)
+    return engine(env, nodes, hdfs, cluster.network, scidp=scidp)
+
+
+def seed_nc(scidp):
+    from repro.formats import Dataset, scinc
+    ds = Dataset()
+    rng = np.random.default_rng(5)
+    for name in ("QR", "T"):
+        ds.create_variable(name, ("z", "y", "x"),
+                           rng.random((4, 8, 8)).astype(np.float32),
+                           chunk_shape=(1, 8, 8))
+    buf = io.BytesIO()
+    scinc.write(buf, ds)
+    scidp.pfs.store_file("/sim/plot_18_00_00.nc", buf.getvalue())
+
+
+def run_twins(workload, **world_kw):
+    """Run ``workload(ctx) -> [result, ...]`` on both engines; each
+    returned action result is compared, and so is every inter-action
+    timestamp."""
+    legacy = build_world(LegacyContext, **world_kw)
+    lazy = build_world(Context, **world_kw)
+    legacy_marks, legacy_out = [], []
+    lazy_marks, lazy_out = [], []
+    for ctx, marks, out in ((legacy, legacy_marks, legacy_out),
+                            (lazy, lazy_marks, lazy_out)):
+        for result in workload(ctx):
+            marks.append(ctx.env.now)
+            out.append(result)
+    assert legacy_out == lazy_out
+    assert len(legacy_marks) == len(lazy_marks)
+    for expected, got in zip(legacy_marks, lazy_marks):
+        assert got == pytest.approx(expected, abs=TOL)
+    return legacy, lazy
+
+
+def test_map_filter_collect():
+    def workload(ctx):
+        yield sorted(ctx.parallelize(range(200), 8)
+                     .map(lambda x: x * 3)
+                     .filter(lambda x: x % 2 == 0)
+                     .collect())
+
+    run_twins(workload)
+
+
+def test_wordcount_shuffle():
+    def workload(ctx):
+        words = ["x", "y", "x", "z", "x", "y"] * 25
+        yield sorted(ctx.parallelize(words, 6)
+                     .map(lambda w: (w, 1))
+                     .reduce_by_key(lambda a, b: a + b)
+                     .collect())
+
+    legacy, lazy = run_twins(workload)
+    assert legacy.metrics["stages"] == lazy.metrics["stages"]
+    assert legacy.metrics["tasks"] == lazy.metrics["tasks"]
+
+
+def test_chained_shuffles():
+    def workload(ctx):
+        yield sorted(ctx.parallelize(range(80), 4)
+                     .map(lambda x: (x % 8, x))
+                     .reduce_by_key(lambda a, b: a + b)
+                     .map(lambda kv: (kv[0] % 2, kv[1]))
+                     .reduce_by_key(lambda a, b: a + b)
+                     .collect())
+
+    run_twins(workload)
+
+
+def test_group_by_key_then_map_values():
+    def workload(ctx):
+        pairs = [(i % 5, i) for i in range(60)]
+        yield sorted(ctx.parallelize(pairs, 6)
+                     .group_by_key()
+                     .map_values(sum)
+                     .collect())
+
+    run_twins(workload)
+
+
+def test_text_file_pipeline():
+    def workload(ctx):
+        rdd = ctx.text_file("/logs")
+        yield len(rdd.collect())
+        yield sorted(rdd.map(lambda line: (line, 1))
+                     .reduce_by_key(lambda a, b: a + b)
+                     .collect())
+
+    run_twins(workload,
+              seed_files=[("/logs/a.txt", b"alpha\nbeta\n" * 40),
+                          ("/logs/b.txt", b"gamma\n" * 30)])
+
+
+def test_cached_iterative():
+    def workload(ctx):
+        base = ctx.parallelize(range(120), 8).map(lambda x: x + 1).cache()
+        yield base.count()
+        yield base.count()        # warm: served from the cache tier
+        yield sorted(base.map(lambda x: (x % 4, x))
+                     .reduce_by_key(lambda a, b: a + b)
+                     .collect())
+
+    legacy, lazy = run_twins(workload)
+    assert legacy.metrics["cache_hits"] == lazy.metrics["cache_hits"]
+
+
+def test_shuffle_output_reuse_across_actions():
+    def workload(ctx):
+        counts = (ctx.parallelize([(i % 3, 1) for i in range(90)], 6)
+                  .reduce_by_key(lambda a, b: a + b))
+        yield sorted(counts.collect())
+        # Second action over the same shuffle: map stage is skipped.
+        yield sorted(counts.map_values(lambda v: v * 2).collect())
+
+    legacy, lazy = run_twins(workload)
+    assert legacy.metrics["stages"] == lazy.metrics["stages"]
+
+
+def test_count_and_reduce():
+    def workload(ctx):
+        rdd = ctx.parallelize(range(37), 5)
+        yield rdd.count()
+        yield rdd.reduce(lambda a, b: a + b)
+
+    run_twins(workload)
+
+
+def test_scidp_source():
+    def workload(ctx):
+        rdd = ctx.scidp_variable("/sim", variables=["QR"])
+        yield sorted(
+            (key, float(np.asarray(arr).sum()))
+            for key, arr in rdd.collect())
+
+    run_twins(workload, with_scidp=True)
+
+
+def test_scidp_shuffle_maxima():
+    def workload(ctx):
+        yield sorted(
+            ctx.scidp_variable("/sim", variables=["T"])
+            .map(lambda kv: (kv[0][2][0], float(np.asarray(kv[1]).max())))
+            .reduce_by_key(max)
+            .collect())
+
+    run_twins(workload, with_scidp=True)

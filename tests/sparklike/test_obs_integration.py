@@ -1,0 +1,70 @@
+"""The engine rides repro.obs: job/stage/task spans, counters, latency
+histograms — so ``repro.obs report`` and ``critpath`` work on a
+sparklike run."""
+
+import pytest
+
+from repro.obs import (
+    critical_path,
+    load_trace,
+    metrics_of,
+    spans_from_trace,
+)
+from repro.obs.report import report_data
+
+from tests.sparklike.test_sparklike import make_ctx
+
+
+def run_workload(tmp_path, cached=False):
+    from repro.obs import TraceSession
+    ctx, _hdfs = make_ctx()
+    path = str(tmp_path / "sparklike.trace.json")
+    session = TraceSession(path)
+    session.observe(ctx.env, "sparklike", nodes=ctx.nodes,
+                    network=ctx.network)
+    base = ctx.parallelize([(i % 5, 1) for i in range(100)], 8)
+    if cached:
+        base = base.cache()
+        base.count()
+    (base.reduce_by_key(lambda a, b: a + b).collect())
+    session.save()
+    return ctx, path
+
+
+def test_spans_and_critical_path(tmp_path):
+    _ctx, path = run_workload(tmp_path)
+    spans = spans_from_trace(load_trace(path), run="sparklike")
+    cats = {s.cat for s in spans}
+    assert "job" in cats
+    assert "stage" in cats
+    assert "task.map" in cats and "task.reduce" in cats
+    assert "task.phase" in cats
+    path_result = critical_path(spans)
+    assert path_result.total > 0
+    assert path_result.device_buckets()
+
+
+def test_report_tables(tmp_path):
+    _ctx, path = run_workload(tmp_path)
+    data = report_data(path)
+    assert [run["name"] for run in data["runs"]] == ["sparklike"]
+    assert data["tables"]
+
+
+def test_counters_and_latencies(tmp_path):
+    ctx, _path = run_workload(tmp_path, cached=True)
+    registry = metrics_of(ctx.env)
+    assert registry.counter("sparklike.stages").value >= 2
+    assert registry.counter("sparklike.tasks").value >= 16
+    names = [row["hist"] for row in registry.latency_rows()]
+    assert "sparklike.task.duration" in names
+    assert "sparklike.stage.duration" in names
+    cache_rows = registry.cache_rows()
+    assert any("sparklike.cache" in row["device"] for row in cache_rows)
+
+
+def test_untraced_run_pays_nothing(tmp_path):
+    """Without a session, the engine must not create tracer state."""
+    ctx, _ = make_ctx()
+    ctx.parallelize(range(20), 4).collect()
+    assert metrics_of(ctx.env) is None
