@@ -1,0 +1,67 @@
+"""SQL planner pushdown vs the frozen eager evaluator — the BENCH_sql
+trajectory.
+
+Runs the Fig. 9-style selective-query comparison across three engine
+configurations (frozen eager sqldf, planner with pushdown off, planner
+with pushdown on) over zone-mapped NU-WRF scinc files on the simulated
+PFS. Gates: identical result frames everywhere, the planner-off config
+is the eager path's timing twin to 1e-9 simulated seconds, and pushdown
+scans >= 10x fewer PFS bytes. All timings are simulated, so every ratio
+is deterministic on any runner. CI uploads
+``bench_results/BENCH_sql.json`` next to the other BENCH_* artifacts.
+"""
+
+import json
+import pathlib
+
+from repro.bench.sqlbench import (
+    MIN_BYTES_REDUCTION,
+    TWIN_TOLERANCE,
+    sql_pushdown_result,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / \
+    "bench_results"
+
+
+def test_sql_pushdown_trajectory(benchmark, record_table):
+    doc = benchmark.pedantic(
+        sql_pushdown_result, rounds=1, iterations=1)
+
+    assert doc["identical_results"], \
+        "engine configurations disagreed on the query results"
+    # Twin-world sanity: with pushdown off the planner performs the
+    # same reads in the same order as the frozen eager evaluator.
+    assert doc["twin_delta"] < TWIN_TOLERANCE, \
+        f"planner drifted from the eager twin: {doc['twin_delta']:.2e}s"
+
+    assert doc["bytes_reduction"] >= MIN_BYTES_REDUCTION, \
+        f"pushdown below the {MIN_BYTES_REDUCTION}x bytes gate: " \
+        f"{doc['bytes_reduction']:.2f}x"
+    # Pruning must also translate into simulated wall-clock.
+    assert doc["speedup"] > 1.0
+
+    columns = ["engine config", "sim seconds", "MB scanned",
+               "chunks read", "chunks pruned", "vars pruned"]
+    rows = [
+        (name, round(entry["sim_seconds"], 5),
+         round(entry["bytes_scanned"] / 1e6, 4),
+         entry["chunks_read"], entry["chunks_pruned"],
+         entry["variables_pruned"])
+        for name, entry in doc["configs"].items()
+    ]
+    note = (f"Fig. 9-style selective QR scan, {doc['timesteps']} NU-WRF "
+            f"timesteps of shape {tuple(doc['shape'])}; bytes reduction "
+            f"{doc['bytes_reduction']:.1f}x (gate >= "
+            f"{MIN_BYTES_REDUCTION:.0f}x), twin delta "
+            f"{doc['twin_delta']:.2e}s; simulated time, deterministic")
+    record_table("sql", columns, rows, note)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sql.json").write_text(json.dumps({
+        "experiment": "sql",
+        "columns": columns,
+        "rows": [list(row) for row in rows],
+        "note": note,
+        "result": doc,
+    }, indent=2) + "\n")

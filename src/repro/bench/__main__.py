@@ -39,6 +39,12 @@ def _sparklike_rows(**kwargs):
     from repro.bench.sparkbench import sparklike_rows
     return sparklike_rows(**kwargs)
 
+
+def _sql_rows(**kwargs):
+    # lazy: imports the frozen eager evaluator alongside the planner
+    from repro.bench.sqlbench import sql_rows
+    return sql_rows(**kwargs)
+
 EXPERIMENTS = {
     "fig2": (harness.fig2_rows, {},
              {"n_records": 2000, "n_lines": 2000, "dfsio_files": 2,
@@ -58,6 +64,7 @@ EXPERIMENTS = {
                  {"n_tasks": 1000, "n_jobs": 4, "repeats": 1}),
     "sparklike": (_sparklike_rows, {},
                   {"n_lines": 400, "iterations": 3}),
+    "sql": (_sql_rows, {}, {"shape": (8, 32, 32), "timesteps": 1}),
     "abl-align": (harness.abl_chunk_alignment_rows, {},
                   {"n_timesteps": 3}),
     "abl-gran": (harness.abl_read_granularity_rows, {},

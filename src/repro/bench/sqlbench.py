@@ -1,0 +1,199 @@
+"""SQL pushdown vs the frozen eager evaluator on NU-WRF scinc data —
+the BENCH_sql trajectory (ISSUE 9).
+
+The workload is the paper's Fig. 9 shape: a selective rain query over
+synthetic NU-WRF timesteps on the PFS (``WHERE QR > t`` with ``t`` just
+under the global maximum) plus a per-level aggregate. Three engine
+configurations run the same queries over identical data:
+
+- ``legacy-eager``: the frozen :func:`repro.rlang._legacy.legacy_sqldf`
+  over fully materialized tables — every chunk of every variable moves.
+- ``planner``: the logical planner with pushdown off — the timing twin
+  of the eager path (same reads, same order; CI pins the delta at 1e-9).
+- ``planner+pushdown``: projection pushdown drops the 22 unreferenced
+  variables and zone maps prune chunks the predicate cannot match, so
+  only a sliver of the file's bytes leave the PFS.
+
+All timings are *simulated* seconds, so the comparison is deterministic
+— CI gates identical result frames, the 1e-9 twin delta, and a >= 10x
+bytes-scanned reduction for the pushdown config. Results land in
+``bench_results/BENCH_sql.json``.
+"""
+
+from __future__ import annotations
+
+#: the ISSUE-9 trajectory gates
+MIN_BYTES_REDUCTION = 10.0
+TWIN_TOLERANCE = 1e-9
+
+
+def _nuwrf_config(shape=(8, 48, 48), timesteps: int = 2):
+    from repro.workloads.nuwrf import NUWRFConfig
+
+    return NUWRFConfig(shape=shape, timesteps=timesteps,
+                       chunk_stats=True)
+
+
+def selective_threshold(config) -> float:
+    """A QR threshold between the largest and second-largest per-chunk
+    maxima across all timesteps: exactly one z-level chunk in one file
+    can match, the zone-map pruner's best case (Fig. 9's "only the rainy
+    region")."""
+    from repro.workloads.nuwrf import synthesize_timestep
+
+    maxima = []
+    for step in range(config.timesteps):
+        ds = synthesize_timestep(config, step)
+        qr = next(var for path, var in ds.all_variables()
+                  if path.rsplit("/", 1)[-1] == "QR").data
+        for z in range(qr.shape[0]):
+            maxima.append(float(qr[z].max()))
+    top = sorted(maxima, reverse=True)
+    return (top[0] + top[1]) / 2.0
+
+
+def build_sql_world(config=None, n_nodes: int = 2):
+    """A PFS-backed world with zone-mapped NU-WRF files stored.
+
+    Returns ``(env, nodes, scidp, manifest)``; scinc tables are at
+    ``pfs://nuwrf/<file>``. Shared by the bench and the session tests.
+    """
+    from repro import costs
+    from repro.cluster import Cluster
+    from repro.cluster.spec import DiskSpec, LinkSpec, NodeSpec
+    from repro.core import SciDP
+    from repro.hdfs import HDFS
+    from repro.obs.metrics import attach_metrics
+    from repro.pfs import PFS, StripeLayout
+    from repro.sim import Environment
+    from repro.workloads.nuwrf import generate_nuwrf
+
+    costs.set_scale(1.0)
+    config = config or _nuwrf_config()
+    spec = NodeSpec(
+        cpus=8, memory=10**9,
+        disks=(DiskSpec(bandwidth=10**8, seek_latency=0.0005),),
+        nic=LinkSpec(bandwidth=10**9, latency=0.0001))
+    env = Environment()
+    attach_metrics(env)
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", spec, role="compute")
+             for i in range(n_nodes)]
+    mds = cluster.add_node("mds", spec, role="storage")
+    oss = cluster.add_node("oss", NodeSpec(
+        cpus=8, memory=10**9,
+        disks=tuple(DiskSpec(bandwidth=10**8, seek_latency=0.0005)
+                    for _ in range(4)),
+        nic=LinkSpec(bandwidth=10**9, latency=0.0001)), role="storage")
+    pfs = PFS(env, cluster.network, mds, [oss],
+              default_layout=StripeLayout(stripe_size=1 << 20,
+                                          stripe_count=4))
+    hdfs = HDFS(env, cluster.network, block_size=1 << 22, replication=1)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    scidp = SciDP(env, nodes, pfs, hdfs, cluster.network)
+    manifest = generate_nuwrf(pfs, config)
+    return env, nodes, scidp, manifest
+
+
+def _queries(manifest, threshold: float) -> list[str]:
+    first = manifest["files"][0].rsplit("/", 1)[-1]
+    return [
+        # the Fig. 9 selective scan: where is it raining hard?
+        "SELECT altitude, longitude, latitude, QR FROM t0 "
+        f"WHERE QR > {threshold:.9f}",
+        # per-level rain profile: aggregate over two referenced columns
+        "SELECT altitude, AVG(QR) AS qr_mean FROM t0 "
+        "GROUP BY altitude ORDER BY altitude",
+    ], first
+
+
+def _run_config(engine: str, pushdown: bool, config, threshold: float):
+    from repro.rlang.session import SQLSession
+
+    env, nodes, scidp, manifest = build_sql_world(config)
+    session = SQLSession(env, scidp.storage, nodes[0],
+                         pushdown=pushdown, engine=engine)
+    for i, path in enumerate(manifest["files"]):
+        session.register_scinc(f"t{i}", f"pfs://{path.lstrip('/')}")
+    queries, _first = _queries(manifest, threshold)
+    t0 = env.now
+    results = []
+    scans = []
+    for sql in queries:
+        proc = env.process(session.query(sql))
+        env.run()
+        results.append(proc.value)
+        scans.extend(session.last_scan_info)
+    seconds = env.now - t0
+    bytes_scanned = sum(info.bytes_read for info in scans)
+    bytes_skipped = sum(info.bytes_skipped for info in scans)
+    return {
+        "sim_seconds": seconds,
+        "bytes_scanned": bytes_scanned,
+        "bytes_skipped": bytes_skipped,
+        "chunks_read": sum(info.chunks_read for info in scans),
+        "chunks_pruned": sum(info.chunks_pruned for info in scans),
+        "variables_pruned": sum(info.variables_pruned for info in scans),
+    }, results
+
+
+def sql_pushdown_result(shape=(8, 48, 48), timesteps: int = 2) -> dict:
+    """Run every engine configuration; returns the full comparison doc."""
+    config = _nuwrf_config(shape=shape, timesteps=timesteps)
+    threshold = selective_threshold(config)
+    configs = [
+        ("legacy-eager", "legacy", False),
+        ("planner", "planner", False),
+        ("planner+pushdown", "planner", True),
+    ]
+    doc: dict = {"experiment": "sql_pushdown",
+                 "shape": list(shape), "timesteps": timesteps,
+                 "threshold": threshold, "configs": {}}
+    reference = None
+    for name, engine, pushdown in configs:
+        entry, results = _run_config(engine, pushdown, config, threshold)
+        if reference is None:
+            reference = results
+        entry["identical_results"] = all(
+            a == b for a, b in zip(results, reference)) \
+            and len(results) == len(reference)
+        doc["configs"][name] = entry
+    eager = doc["configs"]["legacy-eager"]
+    planner = doc["configs"]["planner"]
+    pushed = doc["configs"]["planner+pushdown"]
+    doc["twin_delta"] = abs(
+        eager["sim_seconds"] - planner["sim_seconds"])
+    doc["bytes_reduction"] = (
+        eager["bytes_scanned"] / pushed["bytes_scanned"]
+        if pushed["bytes_scanned"] else float("inf"))
+    doc["speedup"] = (eager["sim_seconds"] / pushed["sim_seconds"]
+                      if pushed["sim_seconds"] else float("inf"))
+    doc["identical_results"] = all(
+        entry["identical_results"] for entry in doc["configs"].values())
+    return doc
+
+
+def sql_rows(shape=(8, 48, 48), timesteps: int = 2):
+    """Table shape for ``python -m repro.bench sql``."""
+    doc = sql_pushdown_result(shape=shape, timesteps=timesteps)
+    columns = ["engine config", "sim seconds", "MB scanned",
+               "chunks read", "chunks pruned", "speedup vs eager"]
+    eager = doc["configs"]["legacy-eager"]["sim_seconds"]
+    rows = [
+        (name, round(entry["sim_seconds"], 5),
+         round(entry["bytes_scanned"] / 1e6, 3),
+         entry["chunks_read"], entry["chunks_pruned"],
+         round(eager / entry["sim_seconds"], 2))
+        for name, entry in doc["configs"].items()
+    ]
+    note = (f"Fig. 9-style selective QR scan over {timesteps} NU-WRF "
+            f"timesteps; bytes reduction {doc['bytes_reduction']:.1f}x, "
+            f"legacy-vs-planner twin delta {doc['twin_delta']:.2e}s, "
+            f"identical results: {doc['identical_results']}; "
+            f"simulated time, deterministic")
+    return columns, rows, note
+
+
+__all__ = ["MIN_BYTES_REDUCTION", "TWIN_TOLERANCE", "build_sql_world",
+           "selective_threshold", "sql_pushdown_result", "sql_rows"]

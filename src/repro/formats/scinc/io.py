@@ -17,9 +17,17 @@ MAGIC = b"SCNC\x01\x00"
 
 
 def write(fileobj: BinaryIO, dataset: Dataset,
-          compression_level: int = 4) -> int:
-    """Write ``dataset`` as an SCNC file; returns bytes written."""
-    return write_container(fileobj, dataset, MAGIC, compression_level)
+          compression_level: int = 4, stats: bool = False) -> int:
+    """Write ``dataset`` as an SCNC file; returns bytes written.
+
+    ``stats=True`` records per-chunk ``[min, max, count]`` zone maps for
+    numeric variables in the header (see
+    :func:`repro.formats.container.write_container`) — the chunk index
+    the SQL planner prunes against. Off by default so default-written
+    files keep the byte layout the golden timings pin.
+    """
+    return write_container(fileobj, dataset, MAGIC, compression_level,
+                           stats=stats)
 
 
 class Reader(ContainerReader):

@@ -28,6 +28,7 @@ and the shim deprecation policy).
 from repro.io.plan import (
     Extent,
     ReadPlan,
+    ScanPlan,
     WritePlan,
     block_raw_bytes,
     element_bytes,
@@ -53,6 +54,7 @@ __all__ = [
     "READ_BLOCK_KWARGS",
     "ReadPlan",
     "ReadPlanner",
+    "ScanPlan",
     "SchemeAlreadyRegisteredError",
     "StorageClient",
     "StorageFacade",

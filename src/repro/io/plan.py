@@ -24,6 +24,7 @@ from typing import Any, Optional, Sequence
 __all__ = [
     "Extent",
     "ReadPlan",
+    "ScanPlan",
     "WritePlan",
     "block_raw_bytes",
     "element_bytes",
@@ -67,6 +68,41 @@ class ReadPlan:
     @property
     def total_bytes(self) -> int:
         return sum(n for _pos, n in self.pieces)
+
+    def __iter__(self):
+        return iter(self.pieces)
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """A pruned table/variable scan: what will be read, and what the
+    planner proved it may skip.
+
+    ``pieces`` are the surviving ``(offset, length)`` ranges (the
+    :class:`ReadPlan` shape); ``skipped`` carries the ranges projection
+    or zone-map pruning excluded, so byte-reduction accounting
+    (``ReadPlanner.account_skipped``) reports exactly what the eager
+    path would have moved.
+    """
+
+    pieces: tuple[tuple[int, int], ...]
+    skipped: tuple[tuple[int, int], ...] = ()
+    granularity: Optional[int] = None
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.pieces)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(n for _pos, n in self.pieces)
+
+    @property
+    def skipped_bytes(self) -> int:
+        return sum(n for _pos, n in self.skipped)
 
     def __iter__(self):
         return iter(self.pieces)

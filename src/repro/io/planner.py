@@ -148,6 +148,20 @@ class ReadPlanner:
         if cache_hits:
             registry.counter(f"{prefix}.cache_hits").inc(cache_hits)
 
+    def account_skipped(self, nbytes: int, chunks: int = 1) -> None:
+        """Roll bytes a scan *proved it need not read* (projection or
+        zone-map pruning) into ``io.read.<scheme>.skipped_bytes`` /
+        ``.skipped_chunks`` — the denominators behind the planner's
+        bytes-scanned reduction claims."""
+        registry = metrics_of(self.env)
+        if registry is None:
+            return
+        prefix = f"io.read.{self.scheme or 'unknown'}"
+        if nbytes:
+            registry.counter(f"{prefix}.skipped_bytes").inc(nbytes)
+        if chunks:
+            registry.counter(f"{prefix}.skipped_chunks").inc(chunks)
+
     # -- piece fetch with cache join-in-flight ----------------------------
     def fetch_piece(self, path: str, pos: int, nbytes: int,
                     fetch: Callable, prefetching: bool = False):

@@ -6,7 +6,11 @@ plotting (`plot3D::image2D` on a `Cairo` PNG device) — §IV-C/D/E. This
 package provides the same workflow in Python:
 
 - :class:`~repro.rlang.frame.DataFrame` — column-oriented data.frame.
-- :func:`~repro.rlang.sqldf.sqldf` — SQL queries over data frames.
+- :func:`~repro.rlang.sqldf.sqldf` — SQL queries over data frames,
+  lowered through the logical planner (:mod:`~repro.rlang.plan`,
+  :mod:`~repro.rlang.optimizer`, :mod:`~repro.rlang.exec`).
+- :class:`~repro.rlang.session.SQLSession` — SQL over scinc files on
+  the PFS with projection/zone-map pushdown before bytes move.
 - :func:`~repro.rlang.plot.image2d` — colormapped 2-D rasterisation.
 - :mod:`~repro.rlang.png` — pure-Python PNG encoder (the Cairo stand-in).
 - :mod:`~repro.rlang.rmr` — `rmr2`-style MapReduce binding.
@@ -14,15 +18,19 @@ package provides the same workflow in Python:
 """
 
 from repro.rlang.frame import DataFrame, data_frame
-from repro.rlang.sqldf import SQLError, sqldf
+from repro.rlang.sqldf import SQLError, parse, sqldf
+from repro.rlang.session import ScincTable, SQLSession
 from repro.rlang.plot import image2d
 from repro.rlang.png import encode_png
 
 __all__ = [
     "DataFrame",
     "SQLError",
+    "SQLSession",
+    "ScincTable",
     "data_frame",
     "encode_png",
     "image2d",
+    "parse",
     "sqldf",
 ]

@@ -1,4 +1,11 @@
-"""SQL queries over data frames — the `sqldf` stand-in (§IV-E.3).
+"""Frozen eager `sqldf` evaluator — the ISSUE-9 twin world.
+
+This is the pre-planner evaluator, kept verbatim so the randomized
+pushdown-equivalence suite and the BENCH_sql gate can pin the live
+planner (:mod:`repro.rlang.plan` / ``optimizer`` / ``exec``) against the
+exact historical semantics at 1e-9. Only :mod:`repro.rlang` itself and
+:mod:`repro.bench` may import it (layering lint, "frozen sqldf
+evaluator"); everyone else uses :func:`repro.rlang.sqldf`.
 
 "It converts the SQL queries into operations upon R data frames since R
 data frames are similar as tables." Supported surface:
@@ -28,7 +35,7 @@ import numpy as np
 
 from repro.rlang.frame import DataFrame
 
-__all__ = ["SQLError", "parse", "sqldf"]
+__all__ = ["legacy_sqldf"]
 
 
 class SQLError(Exception):
@@ -637,23 +644,70 @@ def _project_grouped(query: Query, frame: DataFrame) -> DataFrame:
     return out
 
 
-def parse(sql: str) -> Query:
-    """Parse ``sql`` into a :class:`Query` AST."""
-    return _Parser(_tokenize(sql)).parse()
-
-
-def sqldf(sql: str, frames: dict[str, DataFrame],
-          optimize: bool = True) -> DataFrame:
+def legacy_sqldf(sql: str, frames: dict[str, DataFrame]) -> DataFrame:
     """Run ``sql`` against the named data frames; returns a DataFrame.
 
-    Since ISSUE 9 this routes through the logical planner
-    (:mod:`repro.rlang.plan` / :mod:`repro.rlang.exec`):
-    lower the AST, run projection/predicate pushdown when ``optimize``
-    is on, and execute with the same vectorized kernels as before. The
-    pre-planner eager evaluator is frozen verbatim as
-    :func:`repro.rlang._legacy.legacy_sqldf` and the randomized
-    equivalence suite pins all three paths to identical frames.
+    The frozen eager pipeline: join left-deep, filter, then either the
+    aggregate branch (project, order by output column) or the plain
+    branch (order on the source frame, project, distinct), then LIMIT.
     """
-    from repro.rlang.exec import run_query  # lazy: avoids import cycle
+    query = _Parser(_tokenize(sql)).parse()
+    try:
+        frame = frames[query.table]
+    except KeyError:
+        raise SQLError(
+            f"unknown table {query.table!r}; have {sorted(frames)}"
+        ) from None
+    for join in query.joins:
+        try:
+            right = frames[join.table]
+        except KeyError:
+            raise SQLError(
+                f"unknown table {join.table!r}; have {sorted(frames)}"
+            ) from None
+        frame = _hash_join(frame, right, join.using)
 
-    return run_query(parse(sql), frames, optimize=optimize)
+    if query.where is not None:
+        mask = _eval(query.where, frame, frame.nrow)
+        frame = frame.subset(np.asarray(mask, dtype=bool))
+
+    aggregating = query.group_by or any(
+        _has_aggregate(item.expr) for item in query.items)
+    if aggregating:
+        if query.distinct:
+            raise SQLError(
+                "SELECT DISTINCT cannot be combined with aggregation")
+        # ORDER BY for aggregate queries references output columns, so
+        # project first, then order.
+        result = _project_grouped(query, frame)
+        for expr, desc in reversed(query.order_by):
+            if not isinstance(expr, Column):
+                raise SQLError(
+                    "ORDER BY on aggregate queries must name an output "
+                    "column")
+            result = result.order_by(expr.name, decreasing=desc)
+    else:
+        # Order on the source frame (expressions allowed), then project.
+        # A bare ORDER BY name that is a projection alias rather than a
+        # source column resolves to the aliased expression.
+        aliases = {
+            _item_name(item, i): item.expr
+            for i, item in enumerate(query.items)
+        }
+        ordered = frame
+        for expr, desc in reversed(query.order_by):
+            if isinstance(expr, Column) and expr.name not in frame \
+                    and expr.name in aliases:
+                expr = aliases[expr.name]
+            keys = _eval(expr, ordered, ordered.nrow)
+            order = np.argsort(keys, kind="stable")
+            if desc:
+                order = order[::-1]
+            ordered = ordered.subset(order)
+        result = _project_plain(query, ordered)
+        if query.distinct:
+            result = _distinct_rows(result)
+
+    if query.limit is not None:
+        result = result.head(query.limit)
+    return result

@@ -1,0 +1,322 @@
+"""Physical execution of logical plans over DataFrames (ISSUE 9).
+
+The executor reuses the vectorized expression kernels of
+:mod:`repro.rlang.sqldf` (``_eval`` / ``_eval_aggregate`` / join /
+distinct helpers) so the planner path is operation-for-operation the
+frozen eager evaluator — the randomized equivalence suite pins the two
+worlds to identical frames. What the planner adds on top:
+
+- scans are materialized through a ``resolve`` callback, so the same
+  plan runs over in-memory frames (:func:`run_query`) or over
+  SciDP-backed tables whose scan applies projection/zone-map pruning
+  *before* bytes move (:mod:`repro.rlang.session`);
+- GROUP BY and ORDER BY names resolve through SELECT aliases;
+- unknown-column errors are :class:`SQLError` and list the available
+  columns instead of surfacing a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.rlang import optimizer as _opt
+from repro.rlang.frame import DataFrame
+from repro.rlang.plan import (
+    Aggregate_,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    SortOutput,
+    SortSource,
+    lower,
+    plan_scans,
+    query_columns,
+    referenced_columns,
+)
+from repro.rlang.sqldf import (
+    Column,
+    Expr,
+    Query,
+    SQLError,
+    _distinct_rows,
+    _eval,
+    _eval_aggregate,
+    _group_frames,
+    _has_aggregate,
+    _hash_join,
+    _item_name,
+)
+
+__all__ = ["execute", "frame_scan", "plan_query", "run_query"]
+
+
+def _eval_cols(expr: Expr, frame: DataFrame, n: int) -> np.ndarray:
+    """``_eval`` with unknown columns surfaced as SQLError + listing."""
+    try:
+        return _eval(expr, frame, n)
+    except KeyError as exc:
+        raise SQLError(f"unknown column: {exc.args[0]}") from None
+
+
+def _eval_aggregate_cols(expr: Expr, frame: DataFrame, n: int) -> Any:
+    try:
+        return _eval_aggregate(expr, frame, n)
+    except KeyError as exc:
+        raise SQLError(f"unknown column: {exc.args[0]}") from None
+
+
+def frame_scan(frame: DataFrame, columns: Optional[list[str]],
+               predicate: Optional[Expr]) -> DataFrame:
+    """Materialize one in-memory scan: pushed predicate, then pushed
+    projection. Row order is the frame's own, so later plan stages see
+    exactly the rows the unoptimized plan would, minus excluded ones."""
+    out = frame
+    if predicate is not None:
+        mask = _eval_cols(predicate, out, out.nrow)
+        out = out.subset(np.asarray(mask, dtype=bool))
+    if columns is not None:
+        out = out.select(columns)
+    return out
+
+
+def _hash_join_build_left(left: DataFrame, right: DataFrame,
+                          using: list[str]) -> DataFrame:
+    """Broadcast-style join building the *left* side's hash index.
+
+    Emits exactly the pair order of :func:`~repro.rlang.sqldf._hash_join`
+    (left-major, right insertion order within a key), so the cost-model's
+    build-side choice can never change results.
+    """
+    for key in using:
+        if key not in left or key not in right:
+            raise SQLError(f"USING column {key!r} missing from a side")
+    left_rest = [c for c in left.names if c not in using]
+    right_rest = [c for c in right.names if c not in using]
+    clash = set(left_rest) & set(right_rest)
+    if clash:
+        raise SQLError(
+            f"ambiguous non-key columns in join: {sorted(clash)}")
+
+    index: dict[tuple, list[int]] = {}
+    left_keys = [left[k] for k in using]
+    for i in range(left.nrow):
+        index.setdefault(
+            tuple(col[i] for col in left_keys), []).append(i)
+
+    matches: dict[int, list[int]] = {}
+    right_keys = [right[k] for k in using]
+    for j in range(right.nrow):
+        for i in index.get(tuple(col[j] for col in right_keys), ()):
+            matches.setdefault(i, []).append(j)
+
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    for i in range(left.nrow):
+        for j in matches.get(i, ()):
+            left_rows.append(i)
+            right_rows.append(j)
+
+    li = np.array(left_rows, dtype=np.int64)
+    ri = np.array(right_rows, dtype=np.int64)
+    out = DataFrame()
+    for key in using:
+        out[key] = left[key][li] if len(li) else left[key][:0]
+    for name in left_rest:
+        out[name] = left[name][li] if len(li) else left[name][:0]
+    for name in right_rest:
+        out[name] = right[name][ri] if len(ri) else right[name][:0]
+    return out
+
+
+def _with_column(frame: DataFrame, name: str,
+                 values: np.ndarray) -> DataFrame:
+    out = DataFrame()
+    for col in frame.names:
+        out[col] = frame[col]
+    out[name] = values
+    return out
+
+
+def _aggregate(node: Aggregate_, frame: DataFrame) -> DataFrame:
+    if node.distinct:
+        raise SQLError(
+            "SELECT DISTINCT cannot be combined with aggregation")
+    if node.star:
+        raise SQLError("SELECT * cannot be combined with aggregation")
+    aliases = {
+        _item_name(item, i): item.expr
+        for i, item in enumerate(node.items)
+    }
+    if node.group_by:
+        keys: list[str] = []
+        work = frame
+        for i, name in enumerate(node.group_by):
+            if name in frame:
+                keys.append(name)
+                continue
+            # the ISSUE-9 usability fix: GROUP BY may name a SELECT
+            # alias of a non-aggregate expression
+            expr = aliases.get(name)
+            if expr is None or _has_aggregate(expr):
+                raise SQLError(
+                    f"unknown column {name!r} in GROUP BY; "
+                    f"have {frame.names}")
+            hidden = f"__group_{i}__"
+            work = _with_column(
+                work, hidden, _eval_cols(expr, frame, frame.nrow))
+            keys.append(hidden)
+        groups = _group_frames(work, keys)
+    else:
+        groups = [((), frame)]
+    if node.having is not None:
+        groups = [
+            (key, grp) for key, grp in groups
+            if bool(_eval_aggregate_cols(node.having, grp, grp.nrow))
+        ]
+    rows: list[list[Any]] = []
+    names = [_item_name(item, i) for i, item in enumerate(node.items)]
+    for _key, grp in groups:
+        rows.append([
+            _eval_aggregate_cols(item.expr, grp, grp.nrow)
+            for item in node.items
+        ])
+    out = DataFrame()
+    for j, name in enumerate(names):
+        out[name] = np.array([row[j] for row in rows]) if rows \
+            else np.array([])
+    return out
+
+
+def execute(root: PlanNode,
+            resolve: Callable[[Scan], DataFrame]) -> DataFrame:
+    """Run a logical plan; ``resolve`` materializes each Scan node."""
+    def run(node: PlanNode) -> DataFrame:
+        if isinstance(node, Scan):
+            return resolve(node)
+        if isinstance(node, Join):
+            left = run(node.left)
+            right = resolve(node.right)
+            if node.build_side == "left" and node.strategy != "hash":
+                return _hash_join_build_left(left, right, node.using)
+            return _hash_join(left, right, node.using)
+        if isinstance(node, Filter):
+            frame = run(node.child)
+            mask = _eval_cols(node.predicate, frame, frame.nrow)
+            return frame.subset(np.asarray(mask, dtype=bool))
+        if isinstance(node, Aggregate_):
+            return _aggregate(node, run(node.child))
+        if isinstance(node, SortOutput):
+            result = run(node.child)
+            for expr, desc in reversed(node.order_by):
+                if not isinstance(expr, Column):
+                    raise SQLError(
+                        "ORDER BY on aggregate queries must name an "
+                        "output column")
+                try:
+                    result = result.order_by(expr.name, decreasing=desc)
+                except KeyError as exc:
+                    raise SQLError(
+                        f"unknown column: {exc.args[0]}") from None
+            return result
+        if isinstance(node, SortSource):
+            ordered = run(node.child)
+            aliases = {
+                _item_name(item, i): item.expr
+                for i, item in enumerate(node.items)
+            }
+            for expr, desc in reversed(node.order_by):
+                if isinstance(expr, Column) and expr.name not in ordered \
+                        and expr.name in aliases:
+                    expr = aliases[expr.name]
+                keys = _eval_cols(expr, ordered, ordered.nrow)
+                order = np.argsort(keys, kind="stable")
+                if desc:
+                    order = order[::-1]
+                ordered = ordered.subset(order)
+            return ordered
+        if isinstance(node, Project):
+            frame = run(node.child)
+            if node.star:
+                return frame
+            out = DataFrame()
+            for i, item in enumerate(node.items):
+                out[_item_name(item, i)] = _eval_cols(
+                    item.expr, frame, frame.nrow)
+            return out
+        if isinstance(node, Distinct):
+            return _distinct_rows(run(node.child))
+        if isinstance(node, Limit):
+            return run(node.child).head(node.n)
+        raise SQLError(f"cannot execute {node!r}")  # pragma: no cover
+
+    return run(root)
+
+
+def _frame_bytes(frame: DataFrame, columns: Optional[list[str]]) -> float:
+    names = frame.names if columns is None else columns
+    return float(sum(frame[name].nbytes for name in names
+                     if name in frame))
+
+
+def plan_query(query: Query, schemas: dict[str, list[str]],
+               estimate: Optional[Callable[[Scan], float]] = None,
+               optimize: bool = True,
+               broadcast_bytes: float = _opt.BROADCAST_BYTES) -> PlanNode:
+    """Lower + validate + (optionally) optimize a parsed query.
+
+    ``schemas`` maps every table the query references to its column
+    list. Column references that resolve against no table and no SELECT
+    alias raise :class:`SQLError` here, *before* any pushdown prunes the
+    scans — so the error can list the real available columns.
+    """
+    node = lower(query)
+    needed, needs_all = query_columns(query)
+    if not needs_all:
+        available = sorted({c for cols in schemas.values() for c in cols})
+        # a SELECT-item alias satisfies a reference only when the
+        # aliased expression itself resolves (a bare `SELECT nope` is
+        # its own alias and must still error)
+        alias_names = {
+            _item_name(item, i)
+            for i, item in enumerate(query.items)
+            if referenced_columns(item.expr) <= set(available)
+        }
+        for name in sorted(needed - alias_names - set(available)):
+            raise SQLError(
+                f"unknown column {name!r}; have {available}")
+    if optimize:
+        node = _opt.optimize(node, query, dict(schemas),
+                             estimate=estimate,
+                             broadcast_bytes=broadcast_bytes)
+    return node
+
+
+def run_query(query: Query, frames: dict[str, DataFrame],
+              optimize: bool = True) -> DataFrame:
+    """Plan + execute a parsed query over in-memory frames.
+
+    ``optimize=False`` executes the plain lowered plan — the planner
+    twin of the frozen eager evaluator, with no pushdown rewrites.
+    """
+    tables = {scan.table for scan in plan_scans(lower(query))}
+    for name in tables:
+        if name not in frames:
+            raise SQLError(
+                f"unknown table {name!r}; have {sorted(frames)}")
+    schemas = {name: list(frames[name].names) for name in tables}
+
+    def estimate(scan: Scan) -> float:
+        return _frame_bytes(frames[scan.table], scan.columns)
+
+    node = plan_query(query, schemas, estimate=estimate,
+                      optimize=optimize)
+    return execute(
+        node,
+        lambda scan: frame_scan(frames[scan.table], scan.columns,
+                                scan.predicate))

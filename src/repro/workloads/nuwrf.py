@@ -52,6 +52,10 @@ class NUWRFConfig:
     compression_level: int = 4
     #: chunking: one z-level per chunk, like the NCCS configuration
     chunk_levels: int = 1
+    #: record per-chunk min/max/count zone maps in the headers (grows the
+    #: header, shifting data_start — keep off for the golden-pinned
+    #: figure worlds; the SQL pushdown bench turns it on)
+    chunk_stats: bool = False
 
     @property
     def raw_bytes_per_variable(self) -> int:
@@ -143,7 +147,8 @@ def generate_nuwrf(pfs, config: NUWRFConfig,
     for step in range(config.timesteps):
         ds = synthesize_timestep(config, step)
         buf = io.BytesIO()
-        scinc.write(buf, ds, compression_level=config.compression_level)
+        scinc.write(buf, ds, compression_level=config.compression_level,
+                    stats=config.chunk_stats)
         payload = buf.getvalue()
         path = f"{directory}/{config.file_name(step)}"
         pfs.store_file(path, payload)

@@ -1,0 +1,136 @@
+"""Chunk-level mapping-time pruning and the shared header cache.
+
+The SQL planner's zone-map pushdown drives the virtual-block layer
+through two hooks added in the ISSUE-9 PR:
+
+- ``DataMapper.map_files(chunk_filter=..., path_suffix=...)`` — chunks
+  the predicate rejects get no dummy block (their bytes never leave the
+  PFS), and filtered mappings live under suffixed virtual paths so they
+  never alias the unfiltered mapping in the Virtual Mapping Table;
+- ``FileExplorer.explore(header_cache=...)`` — repeated explorations
+  reuse parsed headers and skip the probe reads/charges.
+
+``SciDP.map_input`` wires both through (and requires a ``filter_key``
+whenever a ``chunk_filter`` is passed).
+"""
+
+import pytest
+
+from repro.core import DataMapper, FileExplorer
+
+from tests.core.conftest import make_dataset, run, scinc_bytes
+
+
+def seed_scinc(pfs, path="/data/plot_18_00_00.nc"):
+    ds = make_dataset()  # 2 vars, shape (4, 8, 8), 4 z-chunks each
+    pfs.store_file(path, scinc_bytes(ds))
+    return ds
+
+
+def explore(world_tuple, path="/data", **kwargs):
+    env, _cluster, nodes, _pfs, _hdfs, scidp = world_tuple
+    explorer = FileExplorer(scidp.pfs_client(nodes[0]))
+    return run(env, explorer.explore(path, **kwargs))
+
+
+# --------------------------------------------------------- chunk_filter
+
+def test_chunk_filter_drops_blocks(world):
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    seed_scinc(pfs)
+    explored = explore(world)
+    mapper = DataMapper(hdfs.namenode)
+    keep_first = lambda var, rec: rec.index[0] == 0
+    mapped = run(env, mapper.map_files(
+        explored, chunk_filter=keep_first, path_suffix="@z0"))
+    for record in mapped:
+        for vpath in record.virtual_paths:
+            blocks = hdfs.namenode.get_block_locations(vpath)
+            assert len(blocks) == 1  # 3 of 4 z-chunks pruned
+
+
+def test_chunk_filter_full_prune_skips_variable(world):
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    seed_scinc(pfs)
+    explored = explore(world)
+    mapper = DataMapper(hdfs.namenode)
+    only_b = lambda var, rec: var.name == "var_B"
+    mapped = run(env, mapper.map_files(
+        explored, chunk_filter=only_b, path_suffix="@only-b"))
+    paths = [p for record in mapped for p in record.virtual_paths]
+    assert paths and all("var_B" in p for p in paths)
+
+
+def test_filtered_mapping_does_not_alias_unfiltered(world):
+    env, _cluster, nodes, pfs, hdfs, scidp = world
+    seed_scinc(pfs)
+    explored = explore(world)
+    mapper = DataMapper(hdfs.namenode)
+    full = run(env, mapper.map_files(explored))
+    keep_first = lambda var, rec: rec.index[0] == 0
+    filtered = run(env, mapper.map_files(
+        explored, chunk_filter=keep_first, path_suffix="@z0"))
+    full_paths = {p for r in full for p in r.virtual_paths}
+    filt_paths = {p for r in filtered for p in r.virtual_paths}
+    assert full_paths.isdisjoint(filt_paths)
+    assert all(p.endswith("@z0") for p in filt_paths)
+    # the unfiltered mapping still serves every chunk
+    for vpath in full_paths:
+        assert len(hdfs.namenode.get_block_locations(vpath)) == 4
+
+
+def test_map_input_requires_filter_key(world):
+    env, _cluster, _nodes, pfs, _hdfs, scidp = world
+    seed_scinc(pfs)
+    proc = env.process(scidp.map_input(
+        "/data", chunk_filter=lambda var, rec: True))
+    with pytest.raises(ValueError):
+        env.run()
+    assert proc.triggered
+
+
+def test_map_input_filter_key_partitions_the_cache(world):
+    env, _cluster, _nodes, pfs, _hdfs, scidp = world
+    seed_scinc(pfs)
+    full = run(env, scidp.map_input("/data"))
+    pruned = run(env, scidp.map_input(
+        "/data", chunk_filter=lambda var, rec: rec.index[0] == 0,
+        filter_key="z0"))
+    assert len(full) == len(pruned) == 2  # two variables either way
+    assert all(vp.endswith("@z0") for vp, _blocks in pruned)
+    assert {vp for vp, _ in full}.isdisjoint(vp for vp, _ in pruned)
+    assert all(len(blocks) == 4 for _vp, blocks in full)
+    assert all(len(blocks) == 1 for _vp, blocks in pruned)
+    # cached: same key returns the same mapping object
+    again = run(env, scidp.map_input(
+        "/data", chunk_filter=lambda var, rec: rec.index[0] == 0,
+        filter_key="z0"))
+    assert again is pruned
+
+
+# --------------------------------------------------------- header cache
+
+def test_header_cache_skips_probe_charges(world):
+    env, _cluster, _nodes, pfs, _hdfs, _scidp = world
+    seed_scinc(pfs)
+    cache = {}
+    t0 = env.now
+    first = explore(world, header_cache=cache)
+    cold = env.now - t0
+    assert "/data/plot_18_00_00.nc" in cache
+    t1 = env.now
+    second = explore(world, header_cache=cache)
+    warm = env.now - t1
+    # a hit reuses the parsed entry and skips the probe reads; only the
+    # directory-listing RPC is still charged
+    assert second[0] is first[0]
+    assert warm < cold / 2
+
+
+def test_header_cache_off_by_default_recharges(world):
+    env, _cluster, _nodes, pfs, _hdfs, _scidp = world
+    seed_scinc(pfs)
+    explore(world)
+    t0 = env.now
+    explore(world)
+    assert env.now > t0  # historical behavior: every exploration pays

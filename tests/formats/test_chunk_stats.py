@@ -1,0 +1,147 @@
+"""Per-chunk zone-map statistics in the scinc/sdf5 container header.
+
+The SQL planner prunes chunks against range predicates using the
+``[min, max, count]`` zone maps the writer records at ``stats=True``.
+These tests pin the stats contract: edge cases (all-NaN chunks,
+single-element chunks, non-numeric variables), the opt-in byte-layout
+guarantee (default-written files are byte-identical with or without the
+stats code path), and backward-compatible parsing of stats-less chunk
+entries.
+"""
+
+import io
+
+import numpy as np
+
+from repro.formats import Dataset, scinc
+from repro.formats.container import (
+    ChunkRecord,
+    chunk_stats,
+    read_header,
+)
+
+
+def make_file(data, chunk_shape=None, stats=False, name="var"):
+    ds = Dataset(attrs={"title": "stats"})
+    ds.create_variable(name, tuple(f"d{i}" for i in range(data.ndim)),
+                       data, chunk_shape=chunk_shape)
+    buf = io.BytesIO()
+    scinc.write(buf, ds, stats=stats)
+    return buf
+
+
+def stats_of(buf, path="/var"):
+    return [rec.stats for rec in
+            read_header(io.BytesIO(buf.getvalue())).variable(path).chunks]
+
+
+# ---------------------------------------------------------------- kernel
+
+def test_chunk_stats_basic_float():
+    assert chunk_stats(np.array([3.0, 1.0, 2.0])) == (1.0, 3.0, 3)
+
+
+def test_chunk_stats_ignores_nan():
+    got = chunk_stats(np.array([np.nan, 5.0, np.nan, -2.0]))
+    assert got == (-2.0, 5.0, 2)
+
+
+def test_chunk_stats_all_nan_chunk():
+    assert chunk_stats(np.full(4, np.nan)) == (None, None, 0)
+
+
+def test_chunk_stats_single_element():
+    assert chunk_stats(np.array([7.5])) == (7.5, 7.5, 1)
+    assert chunk_stats(np.array([np.nan])) == (None, None, 0)
+
+
+def test_chunk_stats_integer_and_bool():
+    # no-NaN dtypes take the direct min/max path
+    assert chunk_stats(np.arange(5, dtype=np.int32)) == (0.0, 4.0, 5)
+    assert chunk_stats(np.array([True, False])) == (0.0, 1.0, 2)
+
+
+def test_chunk_stats_non_numeric_returns_none():
+    assert chunk_stats(np.array(["a", "b"])) is None
+    assert chunk_stats(np.array([object(), object()])) is None
+
+
+# ------------------------------------------------------------ round trip
+
+def test_writer_records_stats_per_chunk():
+    data = np.arange(12, dtype=np.float64).reshape(3, 4)
+    buf = make_file(data, chunk_shape=(1, 4), stats=True)
+    assert stats_of(buf) == [
+        (0.0, 3.0, 4), (4.0, 7.0, 4), (8.0, 11.0, 4)]
+
+
+def test_reader_exposes_stats_without_payload_reads():
+    """The zone map lives in the header: the stats survive when every
+    chunk payload byte is zeroed out."""
+    data = np.linspace(-1.0, 1.0, 16, dtype=np.float64)
+    buf = make_file(data, chunk_shape=(8,), stats=True)
+    raw = bytearray(buf.getvalue())
+    header = read_header(io.BytesIO(bytes(raw)))
+    raw[header.data_start:] = bytes(len(raw) - header.data_start)
+    mangled = read_header(io.BytesIO(bytes(raw)))
+    assert [rec.stats for rec in mangled.variable("/var").chunks] == \
+        [rec.stats for rec in header.variable("/var").chunks]
+    assert mangled.variable("/var").has_stats
+
+
+def test_all_nan_chunk_roundtrips_as_count_zero():
+    data = np.array([1.0, 2.0, np.nan, np.nan])
+    buf = make_file(data, chunk_shape=(2,), stats=True)
+    assert stats_of(buf) == [(1.0, 2.0, 2), (None, None, 0)]
+
+
+def test_string_variable_has_no_stats_even_when_requested():
+    data = np.array([["x", "y"], ["z", "w"]])
+    buf = make_file(data, stats=True)
+    var = read_header(io.BytesIO(buf.getvalue())).variable("/var")
+    assert all(rec.stats is None for rec in var.chunks)
+    assert not var.has_stats
+
+
+def test_default_write_is_byte_identical_to_pre_stats_layout():
+    """stats is opt-in: the default write path produces the same bytes
+    it always has, so the golden perf-smoke timings stay pinned."""
+    data = np.arange(64, dtype=np.float32).reshape(8, 8)
+    plain = make_file(data).getvalue()
+    again = make_file(data, stats=False).getvalue()
+    assert plain == again
+    assert b'"chunks"' in plain  # sanity: header JSON present
+    var = read_header(io.BytesIO(plain)).variable("/var")
+    assert all(rec.stats is None for rec in var.chunks)
+    assert not var.has_stats
+    # and the stats variant is strictly a header growth
+    withstats = make_file(data, stats=True).getvalue()
+    assert len(withstats) > len(plain)
+
+
+def test_four_element_chunk_entries_parse_as_stats_none():
+    """Stats-less (legacy-layout) chunk entries keep parsing: the
+    optional fifth element is the only difference."""
+    data = np.arange(6, dtype=np.float64)
+    buf = make_file(data, chunk_shape=(3,), stats=True)
+    raw = buf.getvalue()
+    header = read_header(io.BytesIO(raw))
+    rec = header.variable("/var").chunks[0]
+    assert isinstance(rec, ChunkRecord)
+    assert rec.stats == (0.0, 2.0, 3)
+    # same file written without stats: four-element entries, stats=None
+    legacy = make_file(data, chunk_shape=(3,))
+    lrec = read_header(io.BytesIO(legacy.getvalue())).variable("/var")
+    assert [c.stats for c in lrec.chunks] == [None, None]
+
+
+def test_has_stats_requires_every_chunk():
+    var = read_header(io.BytesIO(
+        make_file(np.arange(4.0), chunk_shape=(2,), stats=True).getvalue()
+    )).variable("/var")
+    assert var.has_stats
+    partial = var.chunks[0], ChunkRecord(
+        var.chunks[1].index, var.chunks[1].offset,
+        var.chunks[1].nbytes, var.chunks[1].raw_nbytes, stats=None)
+    var.chunks = list(partial)
+    assert not var.has_stats

@@ -71,6 +71,23 @@ RULES = (
         "modules": {"repro.sparklike._legacy"},
         "names": {"LegacyContext", "LegacyRDD"},
     },
+    {
+        "label": "rlang storage isolation",
+        # the SQL planner/session reach storage only through the
+        # repro.io plane (registry/clients) — never the backend
+        # packages or repro.core directly, so scan accounting cannot
+        # fork a private read path
+        "applies": ("repro.rlang",),
+        "banned_prefixes": ("repro.hdfs", "repro.pfs", "repro.core"),
+    },
+    {
+        "label": "frozen sqldf evaluator",
+        # only the twin-world tests (outside src) and the bench may
+        # resurrect the eager evaluator
+        "allowed": ("repro.rlang", "repro.bench"),
+        "modules": {"repro.rlang._legacy"},
+        "names": {"legacy_sqldf"},
+    },
 )
 
 
@@ -223,6 +240,46 @@ def test_lint_sparklike_storage_isolation():
     # the rule constrains sparklike only, not other engines
     assert not violations_in_source(
         "repro.mapreduce.runtime", "from repro.hdfs import HDFS\n")
+
+
+def test_lint_rlang_storage_isolation():
+    """The SQL layer reaches storage only through repro.io: direct
+    backend/core imports from inside repro.rlang are flagged."""
+    assert violations_in_source(
+        "repro.rlang.session", "from repro.pfs.client import PFSClient\n")
+    assert violations_in_source(
+        "repro.rlang.session", "import repro.hdfs\n")
+    assert violations_in_source(
+        "repro.rlang.session",
+        "from repro.core.reader import PFSReader\n")
+    # the sanctioned surfaces are fine
+    assert not violations_in_source(
+        "repro.rlang.session",
+        "from repro.io.registry import StorageRegistry\n"
+        "from repro.formats.container import read_header\n"
+        "from repro.obs.trace import tracer_of\n")
+    # the rule constrains rlang only
+    assert not violations_in_source(
+        "repro.workloads.pipeline", "from repro.core import SciDP\n")
+
+
+def test_lint_frozen_sqldf_evaluator_quarantined():
+    """Only rlang itself and the bench may import the frozen eager
+    evaluator."""
+    assert violations_in_source(
+        "repro.workloads.offender",
+        "from repro.rlang._legacy import legacy_sqldf\n")
+    assert violations_in_source(
+        "repro.core.offender", "import repro.rlang._legacy\n")
+    assert violations_in_source(
+        "repro.mapreduce.offender",
+        "from repro.rlang import legacy_sqldf\n")
+    assert not violations_in_source(
+        "repro.rlang.session",
+        "from repro.rlang._legacy import legacy_sqldf\n")
+    assert not violations_in_source(
+        "repro.bench.sqlbench",
+        "from repro.rlang._legacy import legacy_sqldf\n")
 
 
 def test_lint_frozen_legacy_engine_quarantined():

@@ -1,0 +1,60 @@
+"""The :class:`ScanPlan` pruned-scan shape and the planner's
+skipped-bytes accounting (the ISSUE-9 pushdown plumbing)."""
+
+import pytest
+
+from repro.io import ScanPlan
+from repro.io.planner import ReadPlanner
+from repro.obs.metrics import attach_metrics, metrics_of
+from repro.sim import Environment
+
+
+def test_scan_plan_byte_accounting():
+    plan = ScanPlan(pieces=((0, 100), (300, 50)),
+                    skipped=((100, 200), (350, 25)))
+    assert plan.n_requests == 2
+    assert plan.total_bytes == 150
+    assert plan.skipped_bytes == 225
+    assert len(plan) == 2
+    assert list(plan) == [(0, 100), (300, 50)]
+
+
+def test_scan_plan_defaults_skip_nothing():
+    plan = ScanPlan(pieces=((0, 10),))
+    assert plan.skipped == ()
+    assert plan.skipped_bytes == 0
+    assert plan.granularity is None
+
+
+def test_scan_plan_is_frozen():
+    plan = ScanPlan(pieces=((0, 10),))
+    with pytest.raises(AttributeError):
+        plan.pieces = ()
+
+
+def test_account_skipped_rolls_into_scheme_counters():
+    env = Environment()
+    attach_metrics(env)
+    planner = ReadPlanner(env, scheme="pfs")
+    planner.account_skipped(1234, chunks=3)
+    planner.account_skipped(766)  # default: one chunk
+    registry = metrics_of(env)
+    assert registry.counter("io.read.pfs.skipped_bytes").value == 2000
+    assert registry.counter("io.read.pfs.skipped_chunks").value == 4
+
+
+def test_account_skipped_zero_bytes_counts_no_bytes():
+    env = Environment()
+    attach_metrics(env)
+    planner = ReadPlanner(env, scheme="pfs")
+    planner.account_skipped(0, chunks=2)
+    registry = metrics_of(env)
+    assert registry.counter("io.read.pfs.skipped_bytes").value == 0
+    assert registry.counter("io.read.pfs.skipped_chunks").value == 2
+
+
+def test_account_skipped_without_metrics_is_a_noop():
+    env = Environment()  # no attach_metrics
+    planner = ReadPlanner(env, scheme="pfs")
+    planner.account_skipped(100, chunks=1)  # must not raise
+    assert metrics_of(env) is None
