@@ -202,7 +202,7 @@ def execute(root: PlanNode,
         if isinstance(node, Join):
             left = run(node.left)
             right = resolve(node.right)
-            if node.build_side == "left" and node.strategy != "hash":
+            if node.build_side == "left" and node.strategy == "broadcast":
                 return _hash_join_build_left(left, right, node.using)
             return _hash_join(left, right, node.using)
         if isinstance(node, Filter):

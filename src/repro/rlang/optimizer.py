@@ -247,7 +247,14 @@ def _push_projections(scans: list[Scan], query: Query,
         schema = schemas.get(scan.table)
         if schema is None:
             continue
-        scan.columns = [c for c in schema if c in needed]
+        cols = [c for c in schema if c in needed]
+        if not cols and schema:
+            # a query that reads no columns (SELECT COUNT(*) FROM t,
+            # SELECT 1 FROM t) must still see the table's row count,
+            # and a zero-column DataFrame has nrow == 0 — keep one
+            # column as the row-count carrier
+            cols = [schema[0]]
+        scan.columns = cols
 
 
 def _push_predicates(root: PlanNode,

@@ -118,6 +118,11 @@ def test_generated_queries_cover_the_plan_space():
     "SELECT grp, MIN(y) AS lo, MAX(y) AS hi FROM t GROUP BY grp "
     "ORDER BY grp DESC",
     "SELECT COUNT(*) AS n FROM t WHERE x IN (1, 2, 3)",
+    # queries referencing no columns at all: projection pushdown must
+    # not prune every column (a zero-column frame loses its row count)
+    "SELECT COUNT(*) AS n FROM t",
+    "SELECT 1 AS one FROM t",
+    "SELECT 1 AS one FROM t LIMIT 4",
     "SELECT label, SUM(x) AS s FROM t JOIN u USING (k) GROUP BY label",
     "SELECT DISTINCT grp FROM t ORDER BY grp LIMIT 2",
     "SELECT x, y FROM t WHERE x NOT BETWEEN 3 AND 8 ORDER BY y",

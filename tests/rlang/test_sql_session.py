@@ -93,6 +93,19 @@ def test_result_matches_brute_force():
     np.testing.assert_array_equal(out["QR"], qr[mask])
 
 
+def test_count_star_survives_projection_pushdown():
+    """A query referencing no columns must keep the table's row count:
+    projection pushdown may not prune every scinc variable (regression —
+    a zero-column frame has nrow == 0)."""
+    config = small_config()
+    queries = ["SELECT COUNT(*) AS n FROM t0"]
+    eager = run_session("legacy", False, config, queries)
+    pushed = run_session("planner", True, config, queries)
+    assert pushed["results"][0] == eager["results"][0]
+    n = int(np.prod(SHAPE))
+    assert list(pushed["results"][0]["n"]) == [n]
+
+
 def test_pushdown_never_skips_a_matching_chunk():
     """Soundness: every zone-map-skipped chunk is recomputed from the
     raw data and must contain no predicate match."""
