@@ -1,0 +1,66 @@
+"""Shared benchmark plumbing.
+
+The cluster/world-building boilerplate the benchmark suite used to
+duplicate now lives in :mod:`repro.bench.worlds`; the builders are
+re-exported here so benchmarks keep a single import point. On top of
+that this module carries the two helpers every campaign-backed
+trajectory bench needs: a fresh throwaway workspace and the
+``bench_results/BENCH_*.json`` document writer (one schema —
+experiment/columns/rows/note/result — shared by every CI gate).
+"""
+
+import json
+import pathlib
+import tempfile
+
+from repro.bench.worlds import (  # noqa: F401  (benchmark-facing re-export)
+    build_hdfs_world,
+    build_scidp_world,
+)
+from repro.campaign import (
+    Workspace,
+    aggregate_campaign,
+    get_campaign,
+    run_campaign,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / \
+    "bench_results"
+
+
+def write_bench_json(name, experiment, columns, rows, note,
+                     result) -> None:
+    """Write ``bench_results/BENCH_<name>.json`` in the gate schema."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(json.dumps({
+        "experiment": experiment,
+        "columns": columns,
+        "rows": [list(row) for row in rows],
+        "note": note,
+        "result": result,
+    }, indent=2) + "\n")
+
+
+def fresh_workspace(prefix: str = "campaign-bench-") -> Workspace:
+    """A workspace in a throwaway temp directory — trajectory benches
+    always measure a cold sweep, never a warm cache."""
+    return Workspace(tempfile.mkdtemp(prefix=prefix))
+
+
+def run_campaign_doc(name: str, *, workers: int = 0,
+                     quick: bool = False,
+                     workspace: Workspace | None = None):
+    """Sweep a registered campaign and aggregate it.
+
+    Returns ``(doc, report, workspace)``. Raises if any point failed —
+    a trajectory gate must never run over a partial sweep.
+    """
+    definition = get_campaign(name)
+    workspace = workspace or fresh_workspace(f"campaign-{name}-")
+    report = run_campaign(definition, workspace, workers=workers,
+                          quick=quick)
+    assert not report.failed, (
+        f"campaign {name!r}: {len(report.failed)} point(s) failed; "
+        f"see error.json under {workspace.root}")
+    doc = aggregate_campaign(definition, workspace, quick=quick)
+    return doc, report, workspace

@@ -1,0 +1,125 @@
+"""The campaign engine itself — the BENCH_campaign trajectory.
+
+Sweeps the 8-point ``smoke`` campaign (a real miniature DES run per
+point plus a fixed 1s stall modelling external latency) three ways:
+
+1. serially (``workers=0``) into workspace A — the determinism
+   baseline;
+2. in parallel (``workers=4``) into a fresh workspace B — the
+   aggregated document must be *identical* to the serial one, because
+   results always round-trip through workspace JSON;
+3. workspace B again, warm — every point must be a cache hit
+   (0 executed), the skip-if-computed contract.
+
+The stall component makes the parallel-overlap gate independent of
+runner core count: 8 points x ~1.1s serial vs ~3s across 4 workers is
+>= 1.5x even on a single-core runner, because the pool overlaps the
+stalls, not the interpreter. CI gates the speedup, the equivalence and
+the warm-cache skip count, and uploads
+``bench_results/BENCH_campaign.json``.
+"""
+
+from repro.campaign import get_campaign
+
+from benchmarks._worlds import (
+    fresh_workspace,
+    run_campaign_doc,
+    write_bench_json,
+)
+
+#: the ISSUE-10 trajectory gates
+MIN_PARALLEL_SPEEDUP = 1.5
+SMOKE_POINTS = 8
+PARALLEL_WORKERS = 4
+
+
+def _run_campaign_matrix():
+    serial_doc, serial_report, _ws_a = run_campaign_doc(
+        "smoke", workers=0)
+    parallel_ws = fresh_workspace("campaign-smoke-par-")
+    parallel_doc, parallel_report, _ = run_campaign_doc(
+        "smoke", workers=PARALLEL_WORKERS, workspace=parallel_ws)
+    # Warm re-run of the parallel workspace: everything is cached.
+    warm_doc, warm_report, _ = run_campaign_doc(
+        "smoke", workers=PARALLEL_WORKERS, workspace=parallel_ws)
+    return {
+        "serial": (serial_doc, serial_report),
+        "parallel": (parallel_doc, parallel_report),
+        "warm": (warm_doc, warm_report),
+    }
+
+
+def test_campaign_trajectory(benchmark, record_table):
+    runs = benchmark.pedantic(
+        _run_campaign_matrix, rounds=1, iterations=1)
+    serial_doc, serial_report = runs["serial"]
+    parallel_doc, parallel_report = runs["parallel"]
+    warm_doc, warm_report = runs["warm"]
+
+    # Equivalence: a pool sweep aggregates byte-identically to serial.
+    assert parallel_doc == serial_doc, \
+        "parallel sweep aggregated differently from the serial baseline"
+    assert warm_doc == serial_doc
+    assert serial_doc["points"] == SMOKE_POINTS
+
+    # Cold sweeps executed everything; nothing failed anywhere.
+    for report in (serial_report, parallel_report):
+        assert len(report.executed) == SMOKE_POINTS
+        assert not report.failed and not report.skipped
+
+    # Warm re-run: 100% cache hits, zero points executed.
+    assert len(warm_report.executed) == 0
+    assert warm_report.cache_hits == SMOKE_POINTS
+
+    # Overlap: the pool must beat serial on the stall-dominated sweep.
+    speedup = serial_report.wall_seconds / parallel_report.wall_seconds
+    assert speedup >= MIN_PARALLEL_SPEEDUP, \
+        f"parallel({PARALLEL_WORKERS}) sweep below the " \
+        f"{MIN_PARALLEL_SPEEDUP}x gate: {speedup:.2f}x " \
+        f"({serial_report.wall_seconds:.2f}s serial vs " \
+        f"{parallel_report.wall_seconds:.2f}s parallel)"
+
+    columns = ["sweep", "executed", "cache hits", "wall s",
+               "points/s", "speedup"]
+    rows = [
+        ("serial", len(serial_report.executed),
+         serial_report.cache_hits,
+         round(serial_report.wall_seconds, 2),
+         round(serial_report.points_per_sec, 2), 1.0),
+        (f"parallel({PARALLEL_WORKERS})", len(parallel_report.executed),
+         parallel_report.cache_hits,
+         round(parallel_report.wall_seconds, 2),
+         round(parallel_report.points_per_sec, 2),
+         round(speedup, 2)),
+        ("warm re-run", len(warm_report.executed),
+         warm_report.cache_hits,
+         round(warm_report.wall_seconds, 2), "-", "-"),
+    ]
+    note = (f"{SMOKE_POINTS}-point smoke sweep (miniature DES run + 1s "
+            f"stall per point); identical aggregated results across all "
+            f"three sweeps, order signature {serial_doc['signature']}; "
+            f"gate: parallel >= {MIN_PARALLEL_SPEEDUP}x serial, warm "
+            f"re-run 100% cached")
+    record_table("campaign", columns, rows, note)
+
+    write_bench_json("campaign", "campaign", columns, rows, note, {
+        "points": SMOKE_POINTS,
+        "workers": PARALLEL_WORKERS,
+        "serial_wall_seconds": serial_report.wall_seconds,
+        "parallel_wall_seconds": parallel_report.wall_seconds,
+        "warm_wall_seconds": warm_report.wall_seconds,
+        "points_per_sec": parallel_report.points_per_sec,
+        "speedup": speedup,
+        "identical_results": parallel_doc == serial_doc,
+        "warm_executed": len(warm_report.executed),
+        "cache_hits": warm_report.cache_hits,
+        "signature": serial_doc["signature"],
+        "smoke": serial_doc,
+    })
+
+
+def test_campaign_space_stable():
+    # the smoke signature folds seeds + per-point order signatures; a
+    # second expansion of the space must be byte-stable across calls
+    definition = get_campaign("smoke")
+    assert definition.points() == definition.points()

@@ -4,19 +4,16 @@ trajectory.
 Runs the 256-node / 10k-task / 10-job synthetic cluster workload (slot
 gates, three-phase tasks, a run-wide speculative-backup reap) on the
 frozen legacy engine and the live engine, asserts the two worlds popped
-events identically, and records events/second for both. CI gates the
-live engine at >= 3x over legacy plus an absolute events/sec floor, and
-uploads ``bench_results/BENCH_simscale.json`` next to
+events identically, and records events/second for both. The sweep runs
+through the campaign engine (``workers=0``: in-process, so the timed
+event loops share nothing with a pool) and the document is folded from
+the per-engine points the workspace recorded. CI gates the live engine
+at >= 3x over legacy plus an absolute events/sec floor, and uploads
+``bench_results/BENCH_simscale.json`` next to
 BENCH_shuffle/BENCH_write/BENCH_obs.
 """
 
-import json
-import pathlib
-
-from repro.bench.simscale import simscale_result
-
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / \
-    "bench_results"
+from benchmarks._worlds import run_campaign_doc, write_bench_json
 
 #: absolute floor for the live engine — conservative (shared CI runners
 #: are ~2-3x slower than a quiet dev box measuring ~550k events/s)
@@ -26,12 +23,15 @@ MIN_EVENTS_PER_SEC = 120_000.0
 MIN_SPEEDUP = 3.0
 
 
-def test_simscale_trajectory(benchmark, record_table):
-    doc = benchmark.pedantic(
-        simscale_result, rounds=1, iterations=1,
-        kwargs={"repeats": 3})
+def _run_simscale():
+    doc, _report, _ws = run_campaign_doc("simscale", workers=0)
+    return doc
 
-    # simscale_result already raised if the twin worlds diverged on the
+
+def test_simscale_trajectory(benchmark, record_table):
+    doc = benchmark.pedantic(_run_simscale, rounds=1, iterations=1)
+
+    # aggregation already raised if the twin worlds diverged on the
     # final clock, event count, completions, or pop-order signature
     assert doc["identical_order"]
     assert doc["n_nodes"] == 256 and doc["n_tasks"] == 10_000
@@ -59,11 +59,4 @@ def test_simscale_trajectory(benchmark, record_table):
             f"(sim clock {doc['sim_seconds']:.3f}s)")
     record_table("simscale", columns, rows, note)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_simscale.json").write_text(json.dumps({
-        "experiment": "simscale",
-        "columns": columns,
-        "rows": [list(row) for row in rows],
-        "note": note,
-        "result": doc,
-    }, indent=2) + "\n")
+    write_bench_json("simscale", "simscale", columns, rows, note, doc)

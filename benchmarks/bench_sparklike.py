@@ -3,24 +3,26 @@ trajectory.
 
 Runs the iterative-wordcount comparison across five configurations
 (eager legacy, lazy default, fusion, cache, fusion+cache) and gates
-fused+cached at >= 1.5x over the eager baseline. All timings are
-simulated seconds, so the ratio is deterministic on any runner. CI
-uploads ``bench_results/BENCH_sparklike.json`` next to
+fused+cached at >= 1.5x over the eager baseline. The five
+configurations sweep as campaign points (one per config, ``workers=0``)
+and the comparison document is folded from the workspace records. All
+timings are simulated seconds, so the ratio is deterministic on any
+runner. CI uploads ``bench_results/BENCH_sparklike.json`` next to
 BENCH_shuffle/BENCH_write/BENCH_obs/BENCH_simscale.
 """
 
-import json
-import pathlib
+from repro.bench.sparkbench import MIN_SPEEDUP
 
-from repro.bench.sparkbench import MIN_SPEEDUP, sparklike_result
+from benchmarks._worlds import run_campaign_doc, write_bench_json
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / \
-    "bench_results"
+
+def _run_sparklike():
+    doc, _report, _ws = run_campaign_doc("sparklike", workers=0)
+    return doc
 
 
 def test_sparklike_trajectory(benchmark, record_table):
-    doc = benchmark.pedantic(
-        sparklike_result, rounds=1, iterations=1)
+    doc = benchmark.pedantic(_run_sparklike, rounds=1, iterations=1)
 
     assert doc["identical_results"], \
         "engine configurations disagreed on the workload results"
@@ -49,11 +51,4 @@ def test_sparklike_trajectory(benchmark, record_table):
             f"gate: fused+cached >= {MIN_SPEEDUP}x eager")
     record_table("sparklike", columns, rows, note)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_sparklike.json").write_text(json.dumps({
-        "experiment": "sparklike",
-        "columns": columns,
-        "rows": [list(row) for row in rows],
-        "note": note,
-        "result": doc,
-    }, indent=2) + "\n")
+    write_bench_json("sparklike", "sparklike", columns, rows, note, doc)

@@ -4,29 +4,27 @@ trajectory.
 Runs the Fig. 9-style selective-query comparison across three engine
 configurations (frozen eager sqldf, planner with pushdown off, planner
 with pushdown on) over zone-mapped NU-WRF scinc files on the simulated
-PFS. Gates: identical result frames everywhere, the planner-off config
-is the eager path's timing twin to 1e-9 simulated seconds, and pushdown
+PFS. The three configurations sweep as campaign points (``workers=0``)
+and the comparison document is folded from the workspace records.
+Gates: identical result frames everywhere, the planner-off config is
+the eager path's timing twin to 1e-9 simulated seconds, and pushdown
 scans >= 10x fewer PFS bytes. All timings are simulated, so every ratio
 is deterministic on any runner. CI uploads
 ``bench_results/BENCH_sql.json`` next to the other BENCH_* artifacts.
 """
 
-import json
-import pathlib
+from repro.bench.sqlbench import MIN_BYTES_REDUCTION, TWIN_TOLERANCE
 
-from repro.bench.sqlbench import (
-    MIN_BYTES_REDUCTION,
-    TWIN_TOLERANCE,
-    sql_pushdown_result,
-)
+from benchmarks._worlds import run_campaign_doc, write_bench_json
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / \
-    "bench_results"
+
+def _run_sql():
+    doc, _report, _ws = run_campaign_doc("sql", workers=0)
+    return doc
 
 
 def test_sql_pushdown_trajectory(benchmark, record_table):
-    doc = benchmark.pedantic(
-        sql_pushdown_result, rounds=1, iterations=1)
+    doc = benchmark.pedantic(_run_sql, rounds=1, iterations=1)
 
     assert doc["identical_results"], \
         "engine configurations disagreed on the query results"
@@ -57,11 +55,4 @@ def test_sql_pushdown_trajectory(benchmark, record_table):
             f"{doc['twin_delta']:.2e}s; simulated time, deterministic")
     record_table("sql", columns, rows, note)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_sql.json").write_text(json.dumps({
-        "experiment": "sql",
-        "columns": columns,
-        "rows": [list(row) for row in rows],
-        "note": note,
-        "result": doc,
-    }, indent=2) + "\n")
+    write_bench_json("sql", "sql", columns, rows, note, doc)

@@ -39,7 +39,8 @@ import time
 import zlib
 from collections import deque
 
-__all__ = ["run_world", "simscale_result", "simscale_rows"]
+__all__ = ["build_comparison_doc", "doc_rows", "run_engine",
+           "run_world", "simscale_result", "simscale_rows"]
 
 #: paper-scale defaults: 256 nodes, 10k tasks across 10 jobs
 DEFAULT_NODES = 256
@@ -182,27 +183,41 @@ def _best_of(factory, repeats: int) -> dict:
     return best
 
 
-def simscale_result(n_nodes: int = DEFAULT_NODES,
-                    n_tasks: int = DEFAULT_TASKS,
-                    n_jobs: int = DEFAULT_JOBS,
-                    seed: int = 2024, repeats: int = 2) -> dict:
-    """Run both worlds and return the comparison document.
+def run_engine(engine: str, n_nodes: int = DEFAULT_NODES,
+               n_tasks: int = DEFAULT_TASKS, n_jobs: int = DEFAULT_JOBS,
+               seed: int = 2024, repeats: int = 2) -> dict:
+    """Best-of-``repeats`` measurements for one engine by name.
+
+    ``engine`` is ``"legacy"`` (the frozen pre-PR-7 engine) or
+    ``"live"``. Top-level and string-addressed so a campaign worker
+    process can run a single engine under spawn; the returned dict is
+    pure JSON data (the order signature included, so an aggregation
+    step can still assert the twin worlds popped events identically).
+    """
+    from repro.sim._legacy import LegacyEnvironment
+    from repro.sim.engine import Environment, Interrupt
+
+    if engine not in ("legacy", "live"):
+        raise ValueError(
+            f"unknown simscale engine {engine!r}; have legacy, live")
+    env_cls = LegacyEnvironment if engine == "legacy" else Environment
+    return _best_of(
+        lambda: run_world(env_cls(), Interrupt, n_nodes=n_nodes,
+                          n_tasks=n_tasks, n_jobs=n_jobs, seed=seed),
+        repeats)
+
+
+def build_comparison_doc(legacy: dict, live: dict, *, n_nodes: int,
+                         n_tasks: int, n_jobs: int, seed: int,
+                         repeats: int) -> dict:
+    """Fold the two engines' measurements (as returned by
+    :func:`run_engine`) into the BENCH_simscale comparison document.
+    Shared by :func:`simscale_result` and the campaign aggregation.
 
     Raises if the two worlds disagree on final clock, event count, task
     completions, or the completion-order signature — a throughput number
     from divergent simulations would be meaningless.
     """
-    from repro.sim._legacy import LegacyEnvironment
-    from repro.sim.engine import Environment, Interrupt
-
-    kwargs = dict(n_nodes=n_nodes, n_tasks=n_tasks, n_jobs=n_jobs,
-                  seed=seed)
-    legacy = _best_of(
-        lambda: run_world(LegacyEnvironment(), Interrupt, **kwargs),
-        repeats)
-    live = _best_of(
-        lambda: run_world(Environment(), Interrupt, **kwargs), repeats)
-
     for key in ("sim_seconds", "events", "tasks_completed", "signature"):
         if legacy[key] != live[key]:
             raise AssertionError(
@@ -226,13 +241,21 @@ def simscale_result(n_nodes: int = DEFAULT_NODES,
     }
 
 
-def simscale_rows(n_nodes: int = DEFAULT_NODES,
-                  n_tasks: int = DEFAULT_TASKS,
-                  n_jobs: int = DEFAULT_JOBS,
-                  seed: int = 2024, repeats: int = 2):
-    """(columns, rows, note) — the repro.bench CLI surface."""
-    doc = simscale_result(n_nodes=n_nodes, n_tasks=n_tasks,
-                          n_jobs=n_jobs, seed=seed, repeats=repeats)
+def simscale_result(n_nodes: int = DEFAULT_NODES,
+                    n_tasks: int = DEFAULT_TASKS,
+                    n_jobs: int = DEFAULT_JOBS,
+                    seed: int = 2024, repeats: int = 2) -> dict:
+    """Run both worlds and return the comparison document."""
+    kwargs = dict(n_nodes=n_nodes, n_tasks=n_tasks, n_jobs=n_jobs,
+                  seed=seed, repeats=repeats)
+    legacy = run_engine("legacy", **kwargs)
+    live = run_engine("live", **kwargs)
+    return build_comparison_doc(legacy, live, **kwargs)
+
+
+def doc_rows(doc: dict):
+    """(columns, rows, note) for a comparison document — shared by the
+    CLI below and the campaign aggregation table."""
     columns = ["engine", "events", "wall s", "events/s", "speedup"]
     rows = [
         ("legacy", doc["events"],
@@ -244,9 +267,20 @@ def simscale_rows(n_nodes: int = DEFAULT_NODES,
          round(doc["engine"]["events_per_sec"]),
          round(doc["speedup"], 2)),
     ]
-    note = (f"{n_nodes}-node / {n_tasks}-task / {n_jobs}-job synthetic "
+    note = (f"{doc['n_nodes']}-node / {doc['n_tasks']}-task / "
+            f"{doc['n_jobs']}-job synthetic "
             f"cluster run (slot gates, 3-phase tasks, speculative-backup "
-            f"cancellation); best of {repeats} repeats per engine; "
+            f"cancellation); best of {doc['repeats']} repeats per engine; "
             f"event order verified identical across worlds "
             f"(sim clock {doc['sim_seconds']:.3f}s)")
     return columns, rows, note
+
+
+def simscale_rows(n_nodes: int = DEFAULT_NODES,
+                  n_tasks: int = DEFAULT_TASKS,
+                  n_jobs: int = DEFAULT_JOBS,
+                  seed: int = 2024, repeats: int = 2):
+    """(columns, rows, note) — the repro.bench CLI surface."""
+    doc = simscale_result(n_nodes=n_nodes, n_tasks=n_tasks,
+                          n_jobs=n_jobs, seed=seed, repeats=repeats)
+    return doc_rows(doc)

@@ -24,31 +24,28 @@ WORDS = ("alpha", "beta", "gamma", "delta", "epsilon",
 #: the ISSUE-8 trajectory gate
 MIN_SPEEDUP = 1.5
 
+#: engine configurations: name -> (engine kind, context kwargs, cached)
+#: — plain data so a campaign state point can name a config by string
+CONFIGS = {
+    "legacy-eager": ("legacy", {}, False),
+    "lazy": ("lazy", {}, False),
+    "lazy+fusion": ("lazy", {"fusion": True}, False),
+    "lazy+cache": ("lazy", {}, True),
+    "lazy+fusion+cache": ("lazy", {"fusion": True}, True),
+}
+
 
 def _build_world(n_nodes: int = 4, n_lines: int = 400):
-    from repro.cluster import Cluster
-    from repro.cluster.spec import DiskSpec, LinkSpec, NodeSpec
-    from repro.hdfs import HDFS
-    from repro.sim import Environment
+    from repro.bench.worlds import build_hdfs_world
 
-    spec = NodeSpec(
-        cpus=8, memory=10**9,
-        disks=(DiskSpec(bandwidth=10**6, seek_latency=0.001),),
-        nic=LinkSpec(bandwidth=10**7, latency=0.0001))
-    env = Environment()
-    cluster = Cluster(env)
-    nodes = [cluster.add_node(f"n{i}", spec, role="compute")
-             for i in range(n_nodes)]
-    hdfs = HDFS(env, cluster.network, block_size=1024, replication=1)
-    for node in nodes:
-        hdfs.add_datanode(node)
+    env, nodes, hdfs, network = build_hdfs_world(n_nodes)
     lines = []
     for i in range(n_lines):
         lines.append(" ".join(
             WORDS[(i + j) % len(WORDS)] for j in range(4)))
     payload = ("\n".join(lines) + "\n").encode()
     hdfs.store_file_sync("/corpus/part0.txt", payload)
-    return env, nodes, hdfs, cluster.network
+    return env, nodes, hdfs, network
 
 
 def _run_iterative(ctx, iterations: int, cached: bool):
@@ -75,36 +72,58 @@ def _run_iterative(ctx, iterations: int, cached: bool):
     return seconds, counts
 
 
-def sparklike_result(n_lines: int = 2000, iterations: int = 5) -> dict:
-    """Run every engine configuration; returns the full comparison doc."""
+def run_config(name: str, n_lines: int = 2000,
+               iterations: int = 5) -> dict:
+    """Run one named engine configuration in a fresh world.
+
+    Top-level and addressed by plain strings, so a campaign worker
+    process can execute a single configuration under spawn. The
+    returned dict is pure JSON data (the word counts included, for
+    cross-configuration equality checks).
+    """
     from repro.sparklike import Context
     from repro.sparklike._legacy import LegacyContext
 
+    try:
+        engine_kind, ctx_kw, cached = CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sparklike config {name!r}; have "
+            f"{sorted(CONFIGS)}") from None
+    engine = LegacyContext if engine_kind == "legacy" else Context
     # Same knobs for every config: parsing cost is real relative to the
     # per-task floor, so laziness/fusion/caching — not startup noise —
     # decide the comparison.
     knobs = {"record_cost": 1e-4, "task_startup": 0.002}
-    configs = [
-        ("legacy-eager", LegacyContext, {}, False),
-        ("lazy", Context, {}, False),
-        ("lazy+fusion", Context, {"fusion": True}, False),
-        ("lazy+cache", Context, {}, True),
-        ("lazy+fusion+cache", Context, {"fusion": True}, True),
-    ]
-    doc: dict = {"experiment": "sparklike", "n_lines": n_lines,
-                 "iterations": iterations, "configs": {}}
+    env, nodes, hdfs, network = _build_world(n_lines=n_lines)
+    ctx = engine(env, nodes, hdfs, network, **knobs, **ctx_kw)
+    seconds, counts = _run_iterative(ctx, iterations, cached)
+    return {
+        "sim_seconds": seconds,
+        "tasks": ctx.metrics["tasks"],
+        "stages": ctx.metrics["stages"],
+        "cache_hits": ctx.metrics.get("cache_hits", 0),
+        "counts": counts,
+    }
+
+
+def build_comparison_doc(entries: dict) -> dict:
+    """Fold per-config entries (as returned by :func:`run_config`) into
+    the BENCH_sparklike comparison document. Shared by the in-process
+    bench below and the campaign aggregation, so both produce the same
+    shape."""
+    doc: dict = {"experiment": "sparklike", "configs": {}}
     reference = None
-    for name, engine, ctx_kw, cached in configs:
-        env, nodes, hdfs, network = _build_world(n_lines=n_lines)
-        ctx = engine(env, nodes, hdfs, network, **knobs, **ctx_kw)
-        seconds, counts = _run_iterative(ctx, iterations, cached)
+    for name in CONFIGS:
+        entry = entries[name]
+        counts = entry["counts"]
         if reference is None:
             reference = counts
         doc["configs"][name] = {
-            "sim_seconds": seconds,
-            "tasks": ctx.metrics["tasks"],
-            "stages": ctx.metrics["stages"],
-            "cache_hits": ctx.metrics.get("cache_hits", 0),
+            "sim_seconds": entry["sim_seconds"],
+            "tasks": entry["tasks"],
+            "stages": entry["stages"],
+            "cache_hits": entry["cache_hits"],
             "identical_results": counts == reference,
         }
     baseline = doc["configs"]["legacy-eager"]["sim_seconds"]
@@ -116,9 +135,21 @@ def sparklike_result(n_lines: int = 2000, iterations: int = 5) -> dict:
     return doc
 
 
-def sparklike_rows(n_lines: int = 2000, iterations: int = 5):
-    """Table shape for ``python -m repro.bench sparklike``."""
-    doc = sparklike_result(n_lines=n_lines, iterations=iterations)
+def sparklike_result(n_lines: int = 2000, iterations: int = 5) -> dict:
+    """Run every engine configuration; returns the full comparison doc."""
+    entries = {name: run_config(name, n_lines=n_lines,
+                                iterations=iterations)
+               for name in CONFIGS}
+    folded = build_comparison_doc(entries)
+    doc: dict = {"experiment": "sparklike", "n_lines": n_lines,
+                 "iterations": iterations}
+    doc.update((k, v) for k, v in folded.items() if k != "experiment")
+    return doc
+
+
+def doc_rows(doc: dict):
+    """(columns, rows, note) for a comparison document — shared by the
+    CLI below and the campaign aggregation table."""
     columns = ["engine config", "sim seconds", "tasks", "cache hits",
                "speedup vs eager"]
     rows = [
@@ -126,7 +157,13 @@ def sparklike_rows(n_lines: int = 2000, iterations: int = 5):
          entry["cache_hits"], round(entry["speedup"], 2))
         for name, entry in doc["configs"].items()
     ]
-    note = (f"iterative wordcount, {iterations} rounds over "
+    note = (f"iterative wordcount, {doc['iterations']} rounds over "
             f"{doc['n_lines']} lines; identical results across engines: "
             f"{doc['identical_results']}; simulated time, deterministic")
     return columns, rows, note
+
+
+def sparklike_rows(n_lines: int = 2000, iterations: int = 5):
+    """Table shape for ``python -m repro.bench sparklike``."""
+    doc = sparklike_result(n_lines=n_lines, iterations=iterations)
+    return doc_rows(doc)

@@ -58,41 +58,12 @@ def build_sql_world(config=None, n_nodes: int = 2):
     Returns ``(env, nodes, scidp, manifest)``; scinc tables are at
     ``pfs://nuwrf/<file>``. Shared by the bench and the session tests.
     """
-    from repro import costs
-    from repro.cluster import Cluster
-    from repro.cluster.spec import DiskSpec, LinkSpec, NodeSpec
-    from repro.core import SciDP
-    from repro.hdfs import HDFS
-    from repro.obs.metrics import attach_metrics
-    from repro.pfs import PFS, StripeLayout
-    from repro.sim import Environment
+    from repro.bench.worlds import build_scidp_world
     from repro.workloads.nuwrf import generate_nuwrf
 
-    costs.set_scale(1.0)
     config = config or _nuwrf_config()
-    spec = NodeSpec(
-        cpus=8, memory=10**9,
-        disks=(DiskSpec(bandwidth=10**8, seek_latency=0.0005),),
-        nic=LinkSpec(bandwidth=10**9, latency=0.0001))
-    env = Environment()
-    attach_metrics(env)
-    cluster = Cluster(env)
-    nodes = [cluster.add_node(f"n{i}", spec, role="compute")
-             for i in range(n_nodes)]
-    mds = cluster.add_node("mds", spec, role="storage")
-    oss = cluster.add_node("oss", NodeSpec(
-        cpus=8, memory=10**9,
-        disks=tuple(DiskSpec(bandwidth=10**8, seek_latency=0.0005)
-                    for _ in range(4)),
-        nic=LinkSpec(bandwidth=10**9, latency=0.0001)), role="storage")
-    pfs = PFS(env, cluster.network, mds, [oss],
-              default_layout=StripeLayout(stripe_size=1 << 20,
-                                          stripe_count=4))
-    hdfs = HDFS(env, cluster.network, block_size=1 << 22, replication=1)
-    for node in nodes:
-        hdfs.add_datanode(node)
-    scidp = SciDP(env, nodes, pfs, hdfs, cluster.network)
-    manifest = generate_nuwrf(pfs, config)
+    env, nodes, scidp = build_scidp_world(n_nodes)
+    manifest = generate_nuwrf(scidp.pfs, config)
     return env, nodes, scidp, manifest
 
 
@@ -106,6 +77,46 @@ def _queries(manifest, threshold: float) -> list[str]:
         "SELECT altitude, AVG(QR) AS qr_mean FROM t0 "
         "GROUP BY altitude ORDER BY altitude",
     ], first
+
+
+#: engine configurations: name -> (engine, pushdown) — plain data so a
+#: campaign state point can name a config by string
+SQL_CONFIGS = {
+    "legacy-eager": ("legacy", False),
+    "planner": ("planner", False),
+    "planner+pushdown": ("planner", True),
+}
+
+
+def serialize_frames(frames) -> list[dict]:
+    """JSON form of result DataFrames (column order preserved), so
+    configurations run in different worker processes can be compared."""
+    return [{"names": frame.names, "columns": frame.to_dict()}
+            for frame in frames]
+
+
+def run_config(name: str, shape=(8, 48, 48), timesteps: int = 2,
+               threshold: float | None = None) -> dict:
+    """Run one named engine configuration in a fresh world.
+
+    Top-level and addressed by plain strings, so a campaign worker
+    process can execute a single configuration under spawn. Returns
+    pure JSON data: the scan accounting entry plus the serialized
+    result frames (``threshold`` is recomputed deterministically when
+    not given).
+    """
+    try:
+        engine, pushdown = SQL_CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sql config {name!r}; have "
+            f"{sorted(SQL_CONFIGS)}") from None
+    config = _nuwrf_config(shape=tuple(shape), timesteps=timesteps)
+    if threshold is None:
+        threshold = selective_threshold(config)
+    entry, results = _run_config(engine, pushdown, config, threshold)
+    return {"entry": entry, "results": serialize_frames(results),
+            "threshold": threshold}
 
 
 def _run_config(engine: str, pushdown: bool, config, threshold: float):
@@ -138,26 +149,22 @@ def _run_config(engine: str, pushdown: bool, config, threshold: float):
     }, results
 
 
-def sql_pushdown_result(shape=(8, 48, 48), timesteps: int = 2) -> dict:
-    """Run every engine configuration; returns the full comparison doc."""
-    config = _nuwrf_config(shape=shape, timesteps=timesteps)
-    threshold = selective_threshold(config)
-    configs = [
-        ("legacy-eager", "legacy", False),
-        ("planner", "planner", False),
-        ("planner+pushdown", "planner", True),
-    ]
+def build_comparison_doc(entries: dict, shape, timesteps: int) -> dict:
+    """Fold per-config entries (as returned by :func:`run_config`) into
+    the BENCH_sql comparison document. Shared by the in-process bench
+    below and the campaign aggregation, so both produce the same
+    shape."""
     doc: dict = {"experiment": "sql_pushdown",
                  "shape": list(shape), "timesteps": timesteps,
-                 "threshold": threshold, "configs": {}}
+                 "threshold": entries["legacy-eager"]["threshold"],
+                 "configs": {}}
     reference = None
-    for name, engine, pushdown in configs:
-        entry, results = _run_config(engine, pushdown, config, threshold)
+    for name in SQL_CONFIGS:
+        results = entries[name]["results"]
         if reference is None:
             reference = results
-        entry["identical_results"] = all(
-            a == b for a, b in zip(results, reference)) \
-            and len(results) == len(reference)
+        entry = dict(entries[name]["entry"])
+        entry["identical_results"] = results == reference
         doc["configs"][name] = entry
     eager = doc["configs"]["legacy-eager"]
     planner = doc["configs"]["planner"]
@@ -174,9 +181,19 @@ def sql_pushdown_result(shape=(8, 48, 48), timesteps: int = 2) -> dict:
     return doc
 
 
-def sql_rows(shape=(8, 48, 48), timesteps: int = 2):
-    """Table shape for ``python -m repro.bench sql``."""
-    doc = sql_pushdown_result(shape=shape, timesteps=timesteps)
+def sql_pushdown_result(shape=(8, 48, 48), timesteps: int = 2) -> dict:
+    """Run every engine configuration; returns the full comparison doc."""
+    config = _nuwrf_config(shape=shape, timesteps=timesteps)
+    threshold = selective_threshold(config)
+    entries = {name: run_config(name, shape=shape, timesteps=timesteps,
+                                threshold=threshold)
+               for name in SQL_CONFIGS}
+    return build_comparison_doc(entries, shape, timesteps)
+
+
+def doc_rows(doc: dict):
+    """(columns, rows, note) for a comparison document — shared by the
+    CLI below and the campaign aggregation table."""
     columns = ["engine config", "sim seconds", "MB scanned",
                "chunks read", "chunks pruned", "speedup vs eager"]
     eager = doc["configs"]["legacy-eager"]["sim_seconds"]
@@ -187,7 +204,8 @@ def sql_rows(shape=(8, 48, 48), timesteps: int = 2):
          round(eager / entry["sim_seconds"], 2))
         for name, entry in doc["configs"].items()
     ]
-    note = (f"Fig. 9-style selective QR scan over {timesteps} NU-WRF "
+    note = (f"Fig. 9-style selective QR scan over {doc['timesteps']} "
+            f"NU-WRF "
             f"timesteps; bytes reduction {doc['bytes_reduction']:.1f}x, "
             f"legacy-vs-planner twin delta {doc['twin_delta']:.2e}s, "
             f"identical results: {doc['identical_results']}; "
@@ -195,5 +213,13 @@ def sql_rows(shape=(8, 48, 48), timesteps: int = 2):
     return columns, rows, note
 
 
-__all__ = ["MIN_BYTES_REDUCTION", "TWIN_TOLERANCE", "build_sql_world",
-           "selective_threshold", "sql_pushdown_result", "sql_rows"]
+def sql_rows(shape=(8, 48, 48), timesteps: int = 2):
+    """Table shape for ``python -m repro.bench sql``."""
+    doc = sql_pushdown_result(shape=shape, timesteps=timesteps)
+    return doc_rows(doc)
+
+
+__all__ = ["MIN_BYTES_REDUCTION", "SQL_CONFIGS", "TWIN_TOLERANCE",
+           "build_comparison_doc", "build_sql_world", "doc_rows",
+           "run_config", "selective_threshold", "serialize_frames",
+           "sql_pushdown_result", "sql_rows"]

@@ -1,0 +1,98 @@
+"""Shared simulated-world builders for the benchmark suite.
+
+The engine-vs-engine benches used to each carry a private copy of the
+same cluster boilerplate (specs, node loop, HDFS datanode wiring, the
+PFS/SciDP stack). These are the two canonical shapes, parameterised on
+the knobs the benches actually vary; ``benchmarks/_worlds.py`` re-
+exports them for the campaign-migrated scripts.
+"""
+
+from __future__ import annotations
+
+__all__ = ["build_hdfs_world", "build_scidp_world"]
+
+
+def build_hdfs_world(n_nodes: int = 4, *, cpus: int = 8,
+                     memory: int = 10**9, disk_bandwidth: float = 10**6,
+                     seek_latency: float = 0.001,
+                     nic_bandwidth: float = 10**7,
+                     nic_latency: float = 0.0001,
+                     block_size: int = 1024, replication: int = 1):
+    """A compute cluster with every node doubling as an HDFS datanode.
+
+    Returns ``(env, nodes, hdfs, network)`` — the world shape the
+    sparklike engine-vs-engine bench runs on.
+    """
+    from repro.cluster import Cluster
+    from repro.cluster.spec import DiskSpec, LinkSpec, NodeSpec
+    from repro.hdfs import HDFS
+    from repro.sim import Environment
+
+    spec = NodeSpec(
+        cpus=cpus, memory=memory,
+        disks=(DiskSpec(bandwidth=disk_bandwidth,
+                        seek_latency=seek_latency),),
+        nic=LinkSpec(bandwidth=nic_bandwidth, latency=nic_latency))
+    env = Environment()
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", spec, role="compute")
+             for i in range(n_nodes)]
+    hdfs = HDFS(env, cluster.network, block_size=block_size,
+                replication=replication)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    return env, nodes, hdfs, cluster.network
+
+
+def build_scidp_world(n_nodes: int = 2, *, cpus: int = 8,
+                      memory: int = 10**9,
+                      disk_bandwidth: float = 10**8,
+                      seek_latency: float = 0.0005,
+                      nic_bandwidth: float = 10**9,
+                      nic_latency: float = 0.0001, ost_disks: int = 4,
+                      stripe_size: int = 1 << 20, stripe_count: int = 4,
+                      block_size: int = 1 << 22, replication: int = 1,
+                      metrics: bool = True):
+    """The full SciDP stack: compute nodes + MDS/OSS-backed PFS + HDFS.
+
+    Returns ``(env, nodes, scidp)`` with ``costs`` pinned at scale 1.0
+    — the world shape the SQL-pushdown bench runs on.
+    """
+    from repro import costs
+    from repro.cluster import Cluster
+    from repro.cluster.spec import DiskSpec, LinkSpec, NodeSpec
+    from repro.core import SciDP
+    from repro.hdfs import HDFS
+    from repro.obs.metrics import attach_metrics
+    from repro.pfs import PFS, StripeLayout
+    from repro.sim import Environment
+
+    costs.set_scale(1.0)
+    spec = NodeSpec(
+        cpus=cpus, memory=memory,
+        disks=(DiskSpec(bandwidth=disk_bandwidth,
+                        seek_latency=seek_latency),),
+        nic=LinkSpec(bandwidth=nic_bandwidth, latency=nic_latency))
+    env = Environment()
+    if metrics:
+        attach_metrics(env)
+    cluster = Cluster(env)
+    nodes = [cluster.add_node(f"n{i}", spec, role="compute")
+             for i in range(n_nodes)]
+    mds = cluster.add_node("mds", spec, role="storage")
+    oss = cluster.add_node("oss", NodeSpec(
+        cpus=cpus, memory=memory,
+        disks=tuple(DiskSpec(bandwidth=disk_bandwidth,
+                             seek_latency=seek_latency)
+                    for _ in range(ost_disks)),
+        nic=LinkSpec(bandwidth=nic_bandwidth, latency=nic_latency)),
+        role="storage")
+    pfs = PFS(env, cluster.network, mds, [oss],
+              default_layout=StripeLayout(stripe_size=stripe_size,
+                                          stripe_count=stripe_count))
+    hdfs = HDFS(env, cluster.network, block_size=block_size,
+                replication=replication)
+    for node in nodes:
+        hdfs.add_datanode(node)
+    scidp = SciDP(env, nodes, pfs, hdfs, cluster.network)
+    return env, nodes, scidp

@@ -1,0 +1,68 @@
+"""signac-style experiment-campaign layer (DESIGN.md §16).
+
+A *campaign* is a declared parameter space whose points are executed by
+a spawn-safe worker function into a *workspace*: one directory per
+state-point hash holding ``statepoint.json``, ``result.json`` and a
+provenance record (code fingerprint, seed, wall-clock, schema version).
+Completed points are skipped on re-run and invalidated automatically
+when the code fingerprint changes, and a :class:`ProcessPoolExecutor`
+sweeps pending points across real CPU cores — each DES run is
+single-threaded, so the sweep is an embarrassingly-parallel wall-clock
+win.
+
+Layering: this package is pure orchestration. It never imports the
+simulation layers (``repro.sim``/``repro.hdfs``/``repro.pfs``/
+``repro.core``) — worker functions live in :mod:`repro.bench.campaigns`
+and are addressed by ``"module:function"`` reference so only the worker
+*processes* pay the simulation imports. The workspace storage layout is
+internal: everything outside goes through this facade (enforced by the
+layering lint).
+"""
+
+from repro.campaign.aggregate import (
+    aggregate_campaign,
+    campaign_table,
+    collect_records,
+)
+from repro.campaign.registry import CAMPAIGNS, CampaignDef, get_campaign
+from repro.campaign.runner import (
+    CampaignError,
+    PointTimeout,
+    RunReport,
+    run_campaign,
+    run_points,
+    worker_ref,
+)
+from repro.campaign.statepoint import (
+    ParameterSpace,
+    canonicalize,
+    statepoint_id,
+)
+from repro.campaign.workspace import (
+    SCHEMA_VERSION,
+    PointRecord,
+    Workspace,
+    code_fingerprint,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignDef",
+    "CampaignError",
+    "ParameterSpace",
+    "PointRecord",
+    "PointTimeout",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "Workspace",
+    "aggregate_campaign",
+    "campaign_table",
+    "canonicalize",
+    "code_fingerprint",
+    "collect_records",
+    "get_campaign",
+    "run_campaign",
+    "run_points",
+    "statepoint_id",
+    "worker_ref",
+]

@@ -1,0 +1,176 @@
+"""Campaign command line.
+
+    python -m repro.campaign                      # list campaigns
+    python -m repro.campaign run smoke --workers 4
+    python -m repro.campaign status smoke
+    python -m repro.campaign aggregate smoke [--json]
+    python -m repro.campaign clean smoke [--errors-only]
+
+Workspaces default to ``campaigns/<name>`` under the current directory.
+``run`` streams per-point progress, skips completed points whose
+provenance matches the live code fingerprint, and exits 1 if any point
+failed (their ``error.json`` records stay behind and are retried next
+run). Every subcommand exits 1 with a one-line message on a missing
+campaign/workspace rather than a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.reporting import format_table
+from repro.campaign.aggregate import aggregate_campaign, campaign_table
+from repro.campaign.registry import CAMPAIGNS, get_campaign
+from repro.campaign.runner import CampaignError, run_campaign
+from repro.campaign.workspace import Workspace, code_fingerprint
+
+
+def _fail(message: str) -> int:
+    print(message, file=sys.stderr)
+    return 1
+
+
+def _workspace(args, definition) -> Workspace:
+    root = args.workspace or f"campaigns/{definition.name}"
+    return Workspace(root)
+
+
+def _progress_line(event: dict) -> None:
+    if event["event"] == "point":
+        status = "ok" if event["ok"] else "FAILED"
+        wall = event.get("wall_seconds")
+        wall_text = f" {wall:.2f}s" if wall is not None else ""
+        print(f"[{event['campaign']}] {event['done']}/{event['total']} "
+              f"{event['point_id']} {status}{wall_text}", flush=True)
+    elif event["event"] == "skip":
+        print(f"[{event['campaign']}] skip {event['point_id']} "
+              f"(complete)", flush=True)
+
+
+def _cmd_run(args) -> int:
+    definition = get_campaign(args.campaign)
+    workspace = _workspace(args, definition)
+    report = run_campaign(
+        definition, workspace, workers=args.workers,
+        timeout=args.timeout, quick=args.quick,
+        progress=None if args.quiet else _progress_line)
+    print(report.summary())
+    if report.failed:
+        return _fail(f"{len(report.failed)} point(s) failed; see "
+                     f"error.json under {workspace.root}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    definition = get_campaign(args.campaign)
+    workspace = _workspace(args, definition)
+    fingerprint = code_fingerprint()
+    counts: dict[str, int] = {}
+    rows = []
+    for statepoint in definition.points(quick=args.quick):
+        pid = workspace.ensure_point(statepoint)
+        record = workspace.load(pid, fingerprint)
+        counts[record.status] = counts.get(record.status, 0) + 1
+        wall = (record.provenance or {}).get("wall_seconds")
+        params = {k: v for k, v in record.statepoint.items()
+                  if k != "workload"}
+        rows.append((pid, record.status,
+                     round(wall, 2) if wall is not None else "-",
+                     json.dumps(params, sort_keys=True)[:60]))
+    note = ", ".join(f"{count} {status}"
+                     for status, count in sorted(counts.items()))
+    print(format_table(f"campaign {definition.name}",
+                       ["point", "status", "wall s", "statepoint"],
+                       rows, note))
+    return 0
+
+
+def _cmd_aggregate(args) -> int:
+    definition = get_campaign(args.campaign)
+    workspace = _workspace(args, definition)
+    try:
+        doc = aggregate_campaign(definition, workspace,
+                                 quick=args.quick)
+    except LookupError as exc:
+        return _fail(str(exc))
+    if args.as_json:
+        print(json.dumps(doc, indent=2))
+    else:
+        columns, rows, note = campaign_table(definition, doc)
+        print(format_table(definition.name, columns, rows, note))
+    return 0
+
+
+def _cmd_clean(args) -> int:
+    definition = get_campaign(args.campaign)
+    workspace = _workspace(args, definition)
+    removed = workspace.clean(errors_only=args.errors_only)
+    what = "failed point(s)" if args.errors_only else "point(s)"
+    print(f"removed {len(removed)} {what} from {workspace.root}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run experiment campaigns: parameter sweeps with "
+                    "content-hashed result caching and incremental "
+                    "re-run.")
+    sub = parser.add_subparsers(dest="command")
+
+    def _common(cmd):
+        cmd.add_argument("campaign", help="campaign name")
+        cmd.add_argument("--workspace", default=None,
+                         help="workspace directory "
+                              "(default: campaigns/<name>)")
+        cmd.add_argument("--quick", action="store_true",
+                         help="the campaign's miniature parameter space")
+
+    run_cmd = sub.add_parser("run", help="execute pending points")
+    _common(run_cmd)
+    run_cmd.add_argument("--workers", type=int, default=0,
+                         help="process-pool size (0 = in-process "
+                              "serial)")
+    run_cmd.add_argument("--timeout", type=float, default=None,
+                         help="per-point timeout in seconds (default: "
+                              "the campaign's)")
+    run_cmd.add_argument("--quiet", action="store_true",
+                         help="suppress per-point progress lines")
+
+    status_cmd = sub.add_parser("status", help="per-point status table")
+    _common(status_cmd)
+
+    agg_cmd = sub.add_parser("aggregate",
+                             help="comparison table from completed "
+                                  "points")
+    _common(agg_cmd)
+    agg_cmd.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the aggregated JSON document")
+
+    clean_cmd = sub.add_parser("clean", help="remove point directories")
+    _common(clean_cmd)
+    clean_cmd.add_argument("--errors-only", action="store_true",
+                           help="remove only failed points")
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        print("Available campaigns:")
+        for name, definition in sorted(CAMPAIGNS.items()):
+            print(f"  {name:12s} {definition.description}")
+        return 0
+
+    handler = {"run": _cmd_run, "status": _cmd_status,
+               "aggregate": _cmd_aggregate, "clean": _cmd_clean}
+    try:
+        return handler[args.command](args)
+    except KeyError as exc:
+        # unknown campaign name from get_campaign
+        return _fail(str(exc.args[0]))
+    except CampaignError as exc:
+        return _fail(f"campaign error: {exc}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

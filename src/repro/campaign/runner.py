@@ -1,0 +1,367 @@
+"""Process-pool campaign driver with skip-if-computed semantics.
+
+Points run through a top-level worker function addressed by a
+``"module:function"`` reference — never a pickled closure — so every
+worker is importable under the ``spawn`` start method (the portable,
+state-free one). :func:`worker_ref` enforces that at submit time, and
+:func:`check_statepoint` rejects state points carrying simulation
+objects (an ``Environment``, a node, a client...) before anything
+crosses the process boundary: a worker builds its *own* world from
+plain parameters.
+
+Failure isolation: the child wrapper catches the worker's exception and
+returns a failure record, which the parent writes to the point's
+``error.json`` — a crashed point never aborts the sweep, and is retried
+on the next run. Per-point timeouts are enforced *inside* the worker
+process via ``SIGALRM`` (POSIX; a no-op where unavailable), so a hung
+point turns into an ordinary recorded error. A hard child death
+(``os._exit``, segfault) breaks the pool; the driver records errors for
+the in-flight points, rebuilds the pool, and keeps sweeping.
+
+``workers=0`` runs every point in-process, serially, through the exact
+same wrapper — the determinism baseline the equivalence tests compare
+the pool against. Results always round-trip through the workspace's
+JSON files, so serial and parallel sweeps aggregate identically.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.campaign.statepoint import canonicalize
+from repro.campaign.workspace import (
+    SCHEMA_VERSION,
+    Workspace,
+    code_fingerprint,
+)
+
+__all__ = ["CampaignError", "PointTimeout", "RunReport", "run_campaign",
+           "run_points", "worker_ref"]
+
+
+class CampaignError(Exception):
+    """A campaign was misdeclared (unsafe worker, bad state point)."""
+
+
+class PointTimeout(BaseException):
+    """Raised inside a worker when its per-point timeout expires.
+
+    A ``BaseException`` so worker code that catches ``Exception``
+    broadly cannot swallow the deadline.
+    """
+
+
+# ---------------------------------------------------------------------------
+# spawn-safety guards
+# ---------------------------------------------------------------------------
+
+def worker_ref(worker: str | Callable) -> str:
+    """Validate ``worker`` and return its ``"module:function"`` ref.
+
+    The function must be addressable by name in an importable module —
+    the spawn-safety rule: lambdas, nested functions and bound methods
+    cannot be re-imported by a fresh worker process.
+    """
+    if isinstance(worker, str):
+        module_name, _, func_name = worker.partition(":")
+        if not module_name or not func_name:
+            raise CampaignError(
+                f"worker reference must look like 'module:function', "
+                f"got {worker!r}")
+    else:
+        module_name = getattr(worker, "__module__", None)
+        func_name = getattr(worker, "__qualname__", None)
+        if not module_name or not func_name or "<locals>" in func_name \
+                or "." in func_name:
+            raise CampaignError(
+                f"campaign workers must be top-level functions "
+                f"importable under spawn; got {worker!r} "
+                f"(qualname {func_name!r})")
+    resolved = _resolve_worker(f"{module_name}:{func_name}")
+    if not isinstance(worker, str) and resolved is not worker:
+        raise CampaignError(
+            f"{module_name}.{func_name} does not resolve back to the "
+            f"given function — campaign workers must be importable "
+            f"module attributes, not decorated copies or locals")
+    return f"{module_name}:{func_name}"
+
+
+def _resolve_worker(ref: str) -> Callable:
+    module_name, _, func_name = ref.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+        func = getattr(module, func_name)
+    except (ImportError, AttributeError) as exc:
+        raise CampaignError(
+            f"cannot resolve campaign worker {ref!r}: {exc}") from exc
+    if not callable(func):
+        raise CampaignError(f"campaign worker {ref!r} is not callable")
+    return func
+
+
+def check_statepoint(statepoint: dict) -> dict:
+    """Canonical form of ``statepoint``; raises :class:`CampaignError`
+    for anything that cannot cross the process boundary."""
+    try:
+        doc = canonicalize(statepoint)
+    except (TypeError, ValueError) as exc:
+        raise CampaignError(f"invalid state point: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise CampaignError(
+            f"a state point is a dict of parameters, got "
+            f"{type(statepoint).__name__}")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# the per-point wrapper (runs in the worker process; top-level so the
+# pool can address it by name under spawn)
+# ---------------------------------------------------------------------------
+
+def _child_run(ref: str, statepoint: dict,
+               timeout: float | None) -> dict:
+    """Execute one point; never raises — failures become records."""
+    import signal
+
+    started = time.perf_counter()
+    alarm_armed = False
+    previous_handler = None
+    try:
+        func = _resolve_worker(ref)
+        if timeout and hasattr(signal, "SIGALRM"):
+            def _expire(signum, frame):
+                raise PointTimeout(
+                    f"point exceeded its {timeout:g}s timeout")
+            try:
+                previous_handler = signal.signal(signal.SIGALRM, _expire)
+                signal.setitimer(signal.ITIMER_REAL, timeout)
+                alarm_armed = True
+            except ValueError:  # pragma: no cover - non-main thread
+                previous_handler = None
+        result = func(statepoint)
+        wall = time.perf_counter() - started
+        return {"ok": True, "result": result, "wall_seconds": wall}
+    except (Exception, PointTimeout) as exc:
+        wall = time.perf_counter() - started
+        return {
+            "ok": False,
+            "wall_seconds": wall,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "timeout": isinstance(exc, PointTimeout),
+                "traceback": traceback.format_exc(),
+            },
+        }
+    finally:
+        if alarm_armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            if previous_handler is not None:
+                signal.signal(signal.SIGALRM, previous_handler)
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunReport:
+    """What one sweep did to the workspace."""
+
+    campaign: str
+    workers: int
+    fingerprint: str
+    total: int = 0
+    executed: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+    failed: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return len(self.skipped)
+
+    @property
+    def points_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return len(self.executed) / self.wall_seconds
+
+    def summary(self) -> str:
+        return (f"{self.campaign}: {len(self.executed)} executed "
+                f"({len(self.failed)} failed), {self.cache_hits} "
+                f"cache hits, workers={self.workers}, "
+                f"{self.wall_seconds:.2f}s wall")
+
+
+def _emit(progress, event: dict) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def run_points(points: Iterable[dict], worker: str | Callable,
+               workspace: Workspace, *, workers: int = 0,
+               timeout: float | None = None,
+               fingerprint: str | None = None,
+               campaign: str = "campaign",
+               progress: Callable[[dict], None] | None = None) -> \
+        RunReport:
+    """Sweep ``points`` through ``worker`` into ``workspace``.
+
+    ``workers=0`` executes in-process serially (the determinism
+    baseline); ``workers>=1`` sweeps through a spawn-based
+    :class:`ProcessPoolExecutor` with at most ``workers`` points in
+    flight. Completed points whose provenance matches ``fingerprint``
+    (default: the live ``repro`` source fingerprint) are skipped.
+    """
+    ref = worker_ref(worker)
+    fingerprint = fingerprint or code_fingerprint()
+    report = RunReport(campaign=campaign, workers=workers,
+                       fingerprint=fingerprint)
+    started = time.perf_counter()
+
+    to_run: list[tuple[str, dict]] = []
+    seen: set[str] = set()
+    for statepoint in points:
+        check_statepoint(statepoint)
+        pid = workspace.ensure_point(statepoint)
+        if pid in seen:
+            continue
+        seen.add(pid)
+        report.total += 1
+        status = workspace.status(pid, fingerprint)
+        if status == "complete":
+            report.skipped.append(pid)
+            _emit(progress, {"event": "skip", "point_id": pid,
+                             "status": status, "campaign": campaign})
+        else:
+            to_run.append((pid, statepoint))
+
+    def _record(pid: str, statepoint: dict, outcome: dict) -> None:
+        provenance = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "campaign": campaign,
+            "worker": ref,
+            "seed": statepoint.get("seed"),
+            "wall_seconds": outcome.get("wall_seconds"),
+            "finished_at": time.time(),
+        }
+        if outcome["ok"]:
+            try:
+                result = json.loads(json.dumps(outcome["result"]))
+            except (TypeError, ValueError) as exc:
+                outcome = {"ok": False,
+                           "wall_seconds": outcome.get("wall_seconds"),
+                           "error": {"type": "TypeError",
+                                     "message": f"worker result is not "
+                                                f"JSON-serializable: "
+                                                f"{exc}",
+                                     "timeout": False, "traceback": ""}}
+            else:
+                workspace.record_result(pid, result, provenance)
+                report.executed.append(pid)
+        if not outcome["ok"]:
+            workspace.record_error(pid, outcome["error"], provenance)
+            report.executed.append(pid)
+            report.failed.append(pid)
+        done = len(report.executed) + len(report.skipped)
+        _emit(progress, {
+            "event": "point", "point_id": pid, "campaign": campaign,
+            "ok": outcome["ok"], "done": done, "total": report.total,
+            "wall_seconds": outcome.get("wall_seconds")})
+
+    if workers <= 0:
+        for pid, statepoint in to_run:
+            _record(pid, statepoint, _child_run(ref, statepoint, timeout))
+    else:
+        _run_pool(to_run, ref, timeout, workers, _record)
+
+    report.wall_seconds = time.perf_counter() - started
+    _emit(progress, {"event": "done", "campaign": campaign,
+                     "executed": len(report.executed),
+                     "failed": len(report.failed),
+                     "skipped": len(report.skipped),
+                     "wall_seconds": report.wall_seconds})
+    return report
+
+
+def _run_pool(to_run, ref: str, timeout: float | None, workers: int,
+              record) -> None:
+    """Wave-based pool drive: at most ``workers`` points in flight, so
+    a hard child death can only take the current wave down with it —
+    the pool is rebuilt and the rest of the sweep continues."""
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+
+    def _new_pool():
+        return ProcessPoolExecutor(max_workers=workers,
+                                   mp_context=context)
+
+    pending = deque(to_run)
+    in_flight: dict = {}
+    pool = _new_pool()
+    try:
+        while pending or in_flight:
+            while pending and len(in_flight) < workers:
+                pid, statepoint = pending.popleft()
+                future = pool.submit(_child_run, ref, statepoint, timeout)
+                in_flight[future] = (pid, statepoint)
+            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                pid, statepoint = in_flight.pop(future)
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    broken = broken or isinstance(exc, BrokenProcessPool)
+                    outcome = {
+                        "ok": False, "wall_seconds": None,
+                        "error": {"type": type(exc).__name__,
+                                  "message": f"worker process died: "
+                                             f"{exc}",
+                                  "timeout": False, "traceback": ""}}
+                record(pid, statepoint, outcome)
+            if broken:
+                # every other in-flight future is broken too: record
+                # their failures, then rebuild the pool and continue
+                for future, (pid, statepoint) in list(in_flight.items()):
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:
+                        outcome = {
+                            "ok": False, "wall_seconds": None,
+                            "error": {"type": type(exc).__name__,
+                                      "message": f"worker process "
+                                                 f"died: {exc}",
+                                      "timeout": False,
+                                      "traceback": ""}}
+                    record(pid, statepoint, outcome)
+                in_flight.clear()
+                pool.shutdown(wait=False)
+                pool = _new_pool()
+    finally:
+        pool.shutdown()
+
+
+def run_campaign(definition, workspace: Workspace, *, workers: int = 0,
+                 timeout: float | None = None, quick: bool = False,
+                 fingerprint: str | None = None,
+                 progress: Callable[[dict], None] | None = None) -> \
+        RunReport:
+    """Sweep a registered :class:`~repro.campaign.registry.CampaignDef`."""
+    return run_points(
+        definition.points(quick=quick), definition.worker, workspace,
+        workers=workers,
+        timeout=definition.point_timeout if timeout is None else timeout,
+        fingerprint=fingerprint, campaign=definition.name,
+        progress=progress)

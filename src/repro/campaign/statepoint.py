@@ -1,0 +1,195 @@
+"""Canonical state points and the declarative parameter space.
+
+A *state point* is the parameter dict that uniquely identifies one
+experiment: ``{"workload": "simscale", "n_nodes": 256, "seed": 3}``.
+Workspace directories are keyed by a stable content hash of the state
+point, so the same parameters always land in the same directory — no
+matter the key order the caller used, whether a count arrived as ``1``
+or ``1.0``, or whether a shape was spelled as a tuple or a list.
+
+Canonicalisation rules (:func:`canonicalize`):
+
+- dict keys must be strings and are sorted;
+- tuples become lists;
+- integral floats collapse to ints (``1.0`` -> ``1``), so numeric
+  parameters hash identically however they were produced;
+- bools stay bools (``True`` is not ``1`` — they are distinct knobs);
+- NumPy scalars collapse to their Python value via ``.item()``;
+- NaN/inf are rejected with a clear error — a NaN parameter would
+  compare unequal to itself and silently fork workspace directories;
+- anything else (objects, sets, simulation state) is rejected: state
+  points cross process boundaries and must stay plain JSON data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = ["ParameterSpace", "canonicalize", "statepoint_id"]
+
+#: integral floats above this cannot be represented exactly anyway —
+#: keep them as floats rather than invent precision
+_MAX_EXACT_FLOAT = float(2**53)
+
+
+def canonicalize(value: Any) -> Any:
+    """Return the canonical JSON-able form of a state-point value.
+
+    Raises ``TypeError``/``ValueError`` with a pointed message for
+    anything that cannot cross a process boundary as JSON.
+    """
+    if isinstance(value, bool):  # before int: bool subclasses int
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            raise ValueError(
+                "NaN is not a valid state-point value: it compares "
+                "unequal to itself, so the point could never be found "
+                "again; encode 'missing' explicitly (e.g. None)")
+        if math.isinf(value):
+            raise ValueError(
+                "infinite floats are not valid state-point values "
+                "(not portable JSON); encode the intent explicitly")
+        if value.is_integer() and abs(value) <= _MAX_EXACT_FLOAT:
+            return int(value)
+        return value
+    if isinstance(value, str) or value is None:
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"state-point keys must be strings, got "
+                    f"{type(key).__name__}: {key!r}")
+            out[key] = canonicalize(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    # NumPy scalars carry their value portably; unwrap them
+    item = getattr(value, "item", None)
+    if callable(item) and type(value).__module__.startswith("numpy"):
+        return canonicalize(value.item())
+    hint = ""
+    if type(value).__module__.partition(".")[0] == "repro":
+        hint = ("; simulation/runtime objects cannot cross the "
+                "process boundary — pass plain parameters and let the "
+                "worker build its own world")
+    raise TypeError(
+        f"unsupported state-point value of type "
+        f"{type(value).__module__}.{type(value).__name__}: "
+        f"{value!r}{hint}")
+
+
+def statepoint_id(statepoint: dict) -> str:
+    """Stable content hash of a state point (20 hex chars).
+
+    Key order, ``1.0`` vs ``1`` and tuple-vs-list spellings all hash
+    identically; see :func:`canonicalize`.
+    """
+    if not isinstance(statepoint, dict):
+        raise TypeError(
+            f"a state point is a dict of parameters, got "
+            f"{type(statepoint).__name__}")
+    doc = canonicalize(statepoint)
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:20]
+
+
+class ParameterSpace:
+    """Declarative parameter space expanded into state points.
+
+    - :meth:`grid` adds cartesian axes (successive calls multiply);
+    - :meth:`zip` adds one axis of equal-length sequences advanced in
+      lockstep (``seed`` with its matching ``replicate``, say);
+    - :meth:`when` applies conditional overrides to matching points;
+    - :meth:`where` filters points out.
+
+    Expansion order is deterministic (base, then axes in declaration
+    order) and duplicate points — identical after canonicalisation —
+    are dropped, keeping the first occurrence.
+
+    >>> space = (ParameterSpace(base={"workload": "smoke"})
+    ...          .grid(n_nodes=[16, 64], seed=[0, 1]))
+    >>> len(space.points())
+    4
+    """
+
+    def __init__(self, base: dict | None = None):
+        self._base = dict(base or {})
+        self._axes: list[list[dict]] = []
+        self._overlays: list[tuple[Callable[[dict], bool], dict]] = []
+        self._filters: list[Callable[[dict], bool]] = []
+
+    def grid(self, **axes: Iterable) -> "ParameterSpace":
+        """Cartesian product over each ``key=[values...]`` axis."""
+        for key, values in axes.items():
+            entries = [{key: value} for value in values]
+            if not entries:
+                raise ValueError(f"grid axis {key!r} has no values")
+            self._axes.append(entries)
+        return self
+
+    def zip(self, **axes: Iterable) -> "ParameterSpace":
+        """One axis advancing all ``key=[values...]`` in lockstep."""
+        lists = {key: list(values) for key, values in axes.items()}
+        if not lists:
+            raise ValueError("zip needs at least one axis")
+        lengths = {key: len(values) for key, values in lists.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(
+                f"zip axes must have equal lengths, got {lengths}")
+        count = next(iter(lengths.values()))
+        if count == 0:
+            raise ValueError("zip axes have no values")
+        self._axes.append([
+            {key: lists[key][i] for key in lists} for i in range(count)])
+        return self
+
+    def when(self, predicate: Callable[[dict], bool],
+             **overrides: Any) -> "ParameterSpace":
+        """Apply ``overrides`` to every point matching ``predicate``."""
+        self._overlays.append((predicate, dict(overrides)))
+        return self
+
+    def where(self, predicate: Callable[[dict], bool]) -> \
+            "ParameterSpace":
+        """Keep only points matching ``predicate``."""
+        self._filters.append(predicate)
+        return self
+
+    def points(self) -> list[dict]:
+        """Expand into the ordered, deduplicated list of state points."""
+        points = [dict(self._base)]
+        for axis in self._axes:
+            points = [{**point, **entry}
+                      for point in points for entry in axis]
+        out: list[dict] = []
+        seen: set[str] = set()
+        for point in points:
+            for predicate, overrides in self._overlays:
+                if predicate(point):
+                    point = {**point, **overrides}
+            if not all(keep(point) for keep in self._filters):
+                continue
+            pid = statepoint_id(point)
+            if pid not in seen:
+                seen.add(pid)
+                out.append(point)
+        return out
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.points())
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ParameterSpace base={self._base!r} "
+                f"axes={[len(a) for a in self._axes]}>")

@@ -1,0 +1,206 @@
+"""Workspace of campaign points keyed by state-point hash.
+
+One directory per state point (named by :func:`~repro.campaign.
+statepoint.statepoint_id`) holding:
+
+- ``statepoint.json`` — the canonical parameters (ground truth: the
+  directory name is derived from it and re-derivable);
+- ``result.json`` — the worker's JSON result, present only for
+  completed points;
+- ``error.json`` — the failure record (exception type, message,
+  traceback, timeout flag) of the most recent failed attempt;
+- ``provenance.json`` — how the result was produced: the code
+  fingerprint of the ``repro`` source tree, the point's seed, the
+  wall-clock the run took, and the campaign schema version.
+
+Skip-if-computed semantics: a point is **complete** iff ``result.json``
+exists and its provenance fingerprint/schema match the current run's.
+A fingerprint mismatch makes the point **stale** (re-run), a recorded
+error makes it **error** (retried next run), anything else is
+**pending**. All writes are atomic (tmp file + ``os.replace``) so a
+killed sweep never leaves a half-written result that would be skipped
+forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.campaign.statepoint import canonicalize, statepoint_id
+
+__all__ = ["SCHEMA_VERSION", "PointRecord", "Workspace",
+           "code_fingerprint"]
+
+#: bump when the workspace layout/provenance contract changes —
+#: mismatched points are treated as stale and re-run
+SCHEMA_VERSION = 1
+
+STATEPOINT_FILE = "statepoint.json"
+RESULT_FILE = "result.json"
+ERROR_FILE = "error.json"
+PROVENANCE_FILE = "provenance.json"
+
+
+def code_fingerprint(packages: Iterable[str] = ("repro",),
+                     roots: Iterable = ()) -> str:
+    """Content hash of the named packages' source trees (20 hex chars).
+
+    Hashes every ``*.py`` under each package directory (path + bytes),
+    so any code change — not just in the worker function — invalidates
+    completed points. ``roots`` takes explicit directories instead of
+    importable package names (used by tests).
+    """
+    import importlib
+
+    digest = hashlib.sha1()
+    dirs = [Path(root) for root in roots]
+    for name in packages:
+        module = importlib.import_module(name)
+        if module.__file__ is None:  # pragma: no cover - namespace pkg
+            raise ValueError(f"package {name!r} has no source file")
+        dirs.append(Path(module.__file__).resolve().parent)
+    for root in dirs:
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(hashlib.sha1(path.read_bytes()).digest())
+            digest.update(b"\0")
+    return digest.hexdigest()[:20]
+
+
+def _write_json(path: Path, doc) -> None:
+    """Atomic JSON write: tmp file in the same dir + ``os.replace``."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path):
+    """Read JSON, or ``None`` for a missing/corrupt file (a crashed
+    writer must look pending, never complete)."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass
+class PointRecord:
+    """Everything the workspace knows about one point."""
+
+    point_id: str
+    statepoint: dict
+    status: str  # "complete" | "stale" | "error" | "pending"
+    result: dict | None = None
+    error: dict | None = None
+    provenance: dict | None = field(default=None)
+
+
+class Workspace:
+    """A directory of campaign points keyed by state-point hash."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- layout ---------------------------------------------------------
+    def point_dir(self, point: dict | str) -> Path:
+        pid = point if isinstance(point, str) else statepoint_id(point)
+        return self.root / pid
+
+    def ensure_point(self, statepoint: dict) -> str:
+        """Materialise the point's directory + ``statepoint.json``."""
+        pid = statepoint_id(statepoint)
+        pdir = self.root / pid
+        pdir.mkdir(exist_ok=True)
+        sp_file = pdir / STATEPOINT_FILE
+        if not sp_file.exists():
+            _write_json(sp_file, canonicalize(statepoint))
+        return pid
+
+    def point_ids(self) -> list[str]:
+        return sorted(
+            entry.name for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / STATEPOINT_FILE).exists())
+
+    # -- records --------------------------------------------------------
+    def record_result(self, point_id: str, result: dict,
+                      provenance: dict) -> None:
+        pdir = self.root / point_id
+        _write_json(pdir / PROVENANCE_FILE, provenance)
+        _write_json(pdir / RESULT_FILE, result)
+        # the provenance/result pair supersedes any earlier failure
+        (pdir / ERROR_FILE).unlink(missing_ok=True)
+
+    def record_error(self, point_id: str, error: dict,
+                     provenance: dict) -> None:
+        pdir = self.root / point_id
+        _write_json(pdir / PROVENANCE_FILE, provenance)
+        _write_json(pdir / ERROR_FILE, error)
+        # a failed re-run invalidates the stale success it replaced
+        (pdir / RESULT_FILE).unlink(missing_ok=True)
+
+    def load(self, point_id: str,
+             fingerprint: str | None = None) -> PointRecord:
+        """The point's record, with status relative to ``fingerprint``
+        (``None`` accepts any fingerprint)."""
+        pdir = self.root / point_id
+        statepoint = _read_json(pdir / STATEPOINT_FILE)
+        if statepoint is None:
+            raise KeyError(f"no point {point_id!r} in {self.root}")
+        result = _read_json(pdir / RESULT_FILE)
+        error = _read_json(pdir / ERROR_FILE)
+        provenance = _read_json(pdir / PROVENANCE_FILE)
+        status = "pending"
+        if result is not None:
+            status = "complete" if self._provenance_current(
+                provenance, fingerprint) else "stale"
+        elif error is not None:
+            status = "error"
+        return PointRecord(point_id=point_id, statepoint=statepoint,
+                           status=status, result=result, error=error,
+                           provenance=provenance)
+
+    @staticmethod
+    def _provenance_current(provenance: dict | None,
+                            fingerprint: str | None) -> bool:
+        if provenance is None:
+            return False
+        if provenance.get("schema") != SCHEMA_VERSION:
+            return False
+        return (fingerprint is None
+                or provenance.get("fingerprint") == fingerprint)
+
+    def status(self, point: dict | str,
+               fingerprint: str | None = None) -> str:
+        pid = point if isinstance(point, str) else statepoint_id(point)
+        try:
+            return self.load(pid, fingerprint).status
+        except KeyError:
+            return "pending"
+
+    def records(self, fingerprint: str | None = None) -> \
+            Iterator[PointRecord]:
+        for pid in self.point_ids():
+            yield self.load(pid, fingerprint)
+
+    # -- maintenance ----------------------------------------------------
+    def clean(self, errors_only: bool = False) -> list[str]:
+        """Remove point directories; with ``errors_only`` keep completed
+        points and drop only failed ones. Returns removed ids."""
+        removed = []
+        for record in list(self.records()):
+            if errors_only and record.status != "error":
+                continue
+            shutil.rmtree(self.root / record.point_id)
+            removed.append(record.point_id)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Workspace {self.root} ({len(self.point_ids())} points)>"

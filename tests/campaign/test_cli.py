@@ -1,0 +1,80 @@
+"""The ``python -m repro.campaign`` surface and the campaign registry."""
+
+import json
+
+import pytest
+
+from repro.campaign.__main__ import main
+from repro.campaign.registry import CAMPAIGNS, get_campaign
+
+
+class TestRegistry:
+    def test_every_campaign_expands(self):
+        for definition in CAMPAIGNS.values():
+            points = definition.points(quick=True)
+            assert points, definition.name
+            full = definition.points()
+            assert full, definition.name
+
+    def test_smoke_space_is_eight_seeds(self):
+        points = get_campaign("smoke").points(quick=True)
+        assert len(points) == 8
+        assert sorted(p["seed"] for p in points) == list(range(8))
+
+    def test_unknown_campaign_lists_names(self):
+        with pytest.raises(KeyError, match="smoke"):
+            get_campaign("nope")
+
+
+class TestCLI:
+    def test_bare_invocation_lists_campaigns(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in CAMPAIGNS:
+            assert name in out
+
+    def test_run_status_aggregate_clean(self, tmp_path, capsys):
+        ws = str(tmp_path / "ws")
+        assert main(["run", "smoke", "--quick",
+                     "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "8 executed (0 failed)" in out
+
+        # warm re-run: everything cached
+        assert main(["run", "smoke", "--quick", "--quiet",
+                     "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed (0 failed), 8 cache hits" in out
+
+        assert main(["status", "smoke", "--quick",
+                     "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "8 complete" in out
+
+        assert main(["aggregate", "smoke", "--quick", "--json",
+                     "--workspace", ws]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["experiment"] == "campaign_smoke"
+        assert doc["points"] == 8
+
+        assert main(["aggregate", "smoke", "--quick",
+                     "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "order signature" in out
+
+        assert main(["clean", "smoke", "--quick",
+                     "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "removed 8 point(s)" in out
+
+    def test_aggregate_before_run_fails_cleanly(self, tmp_path, capsys):
+        assert main(["aggregate", "smoke", "--quick", "--workspace",
+                     str(tmp_path / "empty")]) == 1
+        err = capsys.readouterr().err
+        assert "not complete" in err
+
+    def test_unknown_campaign_exits_one(self, tmp_path, capsys):
+        assert main(["run", "nope", "--workspace",
+                     str(tmp_path / "ws")]) == 1
+        err = capsys.readouterr().err
+        assert "unknown campaign" in err

@@ -1,0 +1,99 @@
+"""Incremental re-run: skip-if-computed, fingerprint invalidation and
+error retry."""
+
+import json
+
+from repro.campaign import ParameterSpace, Workspace, run_points
+
+WORKERS = "tests.campaign.workers"
+FP = "f" * 20
+NEW_FP = "0" * 20
+
+
+def _points(n=8):
+    return ParameterSpace().grid(seed=list(range(n))).points()
+
+
+def test_second_run_executes_zero_points(tmp_path):
+    ws = Workspace(tmp_path / "ws")
+    first = run_points(_points(), f"{WORKERS}:ok_point", ws,
+                       fingerprint=FP)
+    assert len(first.executed) == 8
+
+    second = run_points(_points(), f"{WORKERS}:ok_point", ws,
+                        fingerprint=FP)
+    assert len(second.executed) == 0
+    assert second.cache_hits == 8
+    assert set(second.skipped) == set(first.executed)
+
+
+def test_fingerprint_change_reruns_everything(tmp_path):
+    ws = Workspace(tmp_path / "ws")
+    run_points(_points(), f"{WORKERS}:ok_point", ws, fingerprint=FP)
+    report = run_points(_points(), f"{WORKERS}:ok_point", ws,
+                        fingerprint=NEW_FP)
+    assert len(report.executed) == 8
+    assert report.cache_hits == 0
+
+
+def test_tampered_fingerprints_rerun_exactly_those_points(tmp_path):
+    ws = Workspace(tmp_path / "ws")
+    first = run_points(_points(), f"{WORKERS}:ok_point", ws,
+                       fingerprint=FP)
+    stale = sorted(first.executed)[:3]
+    for pid in stale:
+        path = ws.root / pid / "provenance.json"
+        provenance = json.loads(path.read_text())
+        provenance["fingerprint"] = "tampered"
+        path.write_text(json.dumps(provenance))
+
+    second = run_points(_points(), f"{WORKERS}:ok_point", ws,
+                        fingerprint=FP)
+    assert sorted(second.executed) == stale
+    assert second.cache_hits == 5
+    # ...and afterwards the whole sweep is warm again
+    third = run_points(_points(), f"{WORKERS}:ok_point", ws,
+                       fingerprint=FP)
+    assert len(third.executed) == 0
+
+
+def test_errored_point_records_error_and_is_retried(tmp_path):
+    ws = Workspace(tmp_path / "ws")
+    flag = tmp_path / "fail.flag"
+    flag.write_text("fail")
+    points = (ParameterSpace(base={"flag_path": str(flag)})
+              .grid(seed=[0, 1]).points())
+
+    first = run_points(points, f"{WORKERS}:flag_file_point", ws,
+                       fingerprint=FP)
+    assert len(first.failed) == 2
+    for pid in first.failed:
+        assert (ws.root / pid / "error.json").exists()
+        assert not (ws.root / pid / "result.json").exists()
+
+    # the cause goes away -> the next run retries exactly the errored
+    # points and they complete
+    flag.unlink()
+    second = run_points(points, f"{WORKERS}:flag_file_point", ws,
+                        fingerprint=FP)
+    assert sorted(second.executed) == sorted(first.failed)
+    assert not second.failed
+    for record in ws.records(FP):
+        assert record.status == "complete"
+        assert record.result["value"] == "recovered"
+        assert not (ws.root / record.point_id / "error.json").exists()
+
+
+def test_schema_bump_invalidates_completed_points(tmp_path):
+    ws = Workspace(tmp_path / "ws")
+    first = run_points(_points(2), f"{WORKERS}:ok_point", ws,
+                       fingerprint=FP)
+    pid = first.executed[0]
+    path = ws.root / pid / "provenance.json"
+    provenance = json.loads(path.read_text())
+    provenance["schema"] = -1
+    path.write_text(json.dumps(provenance))
+
+    second = run_points(_points(2), f"{WORKERS}:ok_point", ws,
+                        fingerprint=FP)
+    assert second.executed == [pid]

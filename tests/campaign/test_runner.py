@@ -1,0 +1,202 @@
+"""The campaign driver: spawn-safety, failure isolation, timeouts,
+pool crashes, and serial-vs-parallel equivalence."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    ParameterSpace,
+    Workspace,
+    aggregate_campaign,
+    get_campaign,
+    run_campaign,
+    run_points,
+    worker_ref,
+)
+
+from tests.campaign.workers import ok_point
+
+FP = "f" * 20
+
+WORKERS = "tests.campaign.workers"
+
+
+def _seed_points(n, **extra):
+    return (ParameterSpace(base=extra)
+            .grid(seed=list(range(n))).points())
+
+
+class TestWorkerRef:
+    def test_string_ref_roundtrips(self):
+        assert worker_ref(f"{WORKERS}:ok_point") == \
+            f"{WORKERS}:ok_point"
+
+    def test_callable_resolves_to_its_ref(self):
+        assert worker_ref(ok_point) == f"{WORKERS}:ok_point"
+
+    def test_lambda_rejected(self):
+        with pytest.raises(CampaignError, match="top-level"):
+            worker_ref(lambda sp: sp)
+
+    def test_nested_function_rejected(self):
+        def nested(sp):
+            return sp
+        with pytest.raises(CampaignError, match="top-level"):
+            worker_ref(nested)
+
+    def test_bound_method_rejected(self):
+        class Thing:
+            def work(self, sp):
+                return sp
+        with pytest.raises(CampaignError, match="top-level"):
+            worker_ref(Thing().work)
+
+    def test_malformed_string_rejected(self):
+        with pytest.raises(CampaignError, match="module:function"):
+            worker_ref("no_colon_here")
+
+    def test_unresolvable_ref_rejected(self):
+        with pytest.raises(CampaignError, match="cannot resolve"):
+            worker_ref(f"{WORKERS}:no_such_function")
+
+    def test_registry_workers_resolve(self):
+        from repro.campaign.registry import CAMPAIGNS
+
+        for definition in CAMPAIGNS.values():
+            assert worker_ref(definition.worker) == definition.worker
+
+
+class TestStatepointGuard:
+    def test_environment_cannot_cross_the_boundary(self, tmp_path):
+        from repro.sim.engine import Environment
+
+        ws = Workspace(tmp_path / "ws")
+        with pytest.raises(CampaignError, match="process boundary"):
+            run_points([{"seed": 0, "env": Environment()}],
+                       f"{WORKERS}:ok_point", ws, fingerprint=FP)
+
+    def test_nan_parameter_rejected(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        with pytest.raises(CampaignError, match="NaN"):
+            run_points([{"seed": float("nan")}],
+                       f"{WORKERS}:ok_point", ws, fingerprint=FP)
+
+
+class TestSerialRuns:
+    def test_sweep_records_results(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        report = run_points(_seed_points(4), f"{WORKERS}:ok_point", ws,
+                            fingerprint=FP)
+        assert len(report.executed) == 4
+        assert not report.failed and not report.skipped
+        for record in ws.records(FP):
+            assert record.status == "complete"
+            assert record.result["value"] == record.statepoint["seed"] * 2
+            assert record.provenance["fingerprint"] == FP
+
+    def test_failure_is_isolated(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        points = _seed_points(5, fail_seeds=[1, 3])
+        report = run_points(points, f"{WORKERS}:failing_point", ws,
+                            fingerprint=FP)
+        assert len(report.executed) == 5
+        assert len(report.failed) == 2
+        statuses = {r.statepoint["seed"]: r.status
+                    for r in ws.records(FP)}
+        assert statuses == {0: "complete", 1: "error", 2: "complete",
+                            3: "error", 4: "complete"}
+        errored = next(r for r in ws.records(FP)
+                       if r.statepoint["seed"] == 1)
+        assert errored.error["type"] == "RuntimeError"
+        assert "asked to fail" in errored.error["message"]
+        assert "RuntimeError" in errored.error["traceback"]
+
+    def test_timeout_becomes_a_recorded_error(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        report = run_points(
+            [{"seed": 0, "sleep_s": 30.0}], f"{WORKERS}:slow_point",
+            ws, timeout=0.2, fingerprint=FP)
+        assert len(report.failed) == 1
+        record = next(iter(ws.records(FP)))
+        assert record.status == "error"
+        assert record.error["timeout"] is True
+        assert "timeout" in record.error["message"]
+
+    def test_unserializable_result_becomes_an_error(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        report = run_points(
+            [{"seed": 0}], f"{WORKERS}:unserializable_point", ws,
+            fingerprint=FP)
+        assert report.failed
+        record = next(iter(ws.records(FP)))
+        assert record.status == "error"
+        assert "JSON-serializable" in record.error["message"]
+
+    def test_progress_stream(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        events = []
+        run_points(_seed_points(2), f"{WORKERS}:ok_point", ws,
+                   fingerprint=FP, progress=events.append)
+        kinds = [event["event"] for event in events]
+        assert kinds == ["point", "point", "done"]
+        assert events[0]["total"] == 2
+        assert events[-1]["executed"] == 2
+
+    def test_duplicate_points_run_once(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        report = run_points(
+            [{"seed": 1}, {"seed": 1.0}], f"{WORKERS}:ok_point", ws,
+            fingerprint=FP)
+        assert report.total == 1
+        assert len(report.executed) == 1
+
+
+class TestPoolRuns:
+    def test_parallel_failure_isolation(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        points = _seed_points(4, fail_seeds=[2])
+        report = run_points(points, f"{WORKERS}:failing_point", ws,
+                            workers=2, fingerprint=FP)
+        assert len(report.executed) == 4
+        assert len(report.failed) == 1
+        statuses = sorted(r.status for r in ws.records(FP))
+        assert statuses == ["complete", "complete", "complete", "error"]
+
+    def test_hard_child_death_does_not_abort_the_sweep(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        points = [{"seed": 0, "crash": False},
+                  {"seed": 1, "crash": True},
+                  {"seed": 2, "crash": False}]
+        report = run_points(points, f"{WORKERS}:crash_point", ws,
+                            workers=1, fingerprint=FP)
+        assert len(report.executed) == 3
+        assert len(report.failed) == 1
+        by_seed = {r.statepoint["seed"]: r for r in ws.records(FP)}
+        assert by_seed[0].status == "complete"
+        assert by_seed[1].status == "error"
+        assert "died" in by_seed[1].error["message"]
+        # the rebuilt pool finished the remainder of the sweep
+        assert by_seed[2].status == "complete"
+        assert by_seed[2].result["value"] == "survived"
+
+
+class TestEquivalence:
+    def test_parallel_sweep_matches_serial(self, tmp_path):
+        """workers=4 and workers=0 aggregate byte-identically on the
+        seeded 8-point smoke sweep."""
+        definition = get_campaign("smoke")
+        serial_ws = Workspace(tmp_path / "serial")
+        parallel_ws = Workspace(tmp_path / "parallel")
+
+        serial = run_campaign(definition, serial_ws, workers=0,
+                              quick=True)
+        parallel = run_campaign(definition, parallel_ws, workers=4,
+                                quick=True)
+        assert not serial.failed and not parallel.failed
+        assert len(serial.executed) == len(parallel.executed) == 8
+
+        serial_doc = aggregate_campaign(definition, serial_ws,
+                                        quick=True)
+        parallel_doc = aggregate_campaign(definition, parallel_ws,
+                                          quick=True)
+        assert serial_doc == parallel_doc

@@ -1,0 +1,137 @@
+"""State-point canonicalisation, hashing and the parameter space."""
+
+import math
+
+import pytest
+
+from repro.campaign import ParameterSpace, canonicalize, statepoint_id
+
+
+class TestCanonicalize:
+    def test_key_order_is_irrelevant(self):
+        a = statepoint_id({"alpha": 1, "beta": 2, "gamma": 3})
+        b = statepoint_id({"gamma": 3, "alpha": 1, "beta": 2})
+        assert a == b
+
+    def test_integral_float_collapses_to_int(self):
+        assert canonicalize(1.0) == 1
+        assert isinstance(canonicalize(1.0), int)
+        assert statepoint_id({"n": 1}) == statepoint_id({"n": 1.0})
+        assert statepoint_id({"n": -4.0}) == statepoint_id({"n": -4})
+
+    def test_non_integral_float_survives(self):
+        assert canonicalize(1.5) == 1.5
+        assert statepoint_id({"x": 1.5}) != statepoint_id({"x": 1})
+
+    def test_huge_integral_float_stays_float(self):
+        big = 2.0**60
+        assert isinstance(canonicalize(big), float)
+
+    def test_tuple_and_list_hash_identically(self):
+        a = statepoint_id({"shape": (8, 48, 48)})
+        b = statepoint_id({"shape": [8, 48, 48]})
+        assert a == b
+        assert canonicalize((1, 2)) == [1, 2]
+
+    def test_nested_structures(self):
+        a = statepoint_id({"cfg": {"b": (1.0, 2), "a": [3]}})
+        b = statepoint_id({"cfg": {"a": (3,), "b": [1, 2.0]}})
+        assert a == b
+
+    def test_bool_is_not_int(self):
+        assert canonicalize(True) is True
+        assert statepoint_id({"flag": True}) != statepoint_id({"flag": 1})
+
+    def test_nan_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="NaN"):
+            canonicalize(float("nan"))
+        with pytest.raises(ValueError, match="NaN"):
+            statepoint_id({"x": math.nan})
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="infinite"):
+            statepoint_id({"x": math.inf})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError, match="keys must be strings"):
+            canonicalize({1: "one"})
+
+    def test_numpy_scalars_unwrap(self):
+        np = pytest.importorskip("numpy")
+        assert canonicalize(np.int64(3)) == 3
+        assert statepoint_id({"n": np.int64(3)}) == \
+            statepoint_id({"n": 3})
+        assert statepoint_id({"x": np.float64(1.0)}) == \
+            statepoint_id({"x": 1})
+
+    def test_simulation_objects_rejected_with_hint(self):
+        from repro.sim.engine import Environment
+
+        with pytest.raises(TypeError, match="process boundary"):
+            canonicalize({"env": Environment()})
+
+    def test_arbitrary_objects_rejected(self):
+        with pytest.raises(TypeError, match="unsupported"):
+            canonicalize({"s": {1, 2}})
+
+    def test_statepoint_must_be_dict(self):
+        with pytest.raises(TypeError, match="dict of parameters"):
+            statepoint_id([("a", 1)])
+
+    def test_id_is_stable_and_short(self):
+        pid = statepoint_id({"workload": "smoke", "seed": 0})
+        assert pid == statepoint_id({"seed": 0, "workload": "smoke"})
+        assert len(pid) == 20
+        assert all(c in "0123456789abcdef" for c in pid)
+
+
+class TestParameterSpace:
+    def test_grid_expands_cartesian(self):
+        space = ParameterSpace(base={"w": "x"}).grid(
+            a=[1, 2], b=["p", "q"])
+        points = space.points()
+        assert len(points) == 4
+        assert points[0] == {"w": "x", "a": 1, "b": "p"}
+        assert points[-1] == {"w": "x", "a": 2, "b": "q"}
+
+    def test_successive_grids_multiply(self):
+        space = ParameterSpace().grid(a=[1, 2]).grid(b=[1, 2, 3])
+        assert len(space) == 6
+
+    def test_zip_advances_in_lockstep(self):
+        space = ParameterSpace().zip(seed=[0, 1, 2],
+                                     replicate=["r0", "r1", "r2"])
+        points = space.points()
+        assert len(points) == 3
+        assert points[1] == {"seed": 1, "replicate": "r1"}
+
+    def test_zip_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            ParameterSpace().zip(a=[1, 2], b=[1])
+
+    def test_when_overrides_matching_points(self):
+        space = (ParameterSpace(base={"timeout": 10})
+                 .grid(size=["small", "large"])
+                 .when(lambda p: p["size"] == "large", timeout=100))
+        by_size = {p["size"]: p for p in space}
+        assert by_size["small"]["timeout"] == 10
+        assert by_size["large"]["timeout"] == 100
+
+    def test_where_filters_points(self):
+        space = (ParameterSpace().grid(a=[1, 2, 3, 4])
+                 .where(lambda p: p["a"] % 2 == 0))
+        assert [p["a"] for p in space] == [2, 4]
+
+    def test_duplicates_after_canonicalisation_dropped(self):
+        space = ParameterSpace().grid(n=[1, 1.0, 2])
+        assert len(space) == 2
+
+    def test_empty_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ParameterSpace().grid(a=[])
+
+    def test_expansion_is_deterministic(self):
+        def build():
+            return (ParameterSpace(base={"w": "s"})
+                    .grid(seed=list(range(5))).points())
+        assert build() == build()

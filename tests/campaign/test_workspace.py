@@ -1,0 +1,155 @@
+"""Workspace layout, provenance-based status, and code fingerprints."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    SCHEMA_VERSION,
+    Workspace,
+    code_fingerprint,
+    statepoint_id,
+)
+
+FP = "f" * 20
+OTHER_FP = "0" * 20
+
+
+def _provenance(fingerprint=FP, schema=SCHEMA_VERSION):
+    return {"schema": schema, "fingerprint": fingerprint,
+            "campaign": "test", "worker": "tests:none", "seed": 0,
+            "wall_seconds": 0.1, "finished_at": 0.0}
+
+
+class TestLayout:
+    def test_ensure_point_writes_canonical_statepoint(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        pid = ws.ensure_point({"b": 2.0, "a": (1,)})
+        sp = json.loads(
+            (ws.root / pid / "statepoint.json").read_text())
+        assert sp == {"a": [1], "b": 2}
+
+    def test_equivalent_spellings_share_a_directory(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        a = ws.ensure_point({"n": 1, "shape": (4, 4)})
+        b = ws.ensure_point({"shape": [4, 4], "n": 1.0})
+        assert a == b
+        assert ws.point_ids() == [a]
+
+    def test_point_dir_accepts_dict_or_id(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        sp = {"seed": 3}
+        assert ws.point_dir(sp) == ws.point_dir(statepoint_id(sp))
+
+
+class TestStatus:
+    def test_lifecycle(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        pid = ws.ensure_point({"seed": 0})
+        assert ws.status(pid, FP) == "pending"
+
+        ws.record_result(pid, {"v": 1}, _provenance())
+        assert ws.status(pid, FP) == "complete"
+        record = ws.load(pid, FP)
+        assert record.result == {"v": 1}
+        assert record.error is None
+
+        # a different code fingerprint makes the result stale
+        assert ws.status(pid, OTHER_FP) == "stale"
+        # no fingerprint requirement accepts any provenance
+        assert ws.status(pid, None) == "complete"
+
+    def test_error_supersedes_and_is_superseded(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        pid = ws.ensure_point({"seed": 0})
+        ws.record_error(pid, {"type": "RuntimeError", "message": "boom"},
+                        _provenance())
+        assert ws.status(pid, FP) == "error"
+        assert ws.load(pid, FP).error["message"] == "boom"
+
+        # success clears the failure record
+        ws.record_result(pid, {"v": 2}, _provenance())
+        assert ws.status(pid, FP) == "complete"
+        assert ws.load(pid, FP).error is None
+
+        # and a later failure clears the stale success
+        ws.record_error(pid, {"type": "X", "message": "again"},
+                        _provenance())
+        assert ws.load(pid, FP).result is None
+
+    def test_schema_mismatch_is_stale(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        pid = ws.ensure_point({"seed": 0})
+        ws.record_result(pid, {"v": 1},
+                         _provenance(schema=SCHEMA_VERSION + 1))
+        assert ws.status(pid, FP) == "stale"
+
+    def test_corrupt_result_is_pending(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        pid = ws.ensure_point({"seed": 0})
+        ws.record_result(pid, {"v": 1}, _provenance())
+        (ws.root / pid / "result.json").write_text("{ half a doc")
+        assert ws.status(pid, FP) == "pending"
+
+    def test_missing_point_raises(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        with pytest.raises(KeyError):
+            ws.load("0" * 20)
+        assert ws.status("0" * 20) == "pending"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        pid = ws.ensure_point({"seed": 0})
+        ws.record_result(pid, {"v": 1}, _provenance())
+        assert not list(ws.root.rglob("*.tmp"))
+
+
+class TestClean:
+    def test_clean_everything(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        for seed in range(3):
+            ws.ensure_point({"seed": seed})
+        removed = ws.clean()
+        assert len(removed) == 3
+        assert ws.point_ids() == []
+
+    def test_clean_errors_only(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        good = ws.ensure_point({"seed": 0})
+        bad = ws.ensure_point({"seed": 1})
+        ws.record_result(good, {"v": 1}, _provenance())
+        ws.record_error(bad, {"type": "X", "message": "boom"},
+                        _provenance())
+        removed = ws.clean(errors_only=True)
+        assert removed == [bad]
+        assert ws.point_ids() == [good]
+
+
+class TestCodeFingerprint:
+    def test_stable_for_same_content(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text("X = 1\n")
+        a = code_fingerprint(packages=(), roots=[root])
+        b = code_fingerprint(packages=(), roots=[root])
+        assert a == b
+        assert len(a) == 20
+
+    def test_content_change_changes_fingerprint(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text("X = 1\n")
+        before = code_fingerprint(packages=(), roots=[root])
+        (root / "mod.py").write_text("X = 2\n")
+        assert code_fingerprint(packages=(), roots=[root]) != before
+
+    def test_new_file_changes_fingerprint(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text("X = 1\n")
+        before = code_fingerprint(packages=(), roots=[root])
+        (root / "extra.py").write_text("Y = 1\n")
+        assert code_fingerprint(packages=(), roots=[root]) != before
+
+    def test_repro_package_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()

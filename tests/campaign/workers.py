@@ -1,0 +1,47 @@
+"""Worker functions for the campaign tests.
+
+Top-level in an importable module, so ``spawn`` worker processes can
+resolve them by ``"tests.campaign.workers:<name>"`` reference — the
+same contract real campaign workers in :mod:`repro.bench.campaigns`
+follow.
+"""
+
+import os
+import time
+
+
+def ok_point(statepoint):
+    """Cheap deterministic worker."""
+    return {"seed": statepoint["seed"], "value": statepoint["seed"] * 2}
+
+
+def failing_point(statepoint):
+    """Fails loudly for the seeds told to fail."""
+    if statepoint["seed"] in statepoint.get("fail_seeds", []):
+        raise RuntimeError(f"seed {statepoint['seed']} asked to fail")
+    return {"seed": statepoint["seed"], "value": statepoint["seed"] * 2}
+
+
+def flag_file_point(statepoint):
+    """Fails while ``flag_path`` exists — lets a test retry a point."""
+    if os.path.exists(statepoint["flag_path"]):
+        raise RuntimeError("flag file present")
+    return {"seed": statepoint["seed"], "value": "recovered"}
+
+
+def slow_point(statepoint):
+    """Sleeps past any reasonable per-point timeout."""
+    time.sleep(statepoint.get("sleep_s", 60.0))
+    return {"seed": statepoint["seed"]}
+
+
+def crash_point(statepoint):
+    """Hard child death — no exception, no cleanup, just gone."""
+    if statepoint.get("crash"):
+        os._exit(17)
+    return {"seed": statepoint["seed"], "value": "survived"}
+
+
+def unserializable_point(statepoint):
+    """Returns something JSON cannot carry."""
+    return {"seed": statepoint["seed"], "payload": {1, 2, 3}}

@@ -81,6 +81,26 @@ RULES = (
         "banned_prefixes": ("repro.hdfs", "repro.pfs", "repro.core"),
     },
     {
+        "label": "campaign workspace internals",
+        # the workspace layout (statepoint.json / result.json /
+        # provenance files) is the campaign engine's private contract;
+        # everything else goes through the repro.campaign facade (the
+        # benchmark harness, outside src, drives it the same way)
+        "allowed": ("repro.campaign",),
+        "modules": {"repro.campaign.workspace"},
+        "names": {"Workspace", "PointRecord", "code_fingerprint"},
+    },
+    {
+        "label": "campaign process isolation",
+        # the campaign driver ships plain parameters across the process
+        # boundary — it must never hold simulation objects itself, so
+        # no Environment/node/client can leak into a pickled state
+        # point; workers (repro.bench.campaigns) build their own world
+        "applies": ("repro.campaign",),
+        "banned_prefixes": ("repro.sim", "repro.hdfs", "repro.pfs",
+                            "repro.core", "repro.mapreduce"),
+    },
+    {
         "label": "frozen sqldf evaluator",
         # only the twin-world tests (outside src) and the bench may
         # resurrect the eager evaluator
@@ -280,6 +300,44 @@ def test_lint_frozen_sqldf_evaluator_quarantined():
     assert not violations_in_source(
         "repro.bench.sqlbench",
         "from repro.rlang._legacy import legacy_sqldf\n")
+
+
+def test_lint_campaign_workspace_quarantined():
+    """Only the campaign package may touch the workspace layout; other
+    layers go through the repro.campaign facade."""
+    assert violations_in_source(
+        "repro.bench.offender",
+        "from repro.campaign.workspace import Workspace\n")
+    assert violations_in_source(
+        "repro.obs.offender", "import repro.campaign.workspace\n")
+    assert violations_in_source(
+        "repro.io.offender",
+        "from repro.campaign import code_fingerprint\n")
+    # the campaign package itself owns the layout
+    assert not violations_in_source(
+        "repro.campaign.runner",
+        "from repro.campaign.workspace import Workspace\n")
+
+
+def test_lint_campaign_process_isolation():
+    """The campaign driver must stay free of simulation layers — a
+    captured Environment cannot cross the process boundary."""
+    assert violations_in_source(
+        "repro.campaign.runner",
+        "from repro.sim.engine import Environment\n")
+    assert violations_in_source(
+        "repro.campaign.registry", "import repro.hdfs\n")
+    assert violations_in_source(
+        "repro.campaign.aggregate",
+        "from repro.core import SciDP\n")
+    # the sanctioned surfaces: reporting and the worker module, which
+    # lives in repro.bench and builds worlds inside the child process
+    assert not violations_in_source(
+        "repro.campaign.aggregate",
+        "from repro.bench.reporting import format_table\n")
+    assert not violations_in_source(
+        "repro.bench.campaigns",
+        "from repro.sim.engine import Environment\n")
 
 
 def test_lint_frozen_legacy_engine_quarantined():
